@@ -1,0 +1,94 @@
+// Ablation for the paper's §VIII-A implementation insight: "by considering
+// this sparsity, we can reduce the encoding complexity ... the same as the
+// original RS codes".  Encodes each Carousel configuration twice — with the
+// production sparse path (zero coefficients skipped) and with a dense
+// reference walk — and reports the speedup.  Without the sparsity
+// optimisation, Carousel encoding would be P-times slower than its base
+// code, and Fig. 6a's headline would not hold.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "codes/carousel.h"
+#include "codes/rs.h"
+
+using namespace carousel::codes;
+using carousel::bench::kMiB;
+
+namespace {
+
+constexpr std::size_t kBlockBytes = 1 << 20;
+
+struct Row {
+  double sparse_mbs, dense_mbs;
+};
+
+Row measure(const LinearCode& code) {
+  const std::size_t block = kBlockBytes / code.s() * code.s();
+  const std::size_t ub = block / code.s();
+  auto data = carousel::bench::random_bytes(code.k() * block);
+  std::vector<std::uint8_t> out(block), out2(block);
+  // Encode only parity blocks (data blocks are copies either way).
+  auto run = [&](bool dense) {
+    for (std::size_t i = code.params().p; i < code.n(); ++i) {
+      if (dense)
+        code.encode_block_dense(i, data, out);
+      else
+        code.encode_block(i, data, out);
+    }
+    // At p == n there are no pure parity blocks; use the last block.
+    if (code.params().p == code.n()) {
+      if (dense)
+        code.encode_block_dense(code.n() - 1, data, out);
+      else
+        code.encode_block(code.n() - 1, data, out);
+    }
+  };
+  double sparse_s = carousel::bench::time_best_s([&] { run(false); });
+  double dense_s = carousel::bench::time_best_s([&] { run(true); });
+  // Cross-check outputs once.
+  code.encode_block(code.n() - 1, data, out);
+  code.encode_block_dense(code.n() - 1, data, out2);
+  if (out != out2) std::abort();
+  (void)ub;
+  return {double(data.size()) / kMiB / sparse_s,
+          double(data.size()) / kMiB / dense_s};
+}
+
+void report(const char* label, const LinearCode& code, std::size_t expansion) {
+  Row r = measure(code);
+  std::printf("%-24s s=%3zu  sparse %8.1f MB/s   dense %8.1f MB/s   "
+              "speedup %5.2fx (expansion P=%zu)\n",
+              label, code.s(), r.sparse_mbs, r.dense_mbs,
+              r.sparse_mbs / r.dense_mbs, expansion);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation — sparsity-aware encoding (paper §VIII-A) ===\n");
+  std::printf("parity-block encode throughput, sparse (production) vs dense "
+              "(reference)\n\n");
+  report("(12,6) RS", ReedSolomon(12, 6), 1);
+  {
+    Carousel c(12, 6, 6, 12);
+    report("(12,6,6,12) Carousel", c, c.expansion());
+  }
+  {
+    Carousel c(12, 6, 10, 12);
+    report("(12,6,10,12) Carousel", c, c.expansion());
+  }
+  {
+    Carousel c(20, 10, 10, 20);
+    report("(20,10,10,20) Carousel", c, c.expansion());
+  }
+  {
+    Carousel c(20, 10, 19, 20);
+    report("(20,10,19,20) Carousel", c, c.expansion());
+  }
+  std::printf("\nshape check: the sparse path's advantage tracks the "
+              "expansion factor P — exactly the cost the paper's\n"
+              "optimisation removes (a dense implementation loses Fig. 6a's "
+              "'Carousel encodes at base-code speed').\n");
+  return 0;
+}

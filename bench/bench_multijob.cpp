@@ -1,0 +1,97 @@
+// Multi-tenant sensitivity analysis (beyond the paper's single-job Figs.
+// 9-10): J concurrent wordcount jobs over distinct 3 GB files share the
+// 30-node cluster's map slots, disks and NICs.  How much of Carousel's
+// single-job speedup survives contention?
+//
+// Expected shape: at J = 1 the p = 12 layout repeats Fig. 9's ~43% job-time
+// saving; as the cluster saturates (J >> slots/maps-per-job) every slot is
+// busy either way and the advantage converges to the pure work-efficiency
+// difference (none — Carousel adds no map work, it only splits it finer), so
+// the *makespan* gap closes while per-job latency still benefits from finer
+// tasks at moderate load.
+
+#include <cstdio>
+#include <vector>
+
+#include "mapred/job.h"
+
+using namespace carousel;
+using hdfs::kMB;
+
+namespace {
+
+hdfs::ClusterConfig paper_cluster() {
+  hdfs::ClusterConfig c;
+  c.nodes = 30;
+  c.disk_read_bps = 200 * kMB;
+  c.node_egress_bps = hdfs::mbps(1000);
+  c.node_ingress_bps = hdfs::mbps(1000);
+  return c;
+}
+
+constexpr double kFileBytes = 6.0 * 512 * kMB;
+constexpr double kBlockBytes = 512 * kMB;
+
+struct LoadResult {
+  double mean_job_s = 0;
+  double makespan_s = 0;
+};
+
+LoadResult run_load(std::size_t jobs, std::size_t p, double inter_arrival_s) {
+  hdfs::Cluster cluster(paper_cluster());
+  mapred::SlotPool slots(cluster.nodes(), mapred::JobConfig{}.map_slots_per_node);
+  std::vector<hdfs::DfsFile> files;
+  std::vector<mapred::JobResult> results(jobs);
+  files.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j)
+    files.push_back(hdfs::DfsFile::coded(cluster, {12, 6, 10, p}, kFileBytes,
+                                         kBlockBytes, j * 7));
+  for (std::size_t j = 0; j < jobs; ++j)
+    mapred::schedule_job(cluster, files[j], mapred::wordcount(),
+                         mapred::JobConfig{}, j * inter_arrival_s, &slots,
+                         &results[j]);
+  cluster.simulation().run();
+
+  LoadResult out;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    out.mean_job_s += results[j].job_s;
+    out.makespan_s = std::max(
+        out.makespan_s, j * inter_arrival_s + results[j].job_s);
+  }
+  out.mean_job_s /= double(jobs);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Multi-tenant extension — J concurrent wordcount jobs, "
+              "3 GB each, 0.5 s arrival spacing ===\n\n");
+  std::printf("%4s | %21s | %21s | %s\n", "J", "RS (12,6)",
+              "Carousel (12,6,10,12)", "job-time saving");
+  std::printf("%4s | %10s %10s | %10s %10s |\n", "", "mean job", "makespan",
+              "mean job", "makespan");
+  double first_saving = 0, last_saving = 0;
+  for (std::size_t jobs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    auto rs = run_load(jobs, 6, 0.5);
+    auto car = run_load(jobs, 12, 0.5);
+    double saving = 1 - car.mean_job_s / rs.mean_job_s;
+    if (jobs == 1) first_saving = saving;
+    last_saving = saving;
+    std::printf("%4zu | %9.1fs %9.1fs | %9.1fs %9.1fs | %5.1f%%\n", jobs,
+                rs.mean_job_s, rs.makespan_s, car.mean_job_s, car.makespan_s,
+                100 * saving);
+  }
+  std::printf("\nshape checks:\n");
+  std::printf("  single-job saving matches Fig. 9's regime:      %.1f%% "
+              "(Fig. 9: ~43%%)\n", 100 * first_saving);
+  std::printf("  saving persists but narrows under saturation:   %s "
+              "(%.1f%% at J=32)\n",
+              last_saving > 0 && last_saving < first_saving ? "yes" : "NO",
+              100 * last_saving);
+  std::printf("  takeaway: extra data parallelism buys latency while slots "
+              "are spare; at full saturation the\n  schedules equalise and "
+              "Carousel's only residual cost is the finer tasks' per-task "
+              "overhead.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Recovery storm: a datanode dies and every block it hosted must be rebuilt
+// elsewhere.  This is the operational scenario behind the paper's repair-
+// traffic argument (§I, §VI): RS moves k whole blocks per lost block, LRC
+// moves its group, MSR/Carousel move the optimal d/(d-k+1) block sizes.
+// The discrete-event cluster turns those byte counts into recovery makespan
+// under real link contention (helpers serve many concurrent repairs).
+//
+// Not a paper figure — an ablation of the deployment consequence of Fig. 7.
+
+#include <cstdio>
+#include <vector>
+
+#include "codes/lrc.h"
+#include "codes/params.h"
+#include "hdfs/cluster.h"
+#include "hdfs/dfs.h"
+
+using namespace carousel;
+using hdfs::kMB;
+
+namespace {
+
+hdfs::ClusterConfig storm_cluster() {
+  hdfs::ClusterConfig c;
+  c.nodes = 30;
+  c.disk_read_bps = 200 * kMB;
+  c.node_egress_bps = hdfs::mbps(1000);
+  c.node_ingress_bps = hdfs::mbps(1000);
+  return c;
+}
+
+struct StormResult {
+  double makespan_s = 0;
+  double traffic_gb = 0;
+  std::size_t lost_blocks = 0;
+};
+
+/// Rebuilds every block hosted on node 0.  Each lost block gets a newcomer
+/// node (round-robin over survivors); each of its `fanin` helpers ships
+/// `bytes_per_helper` through disk+egress into the newcomer's ingress.
+StormResult run_storm(double file_gb, double block_bytes,
+                      codes::CodeParams params, std::size_t fanin,
+                      double bytes_per_helper) {
+  hdfs::Cluster cluster(storm_cluster());
+  auto file =
+      hdfs::DfsFile::coded(cluster, params, file_gb * 1024 * kMB, block_bytes);
+
+  StormResult r;
+  std::size_t newcomer_rr = 1;
+  for (const auto& lost : file.blocks()) {
+    if (lost.node != 0) continue;
+    ++r.lost_blocks;
+    // Pick a newcomer that hosts nothing from this stripe.
+    std::size_t newcomer = newcomer_rr;
+    newcomer_rr = newcomer_rr % (cluster.nodes() - 1) + 1;
+    // Helpers: the first `fanin` surviving blocks of the same stripe.
+    std::size_t sent = 0;
+    for (const auto& helper : file.blocks()) {
+      if (sent == fanin) break;
+      if (helper.stripe != lost.stripe || helper.index == lost.index) continue;
+      if (helper.node == 0 || helper.node == newcomer) continue;
+      cluster.net().start_flow(
+          bytes_per_helper,
+          {cluster.disk(helper.node), cluster.egress(helper.node),
+           cluster.ingress(newcomer)},
+          nullptr);
+      r.traffic_gb += bytes_per_helper / (1024 * kMB);
+      ++sent;
+    }
+  }
+  r.makespan_s = cluster.simulation().run();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const double block = 256 * kMB;
+  const double file_gb = 30.0;  // ~20 stripes of (12,6); node 0 hosts 8 blocks
+
+  std::printf("=== Recovery storm — rebuild all blocks of a failed node, "
+              "30-node cluster, %.0f GB of data ===\n\n",
+              file_gb);
+  std::printf("%-24s %8s %10s %12s %10s\n", "layout", "lost", "fan-in",
+              "traffic", "makespan");
+
+  struct Scheme {
+    const char* name;
+    codes::CodeParams params;
+    std::size_t fanin;
+    double per_helper;  // bytes each helper ships per lost block
+  };
+  codes::LocalReconstructionCode lrc(6, 2, 2);
+  Scheme schemes[] = {
+      {"RS (12,6)", {12, 6, 6, 6}, 6, block},
+      {"LRC (6,2,2) n=10", {10, 6, 6, 6}, lrc.group_size(), block},
+      {"MSR (12,6,10)", {12, 6, 10, 6}, 10, block / 5},
+      {"Carousel (12,6,10,12)", {12, 6, 10, 12}, 10, block / 5},
+  };
+  double rs_makespan = 0;
+  for (const auto& s : schemes) {
+    auto r = run_storm(file_gb, block, s.params, s.fanin, s.per_helper);
+    if (rs_makespan == 0) rs_makespan = r.makespan_s;
+    std::printf("%-24s %8zu %10zu %10.1fGB %9.1fs  (%.2fx RS)\n", s.name,
+                r.lost_blocks, s.fanin, r.traffic_gb, r.makespan_s,
+                r.makespan_s / rs_makespan);
+  }
+  std::printf(
+      "\nshape: MSR/Carousel cut storm traffic by d/(d-k+1)/k = 3x vs RS and"
+      " finish proportionally faster;\nLRC sits between (group-local reads); "
+      "Carousel pays nothing for its extra data parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Durability consequences of repair traffic (extension of Fig. 7): MTTDL of
+// one stripe under the standard Markov model, with repair time driven by
+// each code's measured repair traffic.  MSR/Carousel repair 3x faster than
+// RS at (12,6,10), which multiplies through every additional tolerated
+// failure; Carousel inherits MSR durability while raising data parallelism.
+// A Monte-Carlo section stress-tests the non-MDS LRC baseline, whose loss
+// condition depends on which blocks die, not how many.
+
+#include <cstdio>
+
+#include "codes/lrc.h"
+#include "reliability/mttdl.h"
+
+using namespace carousel::reliability;
+
+namespace {
+
+constexpr double kYear = 365.25 * 24 * 3600;
+constexpr double kBlockBytes = 256.0 * 1024 * 1024;
+constexpr double kRepairBps = 125.0 * 1024 * 1024;  // 1 Gbps dedicated
+
+Environment env_for(double traffic_blocks) {
+  Environment e;
+  e.block_failure_rate = 1.0 / (4 * kYear);  // 4-year block MTTF
+  e.repair_seconds = traffic_blocks * kBlockBytes / kRepairBps;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Stripe MTTDL — analytic Markov chain, 4-year block MTTF, "
+              "1 Gbps repair channel, 256 MB blocks ===\n\n");
+  std::printf("%-26s %9s %9s %12s %16s\n", "layout", "storage", "repair(s)",
+              "tolerance", "MTTDL (years)");
+
+  struct Row {
+    const char* name;
+    std::size_t n, k;
+    double traffic_blocks;
+    double overhead;
+  };
+  Row rows[] = {
+      {"3-way replication", 3, 1, 1.0, 3.0},
+      {"RS (9,6)", 9, 6, 6.0, 1.5},
+      {"RS (12,6)", 12, 6, 6.0, 2.0},
+      {"MSR (12,6,10)", 12, 6, 2.0, 2.0},
+      {"Carousel (12,6,10,12)", 12, 6, 2.0, 2.0},
+  };
+  double rs12 = 0, car12 = 0;
+  for (const auto& r : rows) {
+    Environment env = env_for(r.traffic_blocks);
+    double mttdl = mds_stripe_mttdl(r.n, r.k, env) / kYear;
+    if (r.traffic_blocks == 6.0 && r.n == 12) rs12 = mttdl;
+    if (r.traffic_blocks == 2.0) car12 = mttdl;
+    std::printf("%-26s %8.1fx %9.0f %9zu+%zu %16.3e\n", r.name, r.overhead,
+                env.repair_seconds, r.k, r.n - r.k, mttdl);
+  }
+  std::printf("\n  3x faster repair compounds across n-k=6 failures: "
+              "Carousel/MSR MTTDL is %.0fx RS (12,6)'s\n  at identical "
+              "storage — durability is where Fig. 7's traffic savings "
+              "cash out.\n\n",
+              car12 / rs12);
+
+  std::printf("=== Non-MDS baseline under stress (Monte-Carlo, block MTTF "
+              "200 s, repair 40 s) ===\n\n");
+  Environment stress{1.0 / 200, 40};
+  carousel::codes::LocalReconstructionCode lrc(6, 2, 2);
+  double mds_analytic = mds_stripe_mttdl(10, 6, stress);
+  double mds_mc = simulate_mttdl(
+      10,
+      [](const std::vector<bool>& up) {
+        int alive = 0;
+        for (bool b : up) alive += b;
+        return alive >= 6;
+      },
+      stress, 3000, 11);
+  double lrc_mc = simulate_mttdl(
+      10, [&lrc](const std::vector<bool>& up) { return lrc.recoverable(up); },
+      stress, 3000, 12);
+  std::printf("  RS (10,6)   analytic %8.0f s   Monte-Carlo %8.0f s  "
+              "(cross-validation, %.1f%% apart)\n",
+              mds_analytic, mds_mc,
+              100 * std::abs(mds_mc - mds_analytic) / mds_analytic);
+  std::printf("  LRC (6,2,2) Monte-Carlo %8.0f s  — %.0f%% of the equal-"
+              "overhead MDS stripe (loses some 4-failure patterns)\n",
+              lrc_mc, 100 * lrc_mc / mds_mc);
+  return 0;
+}

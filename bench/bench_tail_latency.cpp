@@ -1,0 +1,129 @@
+// Tail latency of random 512 MB range reads under one failed node — the
+// degraded-read regime the paper's related work ([25] Hu et al.) motivates.
+//
+// With systematic RS, a range lives on one data block; if that block's node
+// is dead the client must fetch k whole blocks (6x amplification) and its
+// request lands deep in the tail.  With Carousel (12,6,10,10), a range spans
+// ~2 blocks' extents; only the slice on the dead node needs k-fold fetching,
+// so the degraded amplification applies to a fraction of the request and the
+// P99 stays close to the median.
+//
+// 300 readers arrive uniformly over 120 s on a 30-node cluster (1 Gbps
+// egress per node, 1 Gbps per reader); one node is down throughout.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "hdfs/cluster.h"
+
+using namespace carousel;
+using hdfs::kMB;
+using sim::Time;
+
+namespace {
+
+constexpr double kBlock = 512 * kMB;
+constexpr double kRange = 512 * kMB;
+constexpr std::size_t kRequests = 200;
+constexpr double kWindow = 400.0;
+
+struct Layout {
+  std::size_t k, p;        // data / data-carrying blocks per stripe
+  const char* name;
+};
+
+/// Runs the experiment for one layout; returns sorted latencies.
+std::vector<double> run(const Layout& lay, std::uint32_t seed) {
+  hdfs::ClusterConfig cfg;
+  cfg.nodes = 30;
+  cfg.disk_read_bps = 400 * kMB;
+  cfg.node_egress_bps = hdfs::mbps(1000);
+  hdfs::Cluster cluster(cfg);
+  auto& net = cluster.net();
+
+  const double stripe_data = lay.k * kBlock;        // 3 GB logical stripe
+  const double extent = stripe_data / double(lay.p);  // bytes per block
+  const std::size_t n = 12;
+  // Placement: block i of the (single) stripe on node i; node 0 is dead.
+  const std::size_t dead_node = 0;
+
+  std::mt19937 rng(seed);
+  std::vector<double> latency(kRequests, -1);
+  std::size_t done = 0;
+  for (std::size_t r = 0; r < kRequests; ++r) {
+    const Time start = (kWindow * r) / kRequests;
+    const double off =
+        std::uniform_real_distribution<double>(0, stripe_data - kRange)(rng);
+    // Every reader has its own downlink.
+    auto reader_link =
+        net.add_resource(hdfs::mbps(1000), "rd" + std::to_string(r));
+    cluster.simulation().at(start, [&, r, off, reader_link, start] {
+      // Fan the range out over the blocks whose extents it intersects.
+      auto outstanding = std::make_shared<std::size_t>(0);
+      auto finish = [&latency, r, start, outstanding,
+                     &cluster](Time) {
+        if (--*outstanding == 0)
+          latency[r] = cluster.simulation().now() - start;
+      };
+      for (std::size_t b = 0; b < lay.p; ++b) {
+        const double lo = std::max(off, b * extent);
+        const double hi = std::min(off + kRange, (b + 1) * extent);
+        if (hi <= lo) continue;
+        const double bytes = hi - lo;
+        if (b != dead_node) {
+          ++*outstanding;
+          net.start_flow(bytes, {cluster.egress(b), reader_link}, finish);
+          continue;
+        }
+        // Degraded slice: fetch k matching pieces from k survivors.
+        for (std::size_t h = 1; h <= lay.k; ++h) {
+          ++*outstanding;
+          net.start_flow(bytes, {cluster.egress((b + h) % n), reader_link},
+                         finish);
+        }
+      }
+      if (*outstanding == 0) latency[r] = 0;
+    });
+    (void)done;
+  }
+  cluster.simulation().run();
+  std::sort(latency.begin(), latency.end());
+  return latency;
+}
+
+double pct(const std::vector<double>& v, double q) {
+  return v[std::min(v.size() - 1, std::size_t(q * double(v.size())))];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Degraded-read tail latency — 512 MB range reads, one "
+              "dead node, 200 readers / 400 s ===\n\n");
+  std::printf("%-24s %8s %8s %8s %8s\n", "layout", "P50", "P90", "P99",
+              "max");
+  Layout layouts[] = {{6, 6, "RS (12,6)"}, {6, 10, "Carousel (12,6,10,10)"}};
+  double p99[2], p50[2];
+  for (int i = 0; i < 2; ++i) {
+    auto lat = run(layouts[i], 99);
+    p50[i] = pct(lat, 0.50);
+    p99[i] = pct(lat, 0.99);
+    std::printf("%-24s %7.2fs %7.2fs %7.2fs %7.2fs\n", layouts[i].name,
+                pct(lat, 0.50), pct(lat, 0.90), pct(lat, 0.99), lat.back());
+  }
+  std::printf("\nshape checks:\n");
+  std::printf("  Carousel P99 below RS P99 (smaller degraded slice, spread "
+              "load):  %s (%.2fs vs %.2fs)\n",
+              p99[1] < p99[0] ? "yes" : "NO", p99[1], p99[0]);
+  std::printf("  Carousel median below RS median (p servers share the read "
+              "load):  %s (%.2fs vs %.2fs)\n",
+              p50[1] < p50[0] ? "yes" : "NO", p50[1], p50[0]);
+  std::printf("\nmechanism: RS pins every range onto one of k=6 data "
+              "servers and a dead server's requests pay a\nfull 6x degraded "
+              "fetch; Carousel spreads ranges across p=10 servers and only "
+              "the slice that lived on\nthe dead server is amplified.\n");
+  return 0;
+}

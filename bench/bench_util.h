@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benchmarks.
+
+#ifndef CAROUSEL_BENCH_BENCH_UTIL_H
+#define CAROUSEL_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace carousel::bench {
+
+inline std::vector<std::uint8_t> random_bytes(std::size_t n,
+                                              std::uint32_t seed = 1) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+inline std::vector<std::span<std::uint8_t>> split_spans(
+    std::vector<std::uint8_t>& buf, std::size_t count) {
+  std::vector<std::span<std::uint8_t>> out;
+  const std::size_t each = buf.size() / count;
+  for (std::size_t i = 0; i < count; ++i)
+    out.emplace_back(buf.data() + i * each, each);
+  return out;
+}
+
+inline std::vector<std::span<const std::uint8_t>> split_const_spans(
+    const std::vector<std::uint8_t>& buf, std::size_t count) {
+  std::vector<std::span<const std::uint8_t>> out;
+  const std::size_t each = buf.size() / count;
+  for (std::size_t i = 0; i < count; ++i)
+    out.emplace_back(buf.data() + i * each, each);
+  return out;
+}
+
+/// Wall-clock seconds of fn(), best (minimum) of `reps` runs — minimum is
+/// the standard noise filter for single-threaded kernels.
+inline double time_best_s(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e99;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+inline constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace carousel::bench
+
+#endif  // CAROUSEL_BENCH_BENCH_UTIL_H

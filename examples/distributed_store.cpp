@@ -1,0 +1,80 @@
+// The paper's prototype story, runnable on loopback: a fleet of block
+// servers, a Carousel-striped file, server losses, degraded parallel reads
+// and MSR-optimal repair — with every byte moving over real TCP sockets.
+//
+//   ./build/examples/distributed_store
+
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "net/block_server.h"
+#include "net/store.h"
+
+using namespace carousel;
+using codes::Byte;
+
+int main() {
+  // A 12-server fleet on ephemeral loopback ports.
+  std::vector<std::unique_ptr<net::BlockServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 12; ++i) {
+    servers.push_back(std::make_unique<net::BlockServer>());
+    ports.push_back(servers.back()->port());
+  }
+  std::printf("started 12 block servers on 127.0.0.1 (ports %u..)\n\n",
+              ports.front());
+
+  codes::Carousel code(12, 6, 10, 10);
+  const std::size_t block = code.s() * (64 << 10);  // 320 KiB blocks
+  net::CarouselStore store(code, ports, block);
+
+  std::vector<Byte> file(2 * code.k() * block - 3141);
+  std::mt19937 rng(1);
+  for (auto& b : file) b = static_cast<Byte>(rng());
+  std::size_t stripes = store.put_file(42, file);
+  std::printf("stored %.1f MiB as %zu stripes x 12 blocks, one block per "
+              "server, 10 of 12 carrying original data\n",
+              file.size() / 1048576.0, stripes);
+
+  std::uint64_t t0 = store.bytes_received();
+  bool ok = store.read_file(42, file.size()) == file;
+  std::printf("parallel read from 10 servers: %s (%.1f MiB over the wire — "
+              "exactly the file)\n",
+              ok ? "bytes match" : "MISMATCH",
+              (store.bytes_received() - t0) / 1048576.0);
+
+  // Two servers with original data go dark.
+  servers[2]->stop();
+  servers[5]->stop();
+  std::printf("\nservers 2 and 5 stopped.\n");
+  // Their clients would now fail; emulate the metadata path by dropping the
+  // blocks from the store's view instead (servers hold one block per
+  // stripe).  A production coordinator reconnects; here we restart them
+  // empty to keep the sockets simple.
+  servers[2] = std::make_unique<net::BlockServer>(ports[2]);
+  servers[5] = std::make_unique<net::BlockServer>(ports[5]);
+
+  t0 = store.bytes_received();
+  ok = store.read_file(42, file.size()) == file;
+  std::printf("degraded read (parity stand-ins via server-side PROJECT): %s "
+              "(%.1f MiB over the wire — still k/p per source)\n",
+              ok ? "bytes match" : "MISMATCH",
+              (store.bytes_received() - t0) / 1048576.0);
+
+  std::uint64_t traffic = 0;
+  for (std::size_t s = 0; s < stripes; ++s) {
+    traffic += store.repair_block(42, static_cast<std::uint32_t>(s), 2);
+    traffic += store.repair_block(42, static_cast<std::uint32_t>(s), 5);
+  }
+  std::printf("repaired both servers' blocks: %.1f MiB fetched = %.2f block "
+              "sizes per repair (RS would need %zu)\n",
+              traffic / 1048576.0,
+              double(traffic) / (2.0 * stripes * block), code.k());
+
+  ok = store.read_file(42, file.size()) == file;
+  std::printf("final read after recovery: %s\n",
+              ok ? "bytes match" : "MISMATCH");
+  return ok ? 0 : 1;
+}

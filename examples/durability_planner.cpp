@@ -1,0 +1,60 @@
+// Scenario: an operator picks a storage layout for a new cluster.  The
+// constraints: at most 2x storage overhead, yearly block MTTF of 4 years,
+// a 1 Gbps repair channel, and analytics jobs that want as much data
+// parallelism as possible.  This example sweeps candidate layouts and
+// prints durability (reliability module), repair cost (code parameters) and
+// parallelism, showing why the paper's (12,6,10,12) Carousel wins.
+//
+//   ./build/examples/durability_planner
+
+#include <cstdio>
+
+#include "codes/params.h"
+#include "reliability/mttdl.h"
+
+using namespace carousel;
+
+namespace {
+
+constexpr double kYear = 365.25 * 24 * 3600;
+constexpr double kBlockBytes = 256.0 * 1024 * 1024;
+constexpr double kRepairBps = 125.0 * 1024 * 1024;
+
+struct Candidate {
+  const char* name;
+  codes::CodeParams params;
+  double overhead;
+  std::size_t parallelism;
+};
+
+}  // namespace
+
+int main() {
+  Candidate candidates[] = {
+      {"2x replication", {2, 1, 1, 1}, 2.0, 2},
+      {"3x replication", {3, 1, 1, 1}, 3.0, 3},
+      {"RS (12,6)", {12, 6, 6, 6}, 2.0, 6},
+      {"MSR (12,6,10)", {12, 6, 10, 6}, 2.0, 6},
+      {"Carousel (12,6,10,12)", {12, 6, 10, 12}, 2.0, 12},
+  };
+
+  std::printf("layout                  overhead  repair    parallel  MTTDL "
+              "(years)   fits <=2x?\n");
+  for (const auto& c : candidates) {
+    reliability::Environment env;
+    env.block_failure_rate = 1.0 / (4 * kYear);
+    env.repair_seconds =
+        c.params.repair_traffic_blocks() * kBlockBytes / kRepairBps;
+    double mttdl =
+        reliability::mds_stripe_mttdl(c.params.n, c.params.k, env) / kYear;
+    std::printf("%-24s %6.1fx %6.1f blk %9zu %13.2e   %s\n", c.name,
+                c.overhead, c.params.repair_traffic_blocks(), c.parallelism,
+                mttdl, c.overhead <= 2.0 ? "yes" : "no");
+  }
+  std::printf(
+      "\nverdict: within the 2x budget, Carousel (12,6,10,12) matches MSR's "
+      "durability (3x-faster repair than RS\ncompounds over n-k=6 tolerated "
+      "failures) and doubles the data parallelism of every MDS "
+      "alternative.\n");
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "cli/cli.h"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "codes/carousel.h"
+#include "storage/erasure_file.h"
+#include "util/crc32.h"
+
+namespace carousel::cli {
+
+namespace fs = std::filesystem;
+using codes::Byte;
+
+namespace {
+
+std::string block_name(std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "block_%03zu.bin", i);
+  return buf;
+}
+
+std::vector<Byte> read_binary(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + p.string());
+  std::vector<Byte> out((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  return out;
+}
+
+void write_binary(const fs::path& p, std::span<const Byte> bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + p.string());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("short write to " + p.string());
+}
+
+/// Loads the archive: manifest plus whichever block files exist and have the
+/// right size.  Returns the per-block byte buffers (empty when missing).
+struct Archive {
+  Manifest manifest;
+  std::vector<std::vector<Byte>> blocks;  // n entries
+  std::size_t present = 0;
+};
+
+Archive load_archive(const fs::path& dir) {
+  Archive a;
+  std::ifstream mf(dir / "MANIFEST");
+  if (!mf) throw std::runtime_error("no MANIFEST in " + dir.string());
+  std::stringstream ss;
+  ss << mf.rdbuf();
+  a.manifest = Manifest::parse(ss.str());
+  const auto& m = a.manifest;
+  const std::uint64_t per_block_file = m.block_bytes * m.stripes;
+  a.blocks.resize(m.params.n);
+  for (std::size_t i = 0; i < m.params.n; ++i) {
+    const fs::path p = dir / block_name(i);
+    std::error_code ec;
+    if (!fs::exists(p, ec)) continue;
+    auto bytes = read_binary(p);
+    if (bytes.size() != per_block_file) continue;  // truncated: treat as lost
+    a.blocks[i] = std::move(bytes);
+    ++a.present;
+  }
+  return a;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                    std::uint32_t seed) {
+  return util::crc32({data, n}, seed);
+}
+
+std::string Manifest::serialize() const {
+  std::ostringstream out;
+  out << "format=carousel-archive-v1\n";
+  out << "n=" << params.n << "\nk=" << params.k << "\nd=" << params.d
+      << "\np=" << params.p << "\n";
+  out << "file_bytes=" << file_bytes << "\nblock_bytes=" << block_bytes
+      << "\nstripes=" << stripes << "\ncrc32=" << checksum << "\n";
+  return out.str();
+}
+
+Manifest Manifest::parse(const std::string& text) {
+  std::map<std::string, std::string> kv;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  auto need = [&](const char* key) -> std::uint64_t {
+    auto it = kv.find(key);
+    if (it == kv.end())
+      throw std::runtime_error(std::string("MANIFEST missing key ") + key);
+    return std::stoull(it->second);
+  };
+  if (kv["format"] != "carousel-archive-v1")
+    throw std::runtime_error("unrecognised archive format");
+  Manifest m;
+  m.params = codes::CodeParams{need("n"), need("k"), need("d"), need("p")};
+  m.file_bytes = need("file_bytes");
+  m.block_bytes = need("block_bytes");
+  m.stripes = need("stripes");
+  m.checksum = static_cast<std::uint32_t>(need("crc32"));
+  return m;
+}
+
+void encode_file(const fs::path& input, const fs::path& dir,
+                 codes::CodeParams params, std::size_t block_bytes) {
+  params.validate();
+  codes::Carousel code(params.n, params.k, params.d, params.p);
+  if (block_bytes == 0) block_bytes = code.s();
+  block_bytes = (block_bytes + code.s() - 1) / code.s() * code.s();
+
+  auto file = read_binary(input);
+  storage::ErasureFile ef(code, file, block_bytes);
+
+  fs::create_directories(dir);
+  Manifest m;
+  m.params = params;
+  m.file_bytes = file.size();
+  m.block_bytes = block_bytes;
+  m.stripes = ef.stripes();
+  m.checksum = crc32(file.data(), file.size());
+  write_binary(dir / "MANIFEST",
+               std::span<const Byte>(
+                   reinterpret_cast<const Byte*>(m.serialize().data()),
+                   m.serialize().size()));
+
+  std::vector<Byte> per_block(m.block_bytes * m.stripes);
+  for (std::size_t i = 0; i < params.n; ++i) {
+    for (std::size_t s = 0; s < ef.stripes(); ++s) {
+      auto b = ef.block(s, i);
+      std::copy(b.begin(), b.end(),
+                per_block.begin() +
+                    static_cast<std::ptrdiff_t>(s * m.block_bytes));
+    }
+    write_binary(dir / block_name(i), per_block);
+  }
+}
+
+std::size_t decode_file(const fs::path& dir, const fs::path& output) {
+  Archive a = load_archive(dir);
+  const auto& m = a.manifest;
+  codes::Carousel code(m.params.n, m.params.k, m.params.d, m.params.p);
+
+  const std::size_t stripe_data = m.params.k * m.block_bytes;
+  std::vector<Byte> file(m.stripes * stripe_data);
+  std::size_t used = 0;
+  std::vector<bool> touched(m.params.n, false);
+  for (std::size_t s = 0; s < m.stripes; ++s) {
+    std::vector<std::size_t> ids;
+    std::vector<std::span<const Byte>> views;
+    for (std::size_t i = 0; i < m.params.n; ++i) {
+      if (a.blocks[i].empty()) continue;
+      ids.push_back(i);
+      views.emplace_back(a.blocks[i].data() + s * m.block_bytes,
+                         m.block_bytes);
+      touched[i] = true;
+    }
+    if (ids.size() < m.params.k)
+      throw std::runtime_error("archive unrecoverable: fewer than k blocks");
+    code.decode_from_available(
+        ids, views,
+        std::span<Byte>(file.data() + s * stripe_data, stripe_data));
+  }
+  file.resize(m.file_bytes);
+  if (crc32(file.data(), file.size()) != m.checksum)
+    throw std::runtime_error("decoded data fails the manifest checksum");
+  write_binary(output, file);
+  for (bool t : touched) used += t;
+  return used;
+}
+
+std::uint64_t repair_block_file(const fs::path& dir, std::size_t index) {
+  Archive a = load_archive(dir);
+  const auto& m = a.manifest;
+  if (index >= m.params.n) throw std::invalid_argument("block out of range");
+  codes::Carousel code(m.params.n, m.params.k, m.params.d, m.params.p);
+  const std::size_t ub = m.block_bytes / code.s();
+
+  std::vector<std::size_t> survivors;
+  for (std::size_t i = 0; i < m.params.n; ++i)
+    if (i != index && !a.blocks[i].empty()) survivors.push_back(i);
+
+  std::vector<Byte> rebuilt(m.block_bytes * m.stripes);
+  std::uint64_t traffic = 0;
+  for (std::size_t s = 0; s < m.stripes; ++s) {
+    std::span<Byte> out(rebuilt.data() + s * m.block_bytes, m.block_bytes);
+    if (survivors.size() >= code.d()) {
+      std::vector<std::size_t> helpers(survivors.begin(),
+                                       survivors.begin() + code.d());
+      std::vector<std::vector<Byte>> chunk_store;
+      std::vector<std::span<const Byte>> chunks;
+      for (std::size_t h : helpers) {
+        chunk_store.emplace_back(code.helper_chunk_units() * ub);
+        code.helper_compute(
+            h, index,
+            std::span<const Byte>(a.blocks[h].data() + s * m.block_bytes,
+                                  m.block_bytes),
+            chunk_store.back());
+      }
+      for (auto& c : chunk_store) chunks.emplace_back(c);
+      traffic += code.newcomer_compute(index, helpers, chunks, out).bytes_read;
+    } else if (survivors.size() >= code.k()) {
+      std::vector<codes::UnitRef> sources;
+      for (std::size_t j = 0; j < code.k(); ++j) {
+        std::size_t h = survivors[j];
+        for (std::size_t t = 0; t < code.s(); ++t)
+          sources.push_back(
+              {h, t, a.blocks[h].data() + s * m.block_bytes + t * ub});
+      }
+      traffic += code.project_units(sources, ub, index, out).bytes_read;
+    } else {
+      throw std::runtime_error("archive unrecoverable: fewer than k blocks");
+    }
+  }
+  write_binary(dir / block_name(index), rebuilt);
+  return traffic;
+}
+
+std::string describe(const fs::path& dir) {
+  Archive a = load_archive(dir);
+  const auto& m = a.manifest;
+  codes::Carousel code(m.params.n, m.params.k, m.params.d, m.params.p);
+  std::ostringstream out;
+  out << "Carousel archive " << m.params.to_string() << "\n";
+  out << "  file bytes:   " << m.file_bytes << " (crc32 " << m.checksum
+      << ")\n";
+  out << "  stripes:      " << m.stripes << " x " << m.params.n
+      << " blocks of " << m.block_bytes << " bytes\n";
+  out << "  parallelism:  " << m.params.p << " blocks carry original data ("
+      << code.data_units_per_block() << "/" << code.s() << " of each)\n";
+  out << "  repair:       " << m.params.d << " helpers, "
+      << m.params.repair_traffic_blocks() << " block sizes of traffic\n";
+  out << "  blocks:      ";
+  for (std::size_t i = 0; i < m.params.n; ++i)
+    out << ' ' << (a.blocks[i].empty() ? '-' : 'o');
+  out << "  (" << a.present << "/" << m.params.n << " present)\n";
+  return out.str();
+}
+
+int run(const std::vector<std::string>& args) {
+  auto usage = [] {
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  carouselctl encode <input> <dir> [n k d p] [block_bytes]\n"
+        "  carouselctl decode <dir> <output>\n"
+        "  carouselctl repair <dir> <block-index>\n"
+        "  carouselctl info   <dir>\n");
+    return 2;
+  };
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "encode") {
+      if (args.size() != 3 && args.size() != 7 && args.size() != 8)
+        return usage();
+      codes::CodeParams params{12, 6, 10, 12};
+      std::size_t block_bytes = 1 << 20;
+      if (args.size() >= 7)
+        params = codes::CodeParams{std::stoul(args[3]), std::stoul(args[4]),
+                                   std::stoul(args[5]), std::stoul(args[6])};
+      if (args.size() == 8) block_bytes = std::stoul(args[7]);
+      encode_file(args[1], args[2], params, block_bytes);
+      std::printf("encoded %s into %s with %s\n", args[1].c_str(),
+                  args[2].c_str(), params.to_string().c_str());
+      return 0;
+    }
+    if (cmd == "decode") {
+      if (args.size() != 3) return usage();
+      std::size_t used = decode_file(args[1], args[2]);
+      std::printf("decoded %s from %zu block files (checksum OK)\n",
+                  args[2].c_str(), used);
+      return 0;
+    }
+    if (cmd == "repair") {
+      if (args.size() != 3) return usage();
+      auto traffic = repair_block_file(args[1], std::stoul(args[2]));
+      std::printf("rebuilt block %s (read %llu bytes from survivors)\n",
+                  args[2].c_str(), static_cast<unsigned long long>(traffic));
+      return 0;
+    }
+    if (cmd == "info") {
+      if (args.size() != 2) return usage();
+      std::fputs(describe(args[1]).c_str(), stdout);
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace carousel::cli

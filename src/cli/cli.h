@@ -1,0 +1,62 @@
+// Command-line tool logic: encode files on disk into per-block files,
+// decode them back (tolerating missing blocks), repair lost block files and
+// inspect archives.  The `carouselctl` binary in tools/ is a thin wrapper;
+// keeping the logic here makes it unit-testable.
+//
+// Archive layout under <dir>:
+//   MANIFEST            key=value text: code parameters, sizes, checksums
+//   block_<i>.bin       block i of every stripe, concatenated
+
+#ifndef CAROUSEL_CLI_CLI_H
+#define CAROUSEL_CLI_CLI_H
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "codes/params.h"
+
+namespace carousel::cli {
+
+struct Manifest {
+  codes::CodeParams params;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t block_bytes = 0;   // per stripe
+  std::uint64_t stripes = 0;
+  std::uint32_t checksum = 0;      // CRC-32 of the original file
+
+  std::string serialize() const;
+  static Manifest parse(const std::string& text);
+};
+
+/// CRC-32 (IEEE) used for end-to-end integrity of the archive.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/// Encodes `input` into `dir` with an (n,k,d,p) Carousel code; block_bytes
+/// is rounded up to a multiple of the code's subpacketization.
+void encode_file(const std::filesystem::path& input,
+                 const std::filesystem::path& dir, codes::CodeParams params,
+                 std::size_t block_bytes);
+
+/// Decodes the archive in `dir` into `output`.  Missing/corrupt block files
+/// are tolerated up to the code's limits; the CRC is verified.
+/// Returns the number of block files that were used.
+std::size_t decode_file(const std::filesystem::path& dir,
+                        const std::filesystem::path& output);
+
+/// Rebuilds block file `index` in-place from the surviving blocks, at
+/// MSR-optimal traffic when >= d survive.  Returns repair traffic in bytes.
+std::uint64_t repair_block_file(const std::filesystem::path& dir,
+                                std::size_t index);
+
+/// Human-readable archive summary (for `carouselctl info`).
+std::string describe(const std::filesystem::path& dir);
+
+/// Entry point used by the binary: returns the process exit code.
+int run(const std::vector<std::string>& args);
+
+}  // namespace carousel::cli
+
+#endif  // CAROUSEL_CLI_CLI_H

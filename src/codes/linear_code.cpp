@@ -1,0 +1,351 @@
+#include "codes/linear_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "gf/vect.h"
+#include "matrix/echelon.h"
+
+namespace carousel::codes {
+
+LinearCode::LinearCode(CodeParams params, std::size_t s, Matrix generator)
+    : params_(params), s_(s), g_(std::move(generator)) {
+  params_.validate();
+  if (g_.rows() != params_.n * s_ || g_.cols() != params_.k * s_)
+    throw std::invalid_argument("generator shape does not match (n*s, k*s)");
+  support_.reserve(g_.rows());
+  identity_col_.reserve(g_.rows());
+  for (std::size_t r = 0; r < g_.rows(); ++r) {
+    support_.push_back(g_.row_support(r));
+    bool unit = support_.back().size() == 1 &&
+                g_.at(r, support_.back().front()) == 1;
+    identity_col_.push_back(unit ? static_cast<std::ptrdiff_t>(
+                                       support_.back().front())
+                                 : -1);
+  }
+}
+
+void LinearCode::encode(std::span<const Byte> data,
+                        std::span<const std::span<Byte>> blocks) const {
+  if (blocks.size() != n()) throw std::invalid_argument("need n output blocks");
+  if (data.size() % message_units() != 0)
+    throw std::invalid_argument("data size must be a multiple of k*s");
+  const std::size_t ub = data.size() / message_units();
+  const std::size_t block_bytes = s_ * ub;
+  for (std::size_t i = 0; i < n(); ++i) {
+    if (blocks[i].size() != block_bytes)
+      throw std::invalid_argument("block buffer has wrong size");
+    encode_block(i, data, blocks[i]);
+  }
+}
+
+void LinearCode::encode_block(std::size_t id, std::span<const Byte> data,
+                              std::span<Byte> out) const {
+  const std::size_t ub = data.size() / message_units();
+  assert(out.size() == s_ * ub);
+  for (std::size_t t = 0; t < s_; ++t) {
+    const std::size_t r = id * s_ + t;
+    Byte* dst = out.data() + t * ub;
+    if (identity_col_[r] >= 0) {
+      std::memcpy(dst, data.data() + static_cast<std::size_t>(identity_col_[r]) * ub,
+                  ub);
+      continue;
+    }
+    gf::zero_region(dst, ub);
+    for (std::size_t c : support_[r])
+      gf::mul_add_region(g_.at(r, c), data.data() + c * ub, dst, ub);
+  }
+}
+
+void LinearCode::encode_block_dense(std::size_t id,
+                                    std::span<const Byte> data,
+                                    std::span<Byte> out) const {
+  const std::size_t ub = data.size() / message_units();
+  assert(out.size() == s_ * ub);
+  // Zero coefficients still pay a full region pass (into a scratch buffer,
+  // to keep the output identical) — the same kernels as the sparse path, so
+  // the comparison isolates exactly the zero-skip optimisation.
+  std::vector<Byte> scratch(ub);
+  for (std::size_t t = 0; t < s_; ++t) {
+    const std::size_t r = id * s_ + t;
+    Byte* dst = out.data() + t * ub;
+    gf::zero_region(dst, ub);
+    for (std::size_t c = 0; c < g_.cols(); ++c) {
+      const Byte coeff = g_.at(r, c);
+      const Byte* src = data.data() + c * ub;
+      if (coeff != 0)
+        gf::mul_add_region(coeff, src, dst, ub);
+      else
+        gf::mul_add_region(1, src, scratch.data(), ub);
+    }
+  }
+}
+
+IoStats LinearCode::decode(std::span<const std::size_t> ids,
+                           std::span<const std::span<const Byte>> blocks,
+                           std::span<Byte> data_out) const {
+  if (ids.size() != k() || blocks.size() != k())
+    throw std::invalid_argument("decode needs exactly k blocks");
+  const std::size_t block_bytes = blocks.front().size();
+  if (block_bytes % s_ != 0)
+    throw std::invalid_argument("block size must be a multiple of s");
+  const std::size_t ub = block_bytes / s_;
+  std::vector<UnitRef> units;
+  units.reserve(k() * s_);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (blocks[i].size() != block_bytes)
+      throw std::invalid_argument("blocks must share one size");
+    for (std::size_t t = 0; t < s_; ++t)
+      units.push_back({ids[i], t, blocks[i].data() + t * ub});
+  }
+  return decode_units(units, ub, data_out);
+}
+
+IoStats LinearCode::decode_units(std::span<const UnitRef> units,
+                                 std::size_t unit_bytes,
+                                 std::span<Byte> data_out) const {
+  const std::size_t m = message_units();
+  if (units.size() != m)
+    throw std::invalid_argument("decode_units needs exactly k*s units");
+  if (data_out.size() != m * unit_bytes)
+    throw std::invalid_argument("output buffer has wrong size");
+
+  // Systematic fast path bookkeeping: units that are verbatim message units
+  // are copied; only the rest participate in region arithmetic.
+  std::vector<bool> have(m, false);
+  Matrix a(m, m);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const auto& u = units[i];
+    if (u.block >= n() || u.pos >= s_)
+      throw std::invalid_argument("unit reference out of range");
+    auto row = unit_row(u.block, u.pos);
+    std::copy(row.begin(), row.end(), a.row(i).begin());
+  }
+  auto inv = a.inverse();
+  if (!inv)
+    throw std::runtime_error(
+        "decode_units: selected units are not jointly decodable (singular "
+        "system)");
+
+  IoStats stats;
+  stats.bytes_read = units.size() * unit_bytes;
+  {
+    std::vector<bool> seen(n(), false);
+    for (const auto& u : units)
+      if (!seen[u.block]) {
+        seen[u.block] = true;
+        ++stats.sources;
+      }
+  }
+
+  // First copy verbatim message units (identity generator rows), then solve
+  // the rest through the inverse, skipping already-copied outputs.
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const auto& u = units[i];
+    std::ptrdiff_t col = identity_col_[u.block * s_ + u.pos];
+    if (col < 0) continue;
+    std::memcpy(data_out.data() + static_cast<std::size_t>(col) * unit_bytes,
+                u.bytes, unit_bytes);
+    have[static_cast<std::size_t>(col)] = true;
+  }
+  for (std::size_t msg = 0; msg < m; ++msg) {
+    if (have[msg]) continue;
+    Byte* dst = data_out.data() + msg * unit_bytes;
+    gf::zero_region(dst, unit_bytes);
+    for (std::size_t i = 0; i < m; ++i) {
+      Byte c = inv->at(msg, i);
+      if (c != 0) gf::mul_add_region(c, units[i].bytes, dst, unit_bytes);
+    }
+  }
+  return stats;
+}
+
+IoStats LinearCode::decode_from_available(
+    std::span<const std::size_t> ids,
+    std::span<const std::span<const Byte>> blocks,
+    std::span<Byte> data_out) const {
+  if (ids.size() != blocks.size() || ids.size() < k())
+    throw std::invalid_argument(
+        "decode_from_available needs at least k blocks");
+  const std::size_t block_bytes = blocks.front().size();
+  if (block_bytes % s_ != 0)
+    throw std::invalid_argument("block size must be a multiple of s");
+  const std::size_t ub = block_bytes / s_;
+  const std::size_t m = message_units();
+  if (data_out.size() != m * ub)
+    throw std::invalid_argument("output buffer has wrong size");
+
+  // Pass 1: copy every verbatim message unit and seed the rank basis with
+  // the corresponding identity rows.
+  matrix::EchelonBasis basis(m);
+  std::vector<bool> have(m, false);
+  std::vector<UnitRef> parity_pool;
+  std::vector<bool> seen(n(), false);
+  IoStats stats;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= n() || seen[ids[i]])
+      throw std::invalid_argument("ids must be distinct blocks");
+    seen[ids[i]] = true;
+    if (blocks[i].size() != block_bytes)
+      throw std::invalid_argument("blocks must share one size");
+    for (std::size_t t = 0; t < s_; ++t) {
+      std::ptrdiff_t col = identity_col_[ids[i] * s_ + t];
+      if (col >= 0) {
+        std::memcpy(data_out.data() + static_cast<std::size_t>(col) * ub,
+                    blocks[i].data() + t * ub, ub);
+        if (!have[static_cast<std::size_t>(col)]) {
+          have[static_cast<std::size_t>(col)] = true;
+          basis.try_insert(unit_row(ids[i], t));
+          stats.bytes_read += ub;
+        }
+      } else {
+        parity_pool.push_back({ids[i], t, blocks[i].data() + t * ub});
+      }
+    }
+  }
+
+  // Pass 2: complete the rank with the fewest parity units.
+  std::vector<UnitRef> solver_units;
+  for (const auto& u : parity_pool) {
+    if (basis.full()) break;
+    if (basis.try_insert(unit_row(u.block, u.pos))) {
+      solver_units.push_back(u);
+      stats.bytes_read += ub;
+    }
+  }
+  if (!basis.full())
+    throw std::runtime_error(
+        "decode_from_available: blocks do not span the message space");
+  stats.sources = ids.size();
+
+  if (solver_units.empty()) return stats;  // fully systematic read
+
+  // Solve only for the missing message units, over the reduced system of
+  // known units + selected parity units.
+  const std::size_t unknowns =
+      static_cast<std::size_t>(std::count(have.begin(), have.end(), false));
+  // System: for each selected parity unit, its value minus the contribution
+  // of known message units equals the combination of unknown units.
+  std::vector<std::size_t> unknown_ids;
+  unknown_ids.reserve(unknowns);
+  std::vector<std::size_t> unknown_pos(m, 0);
+  for (std::size_t j = 0; j < m; ++j)
+    if (!have[j]) {
+      unknown_pos[j] = unknown_ids.size();
+      unknown_ids.push_back(j);
+    }
+  if (solver_units.size() != unknowns)
+    throw std::logic_error("rank completion does not match unknown count");
+
+  Matrix a(unknowns, unknowns);
+  for (std::size_t r = 0; r < solver_units.size(); ++r) {
+    auto row = unit_row(solver_units[r].block, solver_units[r].pos);
+    for (std::size_t j = 0; j < m; ++j)
+      if (!have[j]) a.at(r, unknown_pos[j]) = row[j];
+  }
+  auto inv = a.inverse();
+  if (!inv)
+    throw std::logic_error(
+        "decode_from_available: reduced system singular after rank check");
+
+  // rhs_r = parity_value_r - sum over known units of coeff * value.
+  std::vector<Byte> rhs(unknowns * ub);
+  for (std::size_t r = 0; r < solver_units.size(); ++r) {
+    Byte* dst = rhs.data() + r * ub;
+    std::memcpy(dst, solver_units[r].bytes, ub);
+    const std::size_t row_index =
+        solver_units[r].block * s_ + solver_units[r].pos;
+    for (std::size_t j : support_[row_index])
+      if (have[j])
+        gf::mul_add_region(g_.at(row_index, j), data_out.data() + j * ub, dst,
+                           ub);
+  }
+  for (std::size_t u = 0; u < unknowns; ++u) {
+    Byte* dst = data_out.data() + unknown_ids[u] * ub;
+    gf::zero_region(dst, ub);
+    for (std::size_t r = 0; r < unknowns; ++r) {
+      Byte c = inv->at(u, r);
+      if (c != 0) gf::mul_add_region(c, rhs.data() + r * ub, dst, ub);
+    }
+  }
+  return stats;
+}
+
+IoStats LinearCode::project_units(std::span<const UnitRef> sources,
+                                  std::size_t unit_bytes, std::size_t target,
+                                  std::span<Byte> out) const {
+  const std::size_t m = message_units();
+  if (sources.size() != m)
+    throw std::invalid_argument("project_units needs exactly k*s units");
+  if (target >= n()) throw std::invalid_argument("target block out of range");
+  if (out.size() != s_ * unit_bytes)
+    throw std::invalid_argument("output must be one full block");
+
+  Matrix a(m, m);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const auto& u = sources[i];
+    if (u.block >= n() || u.pos >= s_)
+      throw std::invalid_argument("unit reference out of range");
+    if (u.block == target)
+      throw std::invalid_argument("target block cannot be its own source");
+    auto row = unit_row(u.block, u.pos);
+    std::copy(row.begin(), row.end(), a.row(i).begin());
+  }
+  auto inv = a.inverse();
+  if (!inv)
+    throw std::runtime_error(
+        "project_units: source units are not jointly decodable");
+
+  IoStats stats;
+  stats.bytes_read = sources.size() * unit_bytes;
+  {
+    std::vector<bool> seen(n(), false);
+    for (const auto& u : sources)
+      if (!seen[u.block]) {
+        seen[u.block] = true;
+        ++stats.sources;
+      }
+  }
+  // Combination row for target unit t: G_row(target, t) * inv.  The
+  // generator row is sparse (<= k*alpha nonzeros), so each combination costs
+  // one sparse vector-matrix product on small matrices plus the region work.
+  for (std::size_t t = 0; t < s_; ++t) {
+    const std::size_t r = target * s_ + t;
+    std::vector<Byte> comb(m, 0);
+    for (std::size_t c : support_[r]) {
+      Byte g = g_.at(r, c);
+      for (std::size_t j = 0; j < m; ++j)
+        comb[j] ^= gf::mul(g, inv->at(c, j));
+    }
+    Byte* dst = out.data() + t * unit_bytes;
+    gf::zero_region(dst, unit_bytes);
+    for (std::size_t j = 0; j < m; ++j)
+      if (comb[j] != 0)
+        gf::mul_add_region(comb[j], sources[j].bytes, dst, unit_bytes);
+  }
+  return stats;
+}
+
+std::vector<LinearCode::UnitDependency> LinearCode::dependents_of(
+    std::size_t message_unit) const {
+  if (message_unit >= message_units())
+    throw std::invalid_argument("message unit out of range");
+  std::vector<UnitDependency> out;
+  for (std::size_t r = 0; r < g_.rows(); ++r) {
+    Byte c = g_.at(r, message_unit);
+    if (c != 0) out.push_back({r / s_, r % s_, c});
+  }
+  return out;
+}
+
+bool LinearCode::unit_is_systematic(std::size_t block, std::size_t pos,
+                                    std::size_t* message_unit) const {
+  std::ptrdiff_t col = identity_col_[block * s_ + pos];
+  if (col < 0) return false;
+  if (message_unit) *message_unit = static_cast<std::size_t>(col);
+  return true;
+}
+
+}  // namespace carousel::codes

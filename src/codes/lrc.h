@@ -1,0 +1,62 @@
+// Local Reconstruction Codes (Azure-style LRC), the locally-repairable
+// baseline from the paper's related work (§III: "locally repairable codes or
+// its variants have been deployed in [3], [6], [17], [18]").
+//
+// An LRC(k, l, g) stores k data blocks in l local groups, each protected by
+// one XOR local parity, plus g global parities over all data blocks
+// (extended-Cauchy rows here).  n = k + l + g.
+//
+// Trade-off captured by bench_lrc_comparison: repairing a data block reads
+// only its group (k/l blocks instead of RS's k), but the code is NOT MDS —
+// storage overhead is higher than an (n, k) MDS code of equal tolerance, and
+// some failure patterns of size <= n-k are unrecoverable.  Carousel/MSR keep
+// the MDS property and the optimal repair *traffic*; LRC minimises repair
+// *fan-in*.  (Single-failure repair locality is what production systems buy
+// it for.)
+
+#ifndef CAROUSEL_CODES_LRC_H
+#define CAROUSEL_CODES_LRC_H
+
+#include <vector>
+
+#include "codes/linear_code.h"
+
+namespace carousel::codes {
+
+class LocalReconstructionCode : public LinearCode {
+ public:
+  /// k data blocks, `groups` local groups (k divisible by groups), `global`
+  /// global parities.
+  LocalReconstructionCode(std::size_t k, std::size_t groups,
+                          std::size_t global);
+
+  std::size_t groups() const { return groups_; }
+  std::size_t group_size() const { return params().k / groups_; }
+  std::size_t global_parities() const {
+    return n() - params().k - groups_;
+  }
+
+  /// Local group of a block, or SIZE_MAX for global parities.
+  std::size_t group_of(std::size_t block) const;
+
+  /// Block ids needed to repair `failed` with the cheapest strategy:
+  /// the rest of its local group (data or local parity), or all k data
+  /// blocks for a global parity.
+  std::vector<std::size_t> repair_set(std::size_t failed) const;
+
+  /// Repairs `failed` from exactly the blocks named by repair_set().
+  IoStats reconstruct(std::size_t failed, std::span<const std::size_t> ids,
+                      std::span<const std::span<const Byte>> blocks,
+                      std::span<Byte> out) const;
+
+  /// True when the given availability pattern can still decode all data
+  /// (rank test over the generator rows of the available blocks).
+  bool recoverable(const std::vector<bool>& available) const;
+
+ private:
+  std::size_t groups_;
+};
+
+}  // namespace carousel::codes
+
+#endif  // CAROUSEL_CODES_LRC_H

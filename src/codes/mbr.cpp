@@ -1,0 +1,171 @@
+#include "codes/mbr.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "gf/vect.h"
+#include "matrix/echelon.h"
+
+namespace carousel::codes {
+
+namespace {
+
+// Packed index of symmetric S entry (i, j), i <= j < k.
+std::size_t s_index(std::size_t i, std::size_t j, std::size_t k) {
+  assert(i <= j && j < k);
+  return i * k - i * (i - 1) / 2 + (j - i);
+}
+
+}  // namespace
+
+ProductMatrixMBR::ProductMatrixMBR(std::size_t n, std::size_t k,
+                                   std::size_t d)
+    : n_(n), k_(k), d_(d), b_(k * d - k * (k - 1) / 2) {
+  if (k < 2 || k > d || d >= n || n > 128)
+    throw std::invalid_argument("MBR needs 2 <= k <= d < n <= 128");
+  std::vector<Byte> xs(n);
+  for (std::size_t i = 0; i < n; ++i) xs[i] = static_cast<Byte>(i + 1);
+  psi_ = matrix::vandermonde(xs, d);
+
+  // Message-variable column of M[r][c] (SIZE_MAX for the zero quadrant).
+  const std::size_t s_vars = k * (k + 1) / 2;
+  auto var_of = [&](std::size_t r, std::size_t c) -> std::size_t {
+    if (r < k && c < k) return s_index(std::min(r, c), std::max(r, c), k);
+    if (r < k && c >= k) return s_vars + r * (d - k) + (c - k);
+    if (r >= k && c < k) return s_vars + c * (d - k) + (r - k);
+    return static_cast<std::size_t>(-1);
+  };
+
+  gen_ = matrix::Matrix(n * d, b_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t a = 0; a < d; ++a)
+      for (std::size_t r = 0; r < d; ++r) {
+        std::size_t v = var_of(r, a);
+        if (v == static_cast<std::size_t>(-1)) continue;
+        gen_.at(i * d + a, v) ^= psi_.at(i, r);
+      }
+  row_support_.reserve(gen_.rows());
+  for (std::size_t r = 0; r < gen_.rows(); ++r)
+    row_support_.push_back(gen_.row_support(r));
+}
+
+void ProductMatrixMBR::encode(std::span<const Byte> data,
+                              std::span<const std::span<Byte>> blocks) const {
+  if (data.size() % b_ != 0)
+    throw std::invalid_argument("data size must be a multiple of B units");
+  if (blocks.size() != n_) throw std::invalid_argument("need n output blocks");
+  const std::size_t ub = data.size() / b_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (blocks[i].size() != alpha() * ub)
+      throw std::invalid_argument("block buffer has wrong size");
+    for (std::size_t a = 0; a < alpha(); ++a) {
+      const std::size_t r = i * alpha() + a;
+      Byte* dst = blocks[i].data() + a * ub;
+      gf::zero_region(dst, ub);
+      for (std::size_t c : row_support_[r])
+        gf::mul_add_region(gen_.at(r, c), data.data() + c * ub, dst, ub);
+    }
+  }
+}
+
+IoStats ProductMatrixMBR::decode(std::span<const std::size_t> ids,
+                                 std::span<const std::span<const Byte>> blocks,
+                                 std::span<Byte> data_out) const {
+  if (ids.size() != k_ || blocks.size() != k_)
+    throw std::invalid_argument("MBR decode needs exactly k blocks");
+  const std::size_t block_bytes = blocks.front().size();
+  if (block_bytes % alpha() != 0)
+    throw std::invalid_argument("block size must be a multiple of alpha");
+  const std::size_t ub = block_bytes / alpha();
+  if (data_out.size() != b_ * ub)
+    throw std::invalid_argument("output buffer has wrong size");
+
+  // k*alpha available units over-determine the B message units: keep a
+  // maximal independent subset, then invert the square system.
+  matrix::EchelonBasis basis(b_);
+  matrix::Matrix a(b_, b_);
+  std::vector<const Byte*> chosen;
+  IoStats stats;
+  std::vector<bool> seen(n_, false);
+  for (std::size_t i = 0; i < ids.size() && chosen.size() < b_; ++i) {
+    if (ids[i] >= n_ || seen[ids[i]])
+      throw std::invalid_argument("ids must be distinct blocks");
+    seen[ids[i]] = true;
+    if (blocks[i].size() != block_bytes)
+      throw std::invalid_argument("blocks must share one size");
+    for (std::size_t t = 0; t < alpha() && chosen.size() < b_; ++t) {
+      auto row = gen_.row(ids[i] * alpha() + t);
+      if (!basis.try_insert(row)) continue;
+      std::copy(row.begin(), row.end(), a.row(chosen.size()).begin());
+      chosen.push_back(blocks[i].data() + t * ub);
+      stats.bytes_read += ub;
+    }
+  }
+  if (chosen.size() < b_)
+    throw std::runtime_error("MBR decode: blocks do not span the message");
+  stats.sources = k_;
+  auto inv = a.inverse();
+  if (!inv) throw std::logic_error("MBR decode: chosen rows singular");
+  for (std::size_t m = 0; m < b_; ++m) {
+    Byte* dst = data_out.data() + m * ub;
+    gf::zero_region(dst, ub);
+    for (std::size_t j = 0; j < b_; ++j) {
+      Byte c = inv->at(m, j);
+      if (c != 0) gf::mul_add_region(c, chosen[j], dst, ub);
+    }
+  }
+  return stats;
+}
+
+void ProductMatrixMBR::helper_compute(std::size_t helper, std::size_t failed,
+                                      std::span<const Byte> block,
+                                      std::span<Byte> chunk_out) const {
+  if (helper >= n_ || failed >= n_ || helper == failed)
+    throw std::invalid_argument("invalid helper/failed pair");
+  if (block.size() % alpha() != 0)
+    throw std::invalid_argument("block size must be a multiple of alpha");
+  const std::size_t ub = block.size() / alpha();
+  if (chunk_out.size() != ub)
+    throw std::invalid_argument("chunk buffer must hold one unit");
+  gf::zero_region(chunk_out.data(), ub);
+  for (std::size_t a = 0; a < alpha(); ++a)
+    gf::mul_add_region(psi_.at(failed, a), block.data() + a * ub,
+                       chunk_out.data(), ub);
+}
+
+IoStats ProductMatrixMBR::newcomer_compute(
+    std::size_t failed, std::span<const std::size_t> helpers,
+    std::span<const std::span<const Byte>> chunks, std::span<Byte> out) const {
+  if (helpers.size() != d_ || chunks.size() != d_)
+    throw std::invalid_argument("MBR repair needs exactly d helpers");
+  const std::size_t ub = chunks.front().size();
+  if (out.size() != alpha() * ub)
+    throw std::invalid_argument("output must be one full block");
+  std::vector<std::size_t> rows;
+  std::vector<bool> seen(n_, false);
+  for (std::size_t h : helpers) {
+    if (h >= n_ || h == failed || seen[h])
+      throw std::invalid_argument("helpers must be distinct survivors");
+    seen[h] = true;
+    rows.push_back(h);
+  }
+  auto inv = psi_.select_rows(rows).inverse();
+  if (!inv) throw std::logic_error("MBR repair system singular");
+  // v = M psi_f; by symmetry of M the failed block IS v transposed.
+  for (std::size_t a = 0; a < alpha(); ++a) {
+    Byte* dst = out.data() + a * ub;
+    gf::zero_region(dst, ub);
+    for (std::size_t j = 0; j < d_; ++j) {
+      if (chunks[j].size() != ub)
+        throw std::invalid_argument("chunks must share one size");
+      Byte c = inv->at(a, j);
+      if (c != 0) gf::mul_add_region(c, chunks[j].data(), dst, ub);
+    }
+  }
+  IoStats stats;
+  stats.bytes_read = d_ * ub;  // exactly one block size: the MBR bound
+  stats.sources = d_;
+  return stats;
+}
+
+}  // namespace carousel::codes

@@ -1,0 +1,74 @@
+// Code parameter sets shared by every erasure code in the library.
+
+#ifndef CAROUSEL_CODES_PARAMS_H
+#define CAROUSEL_CODES_PARAMS_H
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace carousel::codes {
+
+/// Parameters of an (n, k, d, p) code, in the paper's notation:
+///   n — total blocks per stripe,
+///   k — blocks sufficient to decode (MDS),
+///   d — helpers contacted to reconstruct one block (k <= d < n),
+///   p — blocks carrying original data (k <= p <= n); "data parallelism".
+///
+/// Plain systematic codes are the special cases p = k; the paper's RS
+/// evaluation points are (n, k, d=k, p=k), MSR points are (n, k, d, p=k),
+/// and Carousel spans the full space.
+struct CodeParams {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::size_t d = 0;
+  std::size_t p = 0;
+
+  /// Segments per block: alpha = d - k + 1 (paper §IV).
+  std::size_t alpha() const { return d - k + 1; }
+
+  /// True when repair is plain RS repair (download k whole blocks).
+  bool trivial_repair() const { return d == k; }
+
+  /// Optimal repair traffic in units of one block size: d / (d - k + 1).
+  double repair_traffic_blocks() const {
+    return static_cast<double>(d) / static_cast<double>(alpha());
+  }
+
+  /// Validates the common constraints; throws std::invalid_argument with a
+  /// description of the violated constraint.
+  void validate() const {
+    if (k == 0 || k > n) throw std::invalid_argument("need 0 < k <= n");
+    if (n > 128)
+      throw std::invalid_argument("n > 128 exceeds the GF(256) design range");
+    if (d < k || d >= n) throw std::invalid_argument("need k <= d < n");
+    if (p < k || p > n) throw std::invalid_argument("need k <= p <= n");
+    // Product-matrix MSR codes exist for d >= 2k-2 (and d > k so alpha >= 2);
+    // d == k is the RS case.  The window k < d < max(k+1, 2k-2) has no
+    // product-matrix construction — the same restriction as the paper, which
+    // builds on Rashmi et al.'s construction.
+    if (d != k && (d < 2 * k - 2 || d == k))
+      throw std::invalid_argument(
+          "d must be k (RS base) or >= max(k+1, 2k-2) (product-matrix MSR "
+          "base)");
+  }
+
+  std::string to_string() const {
+    return "(" + std::to_string(n) + "," + std::to_string(k) + "," +
+           std::to_string(d) + "," + std::to_string(p) + ")";
+  }
+
+  friend bool operator==(const CodeParams&, const CodeParams&) = default;
+};
+
+/// Reduce a/b to lowest terms; returns {numerator, denominator}.
+inline std::pair<std::size_t, std::size_t> reduce_fraction(std::size_t a,
+                                                           std::size_t b) {
+  std::size_t g = std::gcd(a, b);
+  return {a / g, b / g};
+}
+
+}  // namespace carousel::codes
+
+#endif  // CAROUSEL_CODES_PARAMS_H

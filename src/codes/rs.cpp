@@ -1,0 +1,30 @@
+#include "codes/rs.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace carousel::codes {
+
+ReedSolomon::ReedSolomon(std::size_t n, std::size_t k)
+    : LinearCode(CodeParams{n, k, /*d=*/k, /*p=*/k}, /*s=*/1,
+                 matrix::cauchy_systematic(n, k)) {}
+
+IoStats ReedSolomon::reconstruct(std::size_t failed,
+                                 std::span<const std::size_t> ids,
+                                 std::span<const std::span<const Byte>> blocks,
+                                 std::span<Byte> out) const {
+  if (ids.size() != k())
+    throw std::invalid_argument("RS reconstruction needs k helpers");
+  for (std::size_t id : ids)
+    if (id == failed)
+      throw std::invalid_argument("failed block cannot be its own helper");
+  // Combine the k survivors straight into the lost block (paper eq. (2)):
+  // g_failed * inv(G_survivors) applied to the helper blocks.
+  std::vector<UnitRef> sources;
+  sources.reserve(k());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    sources.push_back({ids[i], 0, blocks[i].data()});
+  return project_units(sources, blocks.front().size(), failed, out);
+}
+
+}  // namespace carousel::codes

@@ -1,0 +1,33 @@
+// Systematic (n, k) Reed-Solomon codes.
+//
+// The baseline MDS code of the paper (§IV): k data blocks stored verbatim
+// plus n-k parity blocks; any k blocks decode.  Reconstruction of one block
+// downloads k whole blocks (d = k), the traffic the paper's Fig. 7 contrasts
+// with MSR/Carousel repair.
+//
+// The generator is the extended-Cauchy systematic matrix, which — unlike the
+// row-reduced Vandermonde some libraries ship — is provably MDS for every
+// k-subset of rows.
+
+#ifndef CAROUSEL_CODES_RS_H
+#define CAROUSEL_CODES_RS_H
+
+#include "codes/linear_code.h"
+
+namespace carousel::codes {
+
+class ReedSolomon : public LinearCode {
+ public:
+  ReedSolomon(std::size_t n, std::size_t k);
+
+  /// Rebuilds block `failed` from k surviving whole blocks (ids/blocks
+  /// parallel arrays, none equal to failed).  Returns the traffic consumed:
+  /// k block-sizes, the RS repair cost the paper improves upon.
+  IoStats reconstruct(std::size_t failed, std::span<const std::size_t> ids,
+                      std::span<const std::span<const Byte>> blocks,
+                      std::span<Byte> out) const;
+};
+
+}  // namespace carousel::codes
+
+#endif  // CAROUSEL_CODES_RS_H

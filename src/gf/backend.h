@@ -1,0 +1,51 @@
+// Kernel backend selection for the GF(2^8) region operations.
+//
+// Three implementations are provided, mirroring ISA-L's dispatch ladder:
+//   kScalar — one full-table lookup per byte (always available),
+//   kAvx2   — nibble-split PSHUFB shuffle kernels, 32 bytes per step
+//             (ISA-L's classic technique),
+//   kGfni   — GF2P8AFFINEQB with a per-coefficient 8x8 bit matrix over
+//             GF(2), 32 bytes per instruction (ISA-L's newest kernels).
+// The fastest supported backend is chosen at startup; tests and the ablation
+// bench override it with set_backend().
+
+#ifndef CAROUSEL_GF_BACKEND_H
+#define CAROUSEL_GF_BACKEND_H
+
+namespace carousel::gf {
+
+enum class Backend { kScalar, kAvx2, kGfni };
+
+/// The fastest backend this CPU supports.
+Backend best_backend();
+
+/// Backend currently used by the region kernels.
+Backend active_backend();
+
+/// Selects a backend; returns false (and keeps the current one) if the CPU
+/// does not support it.  Not thread-safe against concurrent region calls —
+/// intended for startup, tests and benchmarks.
+bool set_backend(Backend b);
+
+/// Human-readable backend name.
+const char* backend_name(Backend b);
+
+/// RAII helper: pins a backend for a scope (tests/benches).
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : prev_(active_backend()) {
+    ok_ = set_backend(b);
+  }
+  ~ScopedBackend() { set_backend(prev_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+  bool ok() const { return ok_; }
+
+ private:
+  Backend prev_;
+  bool ok_;
+};
+
+}  // namespace carousel::gf
+
+#endif  // CAROUSEL_GF_BACKEND_H

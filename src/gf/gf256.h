@@ -1,0 +1,94 @@
+// GF(2^8) finite-field arithmetic.
+//
+// This module is the stand-in for the Intel storage acceleration library
+// (ISA-L) that the paper's prototype uses for its finite-field kernels.  All
+// erasure-code arithmetic in this repository — Reed-Solomon, product-matrix
+// MSR and Carousel codes alike — happens over GF(2^8) with the primitive
+// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same field used by
+// ISA-L and jerasure, so coefficients are interchangeable with those
+// libraries.
+//
+// Scalar operations live here; bulk (region) kernels live in gf/vect.h.
+
+#ifndef CAROUSEL_GF_GF256_H
+#define CAROUSEL_GF_GF256_H
+
+#include <array>
+#include <cstdint>
+
+namespace carousel::gf {
+
+using Byte = std::uint8_t;
+
+/// The primitive polynomial defining the field (degree-8 terms included).
+inline constexpr unsigned kPrimitivePoly = 0x11D;
+
+/// Multiplicative order of the field's unit group.
+inline constexpr unsigned kGroupOrder = 255;
+
+namespace detail {
+
+/// Log/antilog tables, generated once at compile time.
+struct Tables {
+  // exp[i] = g^i for i in [0, 509]; doubled so mul can skip a modulo.
+  std::array<Byte, 2 * kGroupOrder> exp{};
+  // log[b] for b in [1, 255]; log[0] is unused (set to 0).
+  std::array<Byte, 256> log{};
+  // inv[b] for b in [1, 255]; inv[0] is 0 by convention (never valid input).
+  std::array<Byte, 256> inv{};
+
+  constexpr Tables() {
+    unsigned x = 1;
+    for (unsigned i = 0; i < kGroupOrder; ++i) {
+      exp[i] = static_cast<Byte>(x);
+      exp[i + kGroupOrder] = static_cast<Byte>(x);
+      log[x] = static_cast<Byte>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kPrimitivePoly;
+    }
+    for (unsigned b = 1; b < 256; ++b)
+      inv[b] = exp[kGroupOrder - log[b]];
+    inv[0] = 0;
+  }
+};
+
+inline constexpr Tables kTables{};
+
+}  // namespace detail
+
+/// Addition and subtraction coincide in characteristic 2.
+constexpr Byte add(Byte a, Byte b) { return a ^ b; }
+constexpr Byte sub(Byte a, Byte b) { return a ^ b; }
+
+/// Field multiplication.
+constexpr Byte mul(Byte a, Byte b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables
+      .exp[static_cast<unsigned>(detail::kTables.log[a]) + detail::kTables.log[b]];
+}
+
+/// Multiplicative inverse; precondition a != 0 (returns 0 for 0 so callers
+/// that already guarantee the precondition need no branch).
+constexpr Byte inv(Byte a) { return detail::kTables.inv[a]; }
+
+/// Field division a / b; precondition b != 0.
+constexpr Byte div(Byte a, Byte b) { return mul(a, inv(b)); }
+
+/// a raised to a non-negative integer power (exponent taken mod 255 for
+/// nonzero bases).
+constexpr Byte pow(Byte a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  unsigned le = (static_cast<unsigned>(detail::kTables.log[a]) * (e % kGroupOrder)) % kGroupOrder;
+  return detail::kTables.exp[le];
+}
+
+/// Discrete log base the field generator; precondition a != 0.
+constexpr Byte log(Byte a) { return detail::kTables.log[a]; }
+
+/// The generator raised to i (antilog).
+constexpr Byte exp(unsigned i) { return detail::kTables.exp[i % kGroupOrder]; }
+
+}  // namespace carousel::gf
+
+#endif  // CAROUSEL_GF_GF256_H

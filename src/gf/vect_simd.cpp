@@ -1,0 +1,131 @@
+// SIMD region kernels: AVX2 nibble-shuffle and GFNI affine variants.
+//
+// Compiled with per-function target attributes so the binary stays runnable
+// on machines without these ISAs (dispatch happens in vect.cpp; these
+// functions are only called after a cpuid check).
+
+#include "gf/vect_simd_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include <cstring>
+
+#include "gf/gf256.h"
+#include "gf/vect.h"
+
+namespace carousel::gf::internal {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+// Nibble product tables for PSHUFB: lo[i] = c*i, hi[i] = c*(i<<4).
+struct NibbleTables {
+  alignas(16) Byte lo[16];
+  alignas(16) Byte hi[16];
+};
+
+NibbleTables make_nibble_tables(Byte c) {
+  NibbleTables t;
+  const Byte* row = mul_row(c);
+  for (int i = 0; i < 16; ++i) {
+    t.lo[i] = row[i];
+    t.hi[i] = row[i << 4];
+  }
+  return t;
+}
+
+// 8x8 GF(2) bit matrix of "multiply by c" for GF2P8AFFINEQB with the field
+// polynomial 0x11D: qword byte (7-r) holds output-bit row r, whose bit j is
+// bit r of c * x^j.  (Packing verified exhaustively in gf_simd_test.)
+std::uint64_t affine_matrix(Byte c) {
+  std::uint64_t m = 0;
+  for (int r = 0; r < 8; ++r) {
+    Byte row = 0;
+    for (int j = 0; j < 8; ++j)
+      if (mul(c, static_cast<Byte>(1u << j)) & (1u << r))
+        row |= static_cast<Byte>(1u << j);
+    m |= static_cast<std::uint64_t>(row) << (8 * (7 - r));
+  }
+  return m;
+}
+
+}  // namespace
+
+__attribute__((target("avx2")))
+void mul_region_avx2(Byte c, const Byte* src, Byte* dst, std::size_t n,
+                     bool accumulate) {
+  const NibbleTables t = make_nibble_tables(c);
+  const __m256i lo =
+      _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi =
+      _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i lo_prod = _mm256_shuffle_epi8(lo, _mm256_and_si256(x, mask));
+    __m256i hi_prod = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(x, 4), mask));
+    __m256i prod = _mm256_xor_si256(lo_prod, hi_prod);
+    if (accumulate)
+      prod = _mm256_xor_si256(
+          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  const Byte* row = mul_row(c);
+  for (; i < n; ++i)
+    dst[i] = static_cast<Byte>(row[src[i]] ^ (accumulate ? dst[i] : 0));
+}
+
+__attribute__((target("gfni,avx2")))
+void mul_region_gfni(Byte c, const Byte* src, Byte* dst, std::size_t n,
+                     bool accumulate) {
+  const __m256i a =
+      _mm256_set1_epi64x(static_cast<long long>(affine_matrix(c)));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i prod = _mm256_gf2p8affine_epi64_epi8(x, a, 0);
+    if (accumulate)
+      prod = _mm256_xor_si256(
+          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+  }
+  const Byte* row = mul_row(c);
+  for (; i < n; ++i)
+    dst[i] = static_cast<Byte>(row[src[i]] ^ (accumulate ? dst[i] : 0));
+}
+
+__attribute__((target("avx2")))
+void xor_region_avx2(const Byte* src, Byte* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(x, y));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
+bool cpu_has_gfni() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("gfni");
+}
+
+#else  // non-x86: the scalar backend is the only one.
+
+void mul_region_avx2(Byte, const Byte*, Byte*, std::size_t, bool) {}
+void mul_region_gfni(Byte, const Byte*, Byte*, std::size_t, bool) {}
+void xor_region_avx2(const Byte* src, Byte* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+bool cpu_has_avx2() { return false; }
+bool cpu_has_gfni() { return false; }
+
+#endif
+
+}  // namespace carousel::gf::internal

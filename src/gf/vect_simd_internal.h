@@ -1,0 +1,26 @@
+// Internal interface between the dispatching kernels (vect.cpp) and the
+// ISA-specific implementations (vect_simd.cpp).  Not part of the public API.
+
+#ifndef CAROUSEL_GF_VECT_SIMD_INTERNAL_H
+#define CAROUSEL_GF_VECT_SIMD_INTERNAL_H
+
+#include <cstddef>
+
+#include "gf/gf256.h"
+
+namespace carousel::gf::internal {
+
+/// dst = c*src (accumulate=false) or dst ^= c*src (accumulate=true).
+/// Preconditions handled by the dispatcher: c not in {0, 1}, n > 0.
+void mul_region_avx2(Byte c, const Byte* src, Byte* dst, std::size_t n,
+                     bool accumulate);
+void mul_region_gfni(Byte c, const Byte* src, Byte* dst, std::size_t n,
+                     bool accumulate);
+void xor_region_avx2(const Byte* src, Byte* dst, std::size_t n);
+
+bool cpu_has_avx2();
+bool cpu_has_gfni();
+
+}  // namespace carousel::gf::internal
+
+#endif  // CAROUSEL_GF_VECT_SIMD_INTERNAL_H

@@ -1,0 +1,253 @@
+#include "hdfs/dfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace carousel::hdfs {
+
+DfsFile DfsFile::coded(const Cluster& cluster, CodeParams params,
+                       double file_bytes, double block_bytes,
+                       std::size_t placement_offset) {
+  params.validate();
+  if (params.n > cluster.nodes())
+    throw std::invalid_argument(
+        "need at least n nodes to place one block per server");
+  DfsFile f;
+  f.params_ = params;
+  f.file_bytes_ = file_bytes;
+  f.block_bytes_ = block_bytes;
+  const double stripe_data = block_bytes * static_cast<double>(params.k);
+  f.stripes_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(file_bytes / stripe_data)));
+  const double extent =
+      block_bytes * static_cast<double>(params.k) / static_cast<double>(params.p);
+  for (std::size_t s = 0; s < f.stripes_; ++s) {
+    const double this_stripe_data =
+        std::min(stripe_data, file_bytes - static_cast<double>(s) * stripe_data);
+    for (std::size_t i = 0; i < params.n; ++i) {
+      StoredBlock b;
+      // Staggered placement: consecutive stripes start at shifted offsets so
+      // no node pair is a hotspot across stripes (HDFS randomises placement;
+      // a fixed stagger keeps the model deterministic).
+      b.node = (placement_offset + s * (params.n + 1) + i) % cluster.nodes();
+      b.stripe = s;
+      b.index = i;
+      b.bytes = block_bytes;
+      if (i < params.p) {
+        const double off = static_cast<double>(i) * extent;
+        b.data_bytes = std::clamp(this_stripe_data - off, 0.0, extent);
+      }
+      f.blocks_.push_back(b);
+    }
+  }
+  return f;
+}
+
+DfsFile DfsFile::replicated(const Cluster& cluster, double file_bytes,
+                            double block_bytes, std::size_t replicas) {
+  if (replicas == 0 || replicas > cluster.nodes())
+    throw std::invalid_argument("need 1 <= replicas <= nodes");
+  DfsFile f;
+  f.replicas_ = replicas;
+  f.file_bytes_ = file_bytes;
+  f.block_bytes_ = block_bytes;
+  const std::size_t logical = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(file_bytes / block_bytes)));
+  f.stripes_ = logical;
+  for (std::size_t b = 0; b < logical; ++b) {
+    const double bytes = std::min(
+        block_bytes, file_bytes - static_cast<double>(b) * block_bytes);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      StoredBlock blk;
+      blk.node = (b * replicas + r) % cluster.nodes();
+      blk.stripe = b;
+      blk.index = r;
+      blk.bytes = bytes;
+      blk.data_bytes = bytes;
+      f.blocks_.push_back(blk);
+    }
+  }
+  return f;
+}
+
+double DfsFile::stored_bytes() const {
+  double total = 0;
+  for (const auto& b : blocks_) total += b.bytes;
+  return total;
+}
+
+void DfsFile::fail_node(std::size_t node) {
+  for (auto& b : blocks_)
+    if (b.node == node) b.available = false;
+}
+
+void DfsFile::fail_rack(const Cluster& cluster, std::size_t rack) {
+  for (auto& b : blocks_)
+    if (cluster.rack_of(b.node) == rack) b.available = false;
+}
+
+std::size_t DfsFile::max_blocks_per_rack(const Cluster& cluster) const {
+  std::size_t worst = 0;
+  for (std::size_t s = 0; s < stripes_; ++s) {
+    std::vector<std::size_t> per_rack(cluster.racks(), 0);
+    for (const auto& b : blocks_)
+      if (b.stripe == s) worst = std::max(worst, ++per_rack[cluster.rack_of(b.node)]);
+  }
+  return worst;
+}
+
+void DfsFile::fail_block_index(std::size_t index) {
+  for (auto& b : blocks_)
+    if (b.index == index) b.available = false;
+}
+
+namespace {
+
+struct Fetch {
+  std::size_t node;
+  double bytes;
+};
+
+/// Runs the fetches one after another (the `fs -get` pattern); returns the
+/// elapsed simulated time.
+Time run_sequential(Cluster& cluster, const std::vector<Fetch>& fetches) {
+  auto& sim = cluster.simulation();
+  const Time t0 = sim.now();
+  // Chain via a shared cursor advanced by each completion callback.
+  auto cursor = std::make_shared<std::size_t>(0);
+  std::function<void()> start_next = [&cluster, &fetches, cursor,
+                                      &start_next]() {
+    if (*cursor >= fetches.size()) return;
+    const Fetch f = fetches[(*cursor)++];
+    cluster.net().start_flow(
+        f.bytes,
+        {cluster.disk(f.node), cluster.egress(f.node),
+         cluster.client_ingress()},
+        [&start_next](Time) { start_next(); });
+  };
+  start_next();
+  sim.run();
+  return sim.now() - t0;
+}
+
+/// Starts every fetch at once; returns the elapsed time until the last one
+/// completes.
+Time run_parallel(Cluster& cluster, const std::vector<Fetch>& fetches) {
+  auto& sim = cluster.simulation();
+  const Time t0 = sim.now();
+  for (const auto& f : fetches)
+    cluster.net().start_flow(f.bytes,
+                             {cluster.disk(f.node), cluster.egress(f.node),
+                              cluster.client_ingress()},
+                             [](Time) {});
+  sim.run();
+  return sim.now() - t0;
+}
+
+}  // namespace
+
+ReadResult sequential_get(Cluster& cluster, const DfsFile& file) {
+  std::vector<Fetch> fetches;
+  for (std::size_t s = 0; s < file.stripes(); ++s) {
+    const StoredBlock* pick = nullptr;
+    for (const auto& b : file.blocks()) {
+      if (b.stripe != s || !b.available) continue;
+      if (file.is_coded() && b.data_bytes <= 0) continue;
+      if (!pick) pick = &b;
+    }
+    if (!pick)
+      throw std::runtime_error("sequential_get: no available replica for a "
+                               "block");
+    // Coded files: fs -get style access walks the data-carrying blocks of
+    // the stripe one by one.
+    if (file.is_coded()) {
+      for (const auto& b : file.blocks())
+        if (b.stripe == s && b.available && b.data_bytes > 0)
+          fetches.push_back({b.node, b.data_bytes});
+    } else {
+      fetches.push_back({pick->node, pick->bytes});
+    }
+  }
+  ReadResult r;
+  r.seconds = run_sequential(cluster, fetches);
+  for (const auto& f : fetches) r.bytes_transferred += f.bytes;
+  return r;
+}
+
+ReadResult parallel_read(Cluster& cluster, const DfsFile& file,
+                         double decode_bps) {
+  if (!file.is_coded())
+    throw std::invalid_argument("parallel_read expects an erasure-coded file");
+  const auto& params = file.params();
+  std::vector<Fetch> fetches;
+  double decoded = 0;
+  const double share =
+      file.block_bytes() * static_cast<double>(params.k) /
+      static_cast<double>(params.p);  // k/p of a block, paper §VII
+
+  for (std::size_t s = 0; s < file.stripes(); ++s) {
+    // Index available blocks of this stripe.
+    std::vector<const StoredBlock*> by_index(params.n, nullptr);
+    for (const auto& b : file.blocks())
+      if (b.stripe == s && b.available) by_index[b.index] = &b;
+
+    std::size_t avail_data = 0, avail_total = 0;
+    for (std::size_t i = 0; i < params.n; ++i) {
+      if (!by_index[i]) continue;
+      ++avail_total;
+      if (i < params.p) ++avail_data;
+    }
+
+    if (avail_data == params.p) {
+      // All data-carrying blocks alive: fetch their extents in parallel.
+      for (std::size_t i = 0; i < params.p; ++i)
+        if (by_index[i]->data_bytes > 0)
+          fetches.push_back({by_index[i]->node, by_index[i]->data_bytes});
+      continue;
+    }
+    if (avail_total >= params.p) {
+      // §VII degraded read: p blocks, k/p of a block each; parity blocks
+      // stand in for the missing data blocks, the lost extents get decoded.
+      std::size_t stand_ins_needed = 0;
+      for (std::size_t i = 0; i < params.p; ++i) {
+        if (by_index[i]) {
+          fetches.push_back({by_index[i]->node, share});
+        } else {
+          ++stand_ins_needed;
+          decoded += share;
+        }
+      }
+      for (std::size_t i = params.p; i < params.n && stand_ins_needed > 0;
+           ++i) {
+        if (!by_index[i]) continue;
+        fetches.push_back({by_index[i]->node, share});
+        --stand_ins_needed;
+      }
+      if (stand_ins_needed > 0)
+        throw std::runtime_error("parallel_read: not enough stand-in blocks");
+      continue;
+    }
+    // Fall back to the MDS any-k decode: k whole blocks.
+    if (avail_total < params.k)
+      throw std::runtime_error("parallel_read: stripe unrecoverable");
+    std::size_t taken = 0;
+    for (std::size_t i = 0; i < params.n && taken < params.k; ++i) {
+      if (!by_index[i]) continue;
+      fetches.push_back({by_index[i]->node, file.block_bytes()});
+      ++taken;
+    }
+    for (std::size_t i = 0; i < params.p; ++i)
+      if (!by_index[i]) decoded += share;
+  }
+
+  ReadResult r;
+  r.seconds = run_parallel(cluster, fetches);
+  for (const auto& f : fetches) r.bytes_transferred += f.bytes;
+  r.bytes_decoded = decoded;
+  if (decoded > 0 && decode_bps > 0) r.seconds += decoded / decode_bps;
+  return r;
+}
+
+}  // namespace carousel::hdfs

@@ -1,0 +1,107 @@
+// Simulated distributed file system: block placement, replication /
+// erasure-coded layouts, failure injection, and the three read strategies of
+// the paper's Fig. 11:
+//   - the built-in `hadoop fs -get` (sequential, block by block),
+//   - the parallel reader over the blocks carrying original data,
+//   - its degraded variant that substitutes parity blocks and decodes.
+//
+// The DFS tracks geometry and timing, not bytes; real-byte coding lives in
+// src/storage.  Decode CPU cost enters as a bytes-per-second rate the caller
+// measures with the real kernels (the Fig. 11 bench does exactly that).
+
+#ifndef CAROUSEL_HDFS_DFS_H
+#define CAROUSEL_HDFS_DFS_H
+
+#include <optional>
+#include <vector>
+
+#include "codes/params.h"
+#include "hdfs/cluster.h"
+
+namespace carousel::hdfs {
+
+using codes::CodeParams;
+
+/// One stored block (or block replica).
+struct StoredBlock {
+  std::size_t node = 0;
+  std::size_t stripe = 0;
+  std::size_t index = 0;      ///< position within the stripe (or replica id)
+  double bytes = 0;           ///< stored size
+  double data_bytes = 0;      ///< original-data extent (<= bytes)
+  bool available = true;
+};
+
+/// A stored file: either `coded` (n blocks per stripe, Carousel geometry
+/// k/p original data in the first p) or replicated (each logical block has
+/// `replicas` copies).
+class DfsFile {
+ public:
+  /// Erasure-coded layout; blocks of each stripe land on distinct nodes,
+  /// staggered across the cluster.  `placement_offset` rotates the layout so
+  /// multiple files spread over different node sets (multi-tenant runs).
+  static DfsFile coded(const Cluster& cluster, CodeParams params,
+                       double file_bytes, double block_bytes,
+                       std::size_t placement_offset = 0);
+
+  /// r-way replicated layout (r >= 1); replicas of a block land on distinct
+  /// nodes.
+  static DfsFile replicated(const Cluster& cluster, double file_bytes,
+                            double block_bytes, std::size_t replicas);
+
+  bool is_coded() const { return params_.has_value(); }
+  const CodeParams& params() const { return *params_; }
+  std::size_t replicas() const { return replicas_; }
+  double file_bytes() const { return file_bytes_; }
+  double block_bytes() const { return block_bytes_; }
+  std::size_t stripes() const { return stripes_; }
+  double stored_bytes() const;
+
+  std::vector<StoredBlock>& blocks() { return blocks_; }
+  const std::vector<StoredBlock>& blocks() const { return blocks_; }
+
+  /// Marks every block hosted on `node` unavailable.
+  void fail_node(std::size_t node);
+  /// Marks every block in failure domain `rack` unavailable.
+  void fail_rack(const Cluster& cluster, std::size_t rack);
+  /// Largest number of one stripe's blocks sharing a rack — a stripe
+  /// survives any single rack failure iff this is <= n-k (coded files).
+  std::size_t max_blocks_per_rack(const Cluster& cluster) const;
+  /// Marks block `index` of every stripe unavailable (one lost block per
+  /// stripe, the paper's Fig. 11 failure mode).
+  void fail_block_index(std::size_t index);
+
+ private:
+  std::optional<CodeParams> params_;
+  std::size_t replicas_ = 1;
+  double file_bytes_ = 0;
+  double block_bytes_ = 0;
+  std::size_t stripes_ = 0;
+  std::vector<StoredBlock> blocks_;
+};
+
+/// Timing result of a simulated read.
+struct ReadResult {
+  Time seconds = 0;
+  double bytes_transferred = 0;   ///< over the network
+  double bytes_decoded = 0;       ///< original data computed (degraded reads)
+};
+
+/// `hadoop fs -get`: fetches each logical block sequentially from its first
+/// available replica (replicated files; also usable on the systematic prefix
+/// of coded files when every data block is alive).
+ReadResult sequential_get(Cluster& cluster, const DfsFile& file);
+
+/// Parallel reader for coded files: downloads the original-data extents of
+/// the p data-carrying blocks in parallel; when some are unavailable it
+/// substitutes parity blocks (k/p of a block each, paper §VII) and decodes
+/// the missing portion at `decode_bps` (client-side, after the transfer).
+/// Requires enough available blocks per stripe; throws std::runtime_error
+/// otherwise.  RS files (p == k) get the classic degraded read: k blocks
+/// fetched, missing data decoded.
+ReadResult parallel_read(Cluster& cluster, const DfsFile& file,
+                         double decode_bps);
+
+}  // namespace carousel::hdfs
+
+#endif  // CAROUSEL_HDFS_DFS_H

@@ -1,0 +1,260 @@
+#include "mapred/job.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace carousel::mapred {
+
+namespace {
+
+struct Split {
+  std::size_t node;
+  double bytes;            // bytes read from the local disk
+  // Degraded-task extras (empty/zero for healthy, data-local tasks):
+  std::vector<std::pair<std::size_t, double>> remote;  // (helper node, bytes)
+  double decode_bytes = 0;
+
+  /// Logical map input (what the mapper actually processes).
+  double processed() const { return decode_bytes > 0 ? decode_bytes : bytes; }
+};
+
+std::vector<Split> make_splits(const DfsFile& file) {
+  std::vector<Split> splits;
+  if (file.is_coded()) {
+    for (const auto& b : file.blocks()) {
+      if (b.data_bytes <= 0) continue;
+      if (b.available) {
+        splits.push_back({b.node, b.data_bytes, {}, 0});
+        continue;
+      }
+      // Degraded task: each missing unit is a combination of the matching
+      // units in k other blocks (paper §V.C / §VII), so the task pulls
+      // k/p of a block from each of k survivors — one of them local (the
+      // task is scheduled beside it).  For p == k this is the classic
+      // degraded read of k whole blocks; for Carousel every piece is p/k
+      // times smaller, which is exactly its graceful-degradation edge.
+      Split s{0, 0, {}, b.data_bytes};
+      const double piece =
+          file.block_bytes() * double(file.params().k) /
+          double(file.params().p);
+      std::size_t taken = 0;
+      for (const auto& h : file.blocks()) {
+        if (h.stripe != b.stripe || !h.available || h.index == b.index)
+          continue;
+        if (taken == file.params().k) break;
+        if (taken == 0) {
+          s.node = h.node;  // run beside the first helper
+          s.bytes = piece;
+        } else {
+          s.remote.emplace_back(h.node, piece);
+        }
+        ++taken;
+      }
+      if (taken < file.params().k)
+        throw std::runtime_error("run_job: a stripe is unrecoverable");
+      splits.push_back(std::move(s));
+    }
+  } else {
+    // One split per replica: split size = block / replicas, every split
+    // data-local on its replica's node.
+    const double share = 1.0 / static_cast<double>(file.replicas());
+    for (const auto& b : file.blocks()) {
+      if (!b.available)
+        throw std::runtime_error("run_job: a replica is unavailable");
+      splits.push_back({b.node, b.bytes * share, {}, 0});
+    }
+  }
+  if (splits.empty()) throw std::runtime_error("run_job: no splits");
+  return splits;
+}
+
+struct JobContext {
+  Cluster* cluster;
+  std::vector<Split> splits;
+  Workload workload;
+  JobConfig config;
+  SlotPool* slots;
+  JobResult* result;
+  Time t0 = 0;
+
+  std::vector<double> map_duration;
+  std::size_t maps_left = 0;
+  Time maps_done_at = 0;
+  std::vector<Time> reducer_done;
+  std::vector<std::size_t> reducer_waiting;
+  std::size_t reducers_left = 0;
+};
+
+void finalize(const std::shared_ptr<JobContext>& ctx) {
+  JobResult& r = *ctx->result;
+  r.map_tasks = ctx->splits.size();
+  r.map_avg_s = 0;
+  r.map_max_s = 0;
+  for (double d : ctx->map_duration) {
+    r.map_avg_s += d;
+    r.map_max_s = std::max(r.map_max_s, d);
+  }
+  r.map_avg_s /= static_cast<double>(ctx->splits.size());
+  Time end = ctx->maps_done_at;
+  if (!ctx->reducer_done.empty()) {
+    double sum = 0;
+    for (Time t : ctx->reducer_done) {
+      sum += t - ctx->maps_done_at;
+      end = std::max(end, t);
+    }
+    r.reduce_avg_s = sum / static_cast<double>(ctx->reducer_done.size());
+  }
+  r.job_s = end - ctx->t0;
+}
+
+void start_reduce(const std::shared_ptr<JobContext>& ctx, Time maps_done) {
+  ctx->maps_done_at = maps_done;
+  double total_out = 0;
+  for (const auto& s : ctx->splits)
+    total_out += s.processed() * ctx->workload.map_output_ratio;
+  const std::size_t R = ctx->config.reducers;
+  if (R == 0 || total_out <= 0) {
+    finalize(ctx);
+    return;
+  }
+  ctx->reducer_done.assign(R, 0);
+  ctx->reducer_waiting.assign(R, ctx->splits.size());
+  ctx->reducers_left = R;
+  auto& cluster = *ctx->cluster;
+  const double mb = hdfs::kMB;
+  for (std::size_t r = 0; r < R; ++r) {
+    const std::size_t rnode = r % cluster.nodes();
+    const double partition = total_out / static_cast<double>(R);
+    for (std::size_t m = 0; m < ctx->splits.size(); ++m) {
+      const double bytes = ctx->splits[m].processed() *
+                           ctx->workload.map_output_ratio /
+                           static_cast<double>(R);
+      cluster.net().start_flow(
+          bytes,
+          {cluster.egress(ctx->splits[m].node), cluster.ingress(rnode)},
+          [ctx, r, partition, mb](Time) {
+            if (--ctx->reducer_waiting[r] > 0) return;
+            const double cpu =
+                ctx->workload.task_overhead_s +
+                ctx->workload.reduce_cpu_s_per_mb * partition / mb;
+            ctx->cluster->simulation().after(cpu, [ctx, r] {
+              ctx->reducer_done[r] = ctx->cluster->simulation().now();
+              if (--ctx->reducers_left == 0) finalize(ctx);
+            });
+          });
+    }
+  }
+}
+
+void finish_map(const std::shared_ptr<JobContext>& ctx, std::size_t id,
+                std::size_t node, Time started) {
+  const Split& s = ctx->splits[id];
+  // The map processes the logical split; degraded tasks reconstruct it
+  // first at the configured decode rate.
+  double cpu = ctx->workload.task_overhead_s +
+               ctx->workload.map_cpu_s_per_mb * s.processed() / hdfs::kMB;
+  if (s.decode_bytes > 0 && ctx->config.decode_bps > 0)
+    cpu += s.decode_bytes / ctx->config.decode_bps;
+  cpu *= ctx->cluster->cpu_factor(node);  // heterogeneous nodes
+  ctx->cluster->simulation().after(cpu, [ctx, id, node, started] {
+    const Time now = ctx->cluster->simulation().now();
+    ctx->map_duration[id] = now - started;
+    ctx->slots->release(node);
+    if (--ctx->maps_left == 0) start_reduce(ctx, now);
+  });
+}
+
+void run_map(const std::shared_ptr<JobContext>& ctx, std::size_t id) {
+  auto& cluster = *ctx->cluster;
+  const Split& s = ctx->splits[id];
+  const std::size_t node = s.node;
+  const Time started = cluster.simulation().now();
+  // Local disk read of the split, plus any remote helper fetches (degraded
+  // tasks), then the map computation.
+  auto pending = std::make_shared<std::size_t>(1 + s.remote.size());
+  auto arm = [ctx, id, node, started, pending](Time) {
+    if (--*pending == 0) finish_map(ctx, id, node, started);
+  };
+  cluster.net().start_flow(s.bytes, {cluster.disk(node)}, arm);
+  for (const auto& [helper, bytes] : s.remote)
+    cluster.net().start_flow(
+        bytes,
+        {cluster.disk(helper), cluster.egress(helper), cluster.ingress(node)},
+        arm);
+}
+
+}  // namespace
+
+SlotPool::SlotPool(std::size_t nodes, std::size_t slots_per_node)
+    : free_(nodes, slots_per_node), waiting_(nodes) {}
+
+void SlotPool::acquire(std::size_t node, std::function<void()> run) {
+  if (free_[node] > 0) {
+    --free_[node];
+    run();
+    return;
+  }
+  waiting_[node].push_back(std::move(run));
+}
+
+void SlotPool::release(std::size_t node) {
+  if (!waiting_[node].empty()) {
+    auto next = std::move(waiting_[node].front());
+    waiting_[node].erase(waiting_[node].begin());
+    next();  // slot handed over directly
+    return;
+  }
+  ++free_[node];
+}
+
+void schedule_job(Cluster& cluster, const DfsFile& file,
+                  const Workload& workload, const JobConfig& config,
+                  Time start, SlotPool* slots, JobResult* result) {
+  auto ctx = std::make_shared<JobContext>();
+  ctx->cluster = &cluster;
+  ctx->splits = make_splits(file);
+  ctx->workload = workload;
+  ctx->config = config;
+  ctx->slots = slots;
+  ctx->result = result;
+  ctx->map_duration.assign(ctx->splits.size(), 0);
+  ctx->maps_left = ctx->splits.size();
+  cluster.simulation().at(start, [ctx, start] {
+    ctx->t0 = start;
+    for (std::size_t id = 0; id < ctx->splits.size(); ++id)
+      ctx->slots->acquire(ctx->splits[id].node, [ctx, id] { run_map(ctx, id); });
+  });
+}
+
+JobResult run_job(Cluster& cluster, const DfsFile& file,
+                  const Workload& workload, const JobConfig& config) {
+  SlotPool slots(cluster.nodes(), config.map_slots_per_node);
+  JobResult result;
+  schedule_job(cluster, file, workload, config, cluster.simulation().now(),
+               &slots, &result);
+  cluster.simulation().run();
+  return result;
+}
+
+Workload terasort() {
+  // Calibrated against the paper's RS-(12,6) baseline proportions: heavy map
+  // and a shuffle+reduce phase of comparable weight (Fig. 9 right half).
+  return Workload{.name = "terasort",
+                  .map_cpu_s_per_mb = 0.006,
+                  .reduce_cpu_s_per_mb = 0.012,
+                  .map_output_ratio = 1.0,
+                  .task_overhead_s = 1.5};
+}
+
+Workload wordcount() {
+  // Map-bound: counting is CPU work in the mapper, combiners shrink the
+  // shuffle to a few percent of the input.
+  return Workload{.name = "wordcount",
+                  .map_cpu_s_per_mb = 0.0093,
+                  .reduce_cpu_s_per_mb = 0.004,
+                  .map_output_ratio = 0.05,
+                  .task_overhead_s = 0.5};
+}
+
+}  // namespace carousel::mapred

@@ -1,0 +1,41 @@
+#include "matrix/echelon.h"
+
+#include <cassert>
+
+namespace carousel::matrix {
+
+std::vector<gf::Byte> EchelonBasis::reduce(std::span<const gf::Byte> row,
+                                           std::size_t* lead) const {
+  assert(row.size() == width_);
+  std::vector<gf::Byte> r(row.begin(), row.end());
+  for (std::size_t b = 0; b < rows_.size(); ++b) {
+    gf::Byte c = r[lead_[b]];
+    if (c != 0)
+      for (std::size_t i = 0; i < width_; ++i)
+        r[i] ^= gf::mul(c, rows_[b][i]);
+  }
+  std::size_t l = 0;
+  while (l < width_ && r[l] == 0) ++l;
+  *lead = l;
+  return r;
+}
+
+bool EchelonBasis::try_insert(std::span<const gf::Byte> row) {
+  std::size_t lead = 0;
+  auto r = reduce(row, &lead);
+  if (lead == width_) return false;
+  gf::Byte s = gf::inv(r[lead]);
+  if (s != 1)
+    for (auto& v : r) v = gf::mul(s, v);
+  rows_.push_back(std::move(r));
+  lead_.push_back(lead);
+  return true;
+}
+
+bool EchelonBasis::contains(std::span<const gf::Byte> row) const {
+  std::size_t lead = 0;
+  (void)reduce(row, &lead);
+  return lead == width_;
+}
+
+}  // namespace carousel::matrix

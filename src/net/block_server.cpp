@@ -1,0 +1,181 @@
+#include "net/block_server.h"
+
+#include <cstring>
+
+#include "gf/vect.h"
+
+namespace carousel::net {
+
+BlockServer::BlockServer(std::uint16_t port)
+    : listener_(TcpListener::bind(port)), port_(listener_.port()) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+BlockServer::~BlockServer() { stop(); }
+
+void BlockServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.close();  // wakes the blocked accept()
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& c : conns_) c.shutdown_both();  // wake workers stuck in recv
+    workers.swap(workers_);
+  }
+  for (auto& w : workers)
+    if (w.joinable()) w.join();
+  std::lock_guard lock(mu_);
+  conns_.clear();
+}
+
+std::size_t BlockServer::block_count() const {
+  std::lock_guard lock(mu_);
+  return blocks_.size();
+}
+
+std::uint64_t BlockServer::stored_bytes() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, bytes] : blocks_) total += bytes.size();
+  return total;
+}
+
+void BlockServer::accept_loop() {
+  for (;;) {
+    TcpConn conn = listener_.accept();
+    if (!conn.valid()) return;  // listener closed: shutting down
+    std::lock_guard lock(mu_);
+    if (stopping_.load()) return;
+    conns_.push_back(std::move(conn));
+    TcpConn* c = &conns_.back();
+    workers_.emplace_back([this, c] { serve(*c); });
+  }
+}
+
+void BlockServer::serve(TcpConn& conn) {
+  // Whatever ends this session — clean EOF, a garbage frame, an I/O error —
+  // the peer must see the connection go down; the fd itself stays owned by
+  // conns_ until stop() so shutdown here cannot race a reused descriptor.
+  struct Hangup {
+    TcpConn& conn;
+    ~Hangup() { conn.shutdown_both(); }
+  } hangup{conn};
+  try {
+    for (;;) {
+      std::uint8_t op_raw;
+      if (!conn.recv_all(&op_raw, 1)) return;  // client hung up
+      std::uint32_t len;
+      if (!conn.recv_all(&len, 4)) return;
+      if (len > kMaxPayload) return;  // garbage frame: drop the connection
+      std::vector<std::uint8_t> payload(len);
+      if (len && !conn.recv_all(payload.data(), len)) return;
+
+      Writer resp;
+      Status status = Status::kOk;
+      try {
+        Reader req(payload);
+        handle(static_cast<Op>(op_raw), req, resp, status);
+      } catch (const std::exception& e) {
+        status = Status::kError;
+        resp = Writer();
+        resp.bytes({reinterpret_cast<const std::uint8_t*>(e.what()),
+                    std::strlen(e.what())});
+      }
+      std::uint8_t st = static_cast<std::uint8_t>(status);
+      std::uint32_t rlen = static_cast<std::uint32_t>(resp.data().size());
+      conn.send_all(&st, 1);
+      conn.send_all(&rlen, 4);
+      if (rlen) conn.send_all(resp.data().data(), rlen);
+    }
+  } catch (const std::exception&) {
+    // Connection-level failure: drop the session; the store stays intact.
+  }
+}
+
+void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
+  switch (op) {
+    case Op::kPing:
+      return;
+    case Op::kPut: {
+      BlockKey key = req.key();
+      auto bytes = req.rest();
+      std::lock_guard lock(mu_);
+      blocks_[key].assign(bytes.begin(), bytes.end());
+      return;
+    }
+    case Op::kGet: {
+      BlockKey key = req.key();
+      std::lock_guard lock(mu_);
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        status = Status::kNotFound;
+        return;
+      }
+      resp.bytes(it->second);
+      return;
+    }
+    case Op::kGetRange: {
+      BlockKey key = req.key();
+      std::uint32_t off = req.u32();
+      std::uint32_t len = req.u32();
+      std::lock_guard lock(mu_);
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        status = Status::kNotFound;
+        return;
+      }
+      if (std::size_t(off) + len > it->second.size())
+        throw std::runtime_error("range out of bounds");
+      resp.bytes({it->second.data() + off, len});
+      return;
+    }
+    case Op::kProject: {
+      BlockKey key = req.key();
+      std::uint32_t unit_bytes = req.u32();
+      std::uint16_t outputs = req.u16();
+      std::lock_guard lock(mu_);
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        status = Status::kNotFound;
+        return;
+      }
+      const auto& block = it->second;
+      if (unit_bytes == 0 || block.size() % unit_bytes != 0)
+        throw std::runtime_error("unit size does not divide the block");
+      const std::size_t units = block.size() / unit_bytes;
+      std::vector<std::uint8_t> out(unit_bytes);
+      for (std::uint16_t o = 0; o < outputs; ++o) {
+        std::uint16_t terms = req.u16();
+        gf::zero_region(out.data(), out.size());
+        for (std::uint16_t t = 0; t < terms; ++t) {
+          std::uint32_t pos = req.u32();
+          std::uint8_t coeff = req.u8();
+          if (pos >= units) throw std::runtime_error("unit out of range");
+          gf::mul_add_region(coeff, block.data() + std::size_t(pos) * unit_bytes,
+                             out.data(), unit_bytes);
+        }
+        resp.bytes(out);
+      }
+      return;
+    }
+    case Op::kDelete: {
+      BlockKey key = req.key();
+      std::lock_guard lock(mu_);
+      if (blocks_.erase(key) == 0) status = Status::kNotFound;
+      return;
+    }
+    case Op::kStats: {
+      std::lock_guard lock(mu_);
+      resp.u32(static_cast<std::uint32_t>(blocks_.size()));
+      std::uint64_t total = 0;
+      for (const auto& [key, bytes] : blocks_) total += bytes.size();
+      resp.u64(total);
+      return;
+    }
+  }
+  throw std::runtime_error("unknown opcode");
+}
+
+}  // namespace carousel::net

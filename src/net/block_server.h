@@ -1,0 +1,62 @@
+// In-memory block server: the datanode of the networked prototype.
+//
+// One accept thread plus one thread per connection; blocks live in a mutex-
+// guarded map.  The PROJECT primitive performs linear combinations of a
+// block's units with the GF(2^8) kernels — the helper-side repair compute of
+// the paper, executed where the block lives so only the projected chunk
+// crosses the network.
+
+#ifndef CAROUSEL_NET_BLOCK_SERVER_H
+#define CAROUSEL_NET_BLOCK_SERVER_H
+
+#include <atomic>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace carousel::net {
+
+class BlockServer {
+ public:
+  /// Binds (port 0 = ephemeral) and starts serving.
+  explicit BlockServer(std::uint16_t port = 0);
+  ~BlockServer();
+
+  BlockServer(const BlockServer&) = delete;
+  BlockServer& operator=(const BlockServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener and joins all threads.  Idempotent.
+  void stop();
+
+  /// Test/ops hooks.
+  std::size_t block_count() const;
+  std::uint64_t stored_bytes() const;
+
+ private:
+  void accept_loop();
+  void serve(TcpConn& conn);
+  void handle(Op op, Reader& req, Writer& resp, Status& status);
+
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  std::map<BlockKey, std::vector<std::uint8_t>> blocks_;
+  // Connections live here (stable addresses) so stop() can shut them down
+  // and wake any worker blocked in recv; workers never outlive the server.
+  std::list<TcpConn> conns_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_BLOCK_SERVER_H

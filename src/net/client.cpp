@@ -1,0 +1,110 @@
+#include "net/client.h"
+
+#include <stdexcept>
+#include <system_error>
+
+namespace carousel::net {
+
+std::pair<Status, std::vector<std::uint8_t>> Client::call(
+    Op op, const std::vector<std::uint8_t>& payload) {
+  try {
+    return call_once(op, payload);
+  } catch (const std::system_error&) {
+    // transport failure: fall through to the reconnect below
+  } catch (const std::runtime_error& e) {
+    // kError responses carry "server error: ..." — do not retry those.
+    if (std::string(e.what()).rfind("server error:", 0) == 0) throw;
+  }
+  sent_before_ += conn_.bytes_sent();
+  received_before_ += conn_.bytes_received();
+  conn_ = TcpConn::connect(port_);
+  return call_once(op, payload);
+}
+
+std::pair<Status, std::vector<std::uint8_t>> Client::call_once(
+    Op op, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t op_raw = static_cast<std::uint8_t>(op);
+  std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  conn_.send_all(&op_raw, 1);
+  conn_.send_all(&len, 4);
+  if (len) conn_.send_all(payload.data(), len);
+
+  std::uint8_t status_raw;
+  if (!conn_.recv_all(&status_raw, 1))
+    throw std::runtime_error("server closed the connection");
+  std::uint32_t rlen;
+  if (!conn_.recv_all(&rlen, 4) || rlen > kMaxPayload)
+    throw std::runtime_error("malformed response");
+  std::vector<std::uint8_t> body(rlen);
+  if (rlen && !conn_.recv_all(body.data(), rlen))
+    throw std::runtime_error("truncated response");
+  Status status = static_cast<Status>(status_raw);
+  if (status == Status::kError)
+    throw std::runtime_error("server error: " +
+                             std::string(body.begin(), body.end()));
+  return {status, std::move(body)};
+}
+
+void Client::ping() { call(Op::kPing, {}); }
+
+void Client::put(const BlockKey& key, std::span<const std::uint8_t> bytes) {
+  Writer w;
+  w.key(key);
+  w.bytes(bytes);
+  call(Op::kPut, w.data());
+}
+
+std::optional<std::vector<std::uint8_t>> Client::get(const BlockKey& key) {
+  Writer w;
+  w.key(key);
+  auto [status, body] = call(Op::kGet, w.data());
+  if (status == Status::kNotFound) return std::nullopt;
+  return body;
+}
+
+std::optional<std::vector<std::uint8_t>> Client::get_range(
+    const BlockKey& key, std::uint32_t offset, std::uint32_t length) {
+  Writer w;
+  w.key(key);
+  w.u32(offset);
+  w.u32(length);
+  auto [status, body] = call(Op::kGetRange, w.data());
+  if (status == Status::kNotFound) return std::nullopt;
+  return body;
+}
+
+std::optional<std::vector<std::uint8_t>> Client::project(
+    const BlockKey& key, std::uint32_t unit_bytes, const Projection& outputs) {
+  Writer w;
+  w.key(key);
+  w.u32(unit_bytes);
+  w.u16(static_cast<std::uint16_t>(outputs.size()));
+  for (const auto& terms : outputs) {
+    w.u16(static_cast<std::uint16_t>(terms.size()));
+    for (auto [pos, coeff] : terms) {
+      w.u32(pos);
+      w.u8(coeff);
+    }
+  }
+  auto [status, body] = call(Op::kProject, w.data());
+  if (status == Status::kNotFound) return std::nullopt;
+  return body;
+}
+
+bool Client::remove(const BlockKey& key) {
+  Writer w;
+  w.key(key);
+  auto [status, body] = call(Op::kDelete, w.data());
+  return status == Status::kOk;
+}
+
+Client::Stats Client::stats() {
+  auto [status, body] = call(Op::kStats, {});
+  Reader r(body);
+  Stats s;
+  s.blocks = r.u32();
+  s.bytes = r.u64();
+  return s;
+}
+
+}  // namespace carousel::net

@@ -1,0 +1,68 @@
+// Client session to one block server: framed request/response over a single
+// TCP connection, with byte counters so tests can assert on-the-wire repair
+// traffic (the networked analogue of paper Fig. 7).
+
+#ifndef CAROUSEL_NET_CLIENT_H
+#define CAROUSEL_NET_CLIENT_H
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace carousel::net {
+
+class Client {
+ public:
+  /// Connects to a local block server.  If the connection later drops (the
+  /// server restarted), the next request reconnects once and retries —
+  /// requests are idempotent, so the retry is safe.
+  explicit Client(std::uint16_t port)
+      : port_(port), conn_(TcpConn::connect(port)) {}
+
+  void ping();
+  void put(const BlockKey& key, std::span<const std::uint8_t> bytes);
+  /// nullopt when the server does not hold the block.
+  std::optional<std::vector<std::uint8_t>> get(const BlockKey& key);
+  std::optional<std::vector<std::uint8_t>> get_range(const BlockKey& key,
+                                                     std::uint32_t offset,
+                                                     std::uint32_t length);
+  /// One term: (unit position, GF coefficient); one output per term list.
+  using Projection = std::vector<std::vector<std::pair<std::uint32_t,
+                                                       std::uint8_t>>>;
+  /// nullopt when the block is missing; otherwise outputs*unit_bytes bytes.
+  std::optional<std::vector<std::uint8_t>> project(const BlockKey& key,
+                                                   std::uint32_t unit_bytes,
+                                                   const Projection& outputs);
+  /// Returns false when the block was not held.
+  bool remove(const BlockKey& key);
+  struct Stats {
+    std::uint32_t blocks = 0;
+    std::uint64_t bytes = 0;
+  };
+  Stats stats();
+
+  std::uint64_t bytes_sent() const { return sent_before_ + conn_.bytes_sent(); }
+  std::uint64_t bytes_received() const {
+    return received_before_ + conn_.bytes_received();
+  }
+
+ private:
+  /// Sends one frame and reads the response; throws on kError.  Reconnects
+  /// and retries once on a transport failure.
+  std::pair<Status, std::vector<std::uint8_t>> call(
+      Op op, const std::vector<std::uint8_t>& payload);
+  std::pair<Status, std::vector<std::uint8_t>> call_once(
+      Op op, const std::vector<std::uint8_t>& payload);
+
+  std::uint16_t port_;
+  TcpConn conn_;
+  std::uint64_t sent_before_ = 0;      // counters of prior connections
+  std::uint64_t received_before_ = 0;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_CLIENT_H

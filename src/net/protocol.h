@@ -1,0 +1,127 @@
+// Wire protocol of the networked block store.
+//
+// Frames are length-prefixed and little-endian:
+//   request:  u8 opcode, u32 payload length, payload
+//   response: u8 status, u32 payload length, payload
+//
+// The server is deliberately code-agnostic: it stores opaque blocks and
+// offers one computational primitive, PROJECT — "return these linear
+// combinations of my block's units".  Every repair helper computation in the
+// paper (phi-projections for MSR/Carousel, whole-block and single-unit reads
+// as degenerate cases) is expressible as a PROJECT, so servers never need to
+// know which code the client runs — mirroring how the paper's prototype
+// pushes the helper-side encode to where the block lives.
+
+#ifndef CAROUSEL_NET_PROTOCOL_H
+#define CAROUSEL_NET_PROTOCOL_H
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace carousel::net {
+
+enum class Op : std::uint8_t {
+  kPing = 0,
+  kPut = 1,      // key, bytes
+  kGet = 2,      // key -> bytes
+  kGetRange = 3, // key, u32 offset, u32 length -> bytes
+  kProject = 4,  // key, u32 unit_bytes, u16 outputs, per output:
+                 //   u16 terms, terms x (u32 unit_pos, u8 coeff)
+                 // -> outputs * unit_bytes bytes
+  kDelete = 5,   // key
+  kStats = 6,    // -> u32 block count, u64 stored bytes
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kError = 2,  // payload: UTF-8 message
+};
+
+/// Identifies one stored block.
+struct BlockKey {
+  std::uint32_t file = 0;
+  std::uint32_t stripe = 0;
+  std::uint32_t index = 0;
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+  friend auto operator<=>(const BlockKey&, const BlockKey&) = default;
+};
+
+/// Append-only little-endian payload builder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void key(const BlockKey& k) {
+    u32(k.file);
+    u32(k.stripe);
+    u32(k.index);
+  }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload reader.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t u32() {
+    auto b = take(4);
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+  std::uint64_t u64() {
+    std::uint64_t lo = u32();
+    std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  std::span<const std::uint8_t> bytes(std::size_t n) { return take(n); }
+  std::span<const std::uint8_t> rest() { return take(data_.size() - pos_); }
+  BlockKey key() { return BlockKey{u32(), u32(), u32()}; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (pos_ + n > data_.size())
+      throw std::runtime_error("malformed message: payload underrun");
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hard cap on frame payloads (guards the server against garbage lengths).
+inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_PROTOCOL_H

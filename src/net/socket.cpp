@@ -1,0 +1,167 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace carousel::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    sent_ = other.sent_;
+    received_ = other.received_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpConn TcpConn::connect(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpConn(fd);
+}
+
+void TcpConn::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    if (w == 0) throw std::runtime_error("send: peer closed");
+    p += w;
+    n -= static_cast<std::size_t>(w);
+    sent_ += static_cast<std::uint64_t>(w);
+  }
+}
+
+bool TcpConn::recv_all(void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw std::runtime_error("recv: connection truncated mid-message");
+    }
+    got += static_cast<std::size_t>(r);
+    received_ += static_cast<std::uint64_t>(r);
+  }
+  return true;
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpConn::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpListener TcpListener::bind(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (::listen(fd, 64) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  TcpListener l;
+  l.fd_ = fd;
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+TcpConn TcpListener::accept() {
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return TcpConn();  // listener closed or transient failure
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpConn(fd);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() wakes a blocked accept() so Server::stop can join.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace carousel::net

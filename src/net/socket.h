@@ -1,0 +1,87 @@
+// Minimal RAII TCP sockets (POSIX, loopback-oriented).
+//
+// The networked block store (net/block_server.h, net/store.h) is this
+// repository's analogue of the paper's Hadoop prototype: real bytes move
+// over real sockets, helpers run their repair projections server-side, and
+// the tests measure repair traffic on the wire.  Blocking I/O with
+// full-length send/recv helpers keeps the protocol code straightforward.
+
+#ifndef CAROUSEL_NET_SOCKET_H
+#define CAROUSEL_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace carousel::net {
+
+/// A connected TCP stream.  Move-only; closes on destruction.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { close(); }
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to 127.0.0.1:port; throws std::system_error on failure.
+  static TcpConn connect(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Sends exactly n bytes; throws on error or peer close.
+  void send_all(const void* data, std::size_t n);
+  /// Receives exactly n bytes; throws on error; returns false on clean EOF
+  /// at a message boundary (n bytes requested, zero received).
+  bool recv_all(void* data, std::size_t n);
+
+  void close();
+
+  /// Half-closes both directions without releasing the fd: any thread
+  /// blocked in recv on this connection wakes with EOF.  Used by server
+  /// shutdown; the owner still calls close()/destructor afterwards.
+  void shutdown_both();
+
+  /// Bytes moved through this connection (both directions), for the
+  /// traffic-accounting tests.
+  std::uint64_t bytes_sent() const { return sent_; }
+  std::uint64_t bytes_received() const { return received_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// A listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds to the given port (0 = ephemeral) and listens.
+  static TcpListener bind(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Accepts one connection; returns an invalid conn if the listener was
+  /// closed concurrently (the server's shutdown path).
+  TcpConn accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_SOCKET_H

@@ -1,0 +1,208 @@
+#include "net/store.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "storage/erasure_file.h"
+
+namespace carousel::net {
+
+using codes::Byte;
+
+CarouselStore::CarouselStore(const codes::Carousel& code,
+                             const std::vector<std::uint16_t>& ports,
+                             std::size_t block_bytes)
+    : code_(&code), block_bytes_(block_bytes) {
+  if (ports.empty()) throw std::invalid_argument("need at least one server");
+  if (block_bytes == 0 || block_bytes % code.s() != 0)
+    throw std::invalid_argument(
+        "block_bytes must be a positive multiple of the subpacketization");
+  clients_.reserve(ports.size());
+  for (std::uint16_t p : ports)
+    clients_.push_back(std::make_unique<Client>(p));
+}
+
+std::size_t CarouselStore::put_file(std::uint32_t file_id,
+                                    std::span<const Byte> bytes) {
+  storage::ErasureFile ef(*code_, bytes, block_bytes_);
+  for (std::size_t s = 0; s < ef.stripes(); ++s)
+    for (std::size_t i = 0; i < code_->n(); ++i)
+      client_of(i).put(key(file_id, static_cast<std::uint32_t>(s),
+                           static_cast<std::uint32_t>(i)),
+                       ef.block(s, i));
+  return ef.stripes();
+}
+
+std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
+                                           std::size_t file_bytes) {
+  const std::size_t ub = block_bytes_ / code_->s();
+  const std::size_t K = code_->data_units_per_block();
+  const std::size_t p = code_->p();
+  const std::size_t n = code_->n();
+  const std::size_t stripe_data = code_->k() * block_bytes_;
+  const std::size_t stripes =
+      std::max<std::size_t>(1, (file_bytes + stripe_data - 1) / stripe_data);
+
+  std::vector<Byte> out(stripes * stripe_data);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    std::span<Byte> dst(out.data() + s * stripe_data, stripe_data);
+    const std::uint32_t s32 = static_cast<std::uint32_t>(s);
+
+    // Parallel read: one original-data extent per data-carrying block.
+    std::vector<std::optional<std::vector<Byte>>> extents(p);
+    std::vector<std::size_t> missing;
+    for (std::size_t slot = 0; slot < p; ++slot) {
+      extents[slot] = client_of(slot).get_range(
+          key(file_id, s32, static_cast<std::uint32_t>(slot)), 0,
+          static_cast<std::uint32_t>(K * ub));
+      if (!extents[slot]) missing.push_back(slot);
+    }
+    if (missing.empty()) {
+      for (std::size_t slot = 0; slot < p; ++slot)
+        std::memcpy(dst.data() + slot * K * ub, extents[slot]->data(),
+                    K * ub);
+      continue;
+    }
+
+    // §VII degraded read: parity blocks stand in for missing slots, each
+    // serving that slot's selection pattern (k/p of a block over the wire).
+    std::vector<std::pair<std::size_t, std::vector<Byte>>> stand_ins;
+    std::size_t candidate = p;
+    for (std::size_t slot : missing) {
+      for (; candidate < n; ++candidate) {
+        Client::Projection proj;
+        for (std::size_t pos : code_->selection_pattern(slot))
+          proj.push_back({{static_cast<std::uint32_t>(pos), Byte{1}}});
+        auto resp = client_of(candidate).project(
+            key(file_id, s32, static_cast<std::uint32_t>(candidate)),
+            static_cast<std::uint32_t>(ub), proj);
+        if (resp) {
+          stand_ins.emplace_back(candidate++, std::move(*resp));
+          break;
+        }
+      }
+    }
+    if (stand_ins.size() == missing.size()) {
+      std::vector<codes::UnitRef> units;
+      units.reserve(code_->message_units());
+      std::size_t si = 0;
+      for (std::size_t slot = 0; slot < p; ++slot) {
+        if (extents[slot]) {
+          for (std::size_t t = 0; t < K; ++t)
+            units.push_back({slot, t, extents[slot]->data() + t * ub});
+        } else {
+          auto& [cand, bytes] = stand_ins[si++];
+          auto pattern = code_->selection_pattern(slot);
+          for (std::size_t j = 0; j < pattern.size(); ++j)
+            units.push_back({cand, pattern[j], bytes.data() + j * ub});
+        }
+      }
+      code_->decode_units(units, ub, dst);
+      continue;
+    }
+
+    // Last resort: any-k whole-block MDS decode.
+    std::vector<std::size_t> ids;
+    std::vector<std::vector<Byte>> blocks;
+    for (std::size_t i = 0; i < n && ids.size() < code_->k(); ++i) {
+      auto b = client_of(i).get(key(file_id, s32, static_cast<std::uint32_t>(i)));
+      if (!b) continue;
+      if (b->size() != block_bytes_)
+        throw std::runtime_error("server returned a block of the wrong size");
+      ids.push_back(i);
+      blocks.push_back(std::move(*b));
+    }
+    if (ids.size() < code_->k())
+      throw std::runtime_error("stripe unrecoverable: fewer than k blocks");
+    std::vector<std::span<const Byte>> views;
+    for (const auto& b : blocks) views.emplace_back(b);
+    code_->decode(ids, views, dst);
+  }
+  out.resize(file_bytes);
+  return out;
+}
+
+bool CarouselStore::drop_block(std::uint32_t file_id, std::uint32_t stripe,
+                               std::uint32_t index) {
+  return client_of(index).remove(key(file_id, stripe, index));
+}
+
+std::uint64_t CarouselStore::repair_block(std::uint32_t file_id,
+                                          std::uint32_t stripe,
+                                          std::uint32_t index) {
+  const std::size_t ub = block_bytes_ / code_->s();
+  std::uint64_t fetched = 0;
+
+  // Probe which survivors still hold their block (zero-length range reads),
+  // so the path choice never wastes helper chunks.
+  std::vector<std::size_t> survivors;
+  for (std::size_t h = 0; h < code_->n(); ++h) {
+    if (h == index) continue;
+    if (client_of(h)
+            .get_range(key(file_id, stripe, static_cast<std::uint32_t>(h)), 0,
+                       0)
+            .has_value())
+      survivors.push_back(h);
+  }
+
+  if (!code_->params().trivial_repair() && survivors.size() >= code_->d()) {
+    // Optimal-traffic repair: helpers project phi server-side.
+    std::vector<std::size_t> helpers(survivors.begin(),
+                                     survivors.begin() + code_->d());
+    std::vector<std::vector<Byte>> chunk_store;
+    for (std::size_t h : helpers) {
+      auto proj = code_->repair_projection(h, index);
+      Client::Projection wire;
+      for (const auto& terms : proj) {
+        wire.emplace_back();
+        for (auto [pos, coeff] : terms)
+          wire.back().push_back({static_cast<std::uint32_t>(pos), coeff});
+      }
+      auto resp = client_of(h).project(
+          key(file_id, stripe, static_cast<std::uint32_t>(h)),
+          static_cast<std::uint32_t>(ub), wire);
+      if (!resp)
+        throw std::runtime_error("helper vanished between probe and repair");
+      fetched += resp->size();
+      chunk_store.push_back(std::move(*resp));
+    }
+    {
+      std::vector<std::span<const Byte>> chunks;
+      for (const auto& c : chunk_store) chunks.emplace_back(c);
+      std::vector<Byte> rebuilt(block_bytes_);
+      code_->newcomer_compute(index, helpers, chunks, rebuilt);
+      client_of(index).put(key(file_id, stripe, index), rebuilt);
+      return fetched;
+    }
+  }
+
+  // Whole-block fallback (d == k, or fewer than d survivors).
+  if (survivors.size() < code_->k())
+    throw std::runtime_error("repair impossible: fewer than k blocks");
+  std::vector<codes::UnitRef> sources;
+  std::vector<std::vector<Byte>> blocks;
+  std::vector<std::size_t> ids(survivors.begin(),
+                               survivors.begin() + code_->k());
+  for (std::size_t i : ids) {
+    auto b =
+        client_of(i).get(key(file_id, stripe, static_cast<std::uint32_t>(i)));
+    if (!b) throw std::runtime_error("helper vanished between probe and read");
+    fetched += b->size();
+    blocks.push_back(std::move(*b));
+  }
+  for (std::size_t j = 0; j < ids.size(); ++j)
+    for (std::size_t t = 0; t < code_->s(); ++t)
+      sources.push_back({ids[j], t, blocks[j].data() + t * ub});
+  std::vector<Byte> rebuilt(block_bytes_);
+  code_->project_units(sources, ub, index, rebuilt);
+  client_of(index).put(key(file_id, stripe, index), rebuilt);
+  return fetched;
+}
+
+std::uint64_t CarouselStore::bytes_received() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->bytes_received();
+  return total;
+}
+
+}  // namespace carousel::net

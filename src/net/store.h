@@ -1,0 +1,79 @@
+// CarouselStore: the coordinator of the networked prototype.
+//
+// Stripes files across a fleet of block servers with a Carousel code (block
+// index i of every stripe lives on server i mod fleet size), and implements
+// the paper's three data paths against real sockets:
+//   - parallel read: fetch each data-carrying block's original-data extent
+//     (one GET_RANGE per block, p concurrent sources);
+//   - degraded read (§VII): parity stand-ins serve the missing slots'
+//     selection patterns via PROJECT, k/p of a block each;
+//   - repair: helpers run their phi-projections server-side (PROJECT), only
+//     the chunks travel, the newcomer combines and re-PUTs — so the bytes on
+//     the wire are exactly Fig. 7's d/(d-k+1) block sizes.
+
+#ifndef CAROUSEL_NET_STORE_H
+#define CAROUSEL_NET_STORE_H
+
+#include <memory>
+#include <vector>
+
+#include "codes/carousel.h"
+#include "net/client.h"
+
+namespace carousel::net {
+
+class CarouselStore {
+ public:
+  /// Connects to the given servers.  The code must outlive the store.
+  /// Requires at least one server; one block per server when
+  /// ports.size() >= n (the paper's placement), round-robin otherwise.
+  CarouselStore(const codes::Carousel& code,
+                const std::vector<std::uint16_t>& ports,
+                std::size_t block_bytes);
+
+  const codes::Carousel& code() const { return *code_; }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+  /// Which server hosts block `index` of any stripe.
+  std::size_t server_of(std::size_t index) const {
+    return index % clients_.size();
+  }
+
+  /// Encodes and uploads; returns the stripe count.
+  std::size_t put_file(std::uint32_t file_id,
+                       std::span<const codes::Byte> bytes);
+
+  /// Downloads and reassembles the file (size from put_file's input).
+  /// Chooses per stripe: parallel extents, §VII pattern reads, or whole-
+  /// block MDS decode, depending on which servers still hold blocks.
+  std::vector<codes::Byte> read_file(std::uint32_t file_id,
+                                     std::size_t file_bytes);
+
+  /// Deletes one block replica on its server (failure injection).
+  /// Returns false if it was already gone.
+  bool drop_block(std::uint32_t file_id, std::uint32_t stripe,
+                  std::uint32_t index);
+
+  /// Rebuilds a lost block from d helpers (or k whole blocks when fewer
+  /// survive) and re-uploads it.  Returns bytes fetched from helpers.
+  std::uint64_t repair_block(std::uint32_t file_id, std::uint32_t stripe,
+                             std::uint32_t index);
+
+  /// Total bytes received from all servers (traffic accounting).
+  std::uint64_t bytes_received() const;
+
+ private:
+  Client& client_of(std::size_t index) { return *clients_[server_of(index)]; }
+  BlockKey key(std::uint32_t file, std::uint32_t stripe,
+               std::uint32_t index) const {
+    return BlockKey{file, stripe, index};
+  }
+
+  const codes::Carousel* code_;
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_STORE_H

@@ -1,0 +1,27 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace carousel::sim {
+
+void Simulation::at(Time t, std::function<void()> fn) {
+  if (t < now_)
+    throw std::invalid_argument("cannot schedule an event in the past");
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+Time Simulation::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the function object must be moved
+    // out before pop, so copy the metadata and steal the callable.
+    auto fn = std::move(const_cast<Event&>(queue_.top()).fn);
+    now_ = queue_.top().t;
+    queue_.pop();
+    ++executed_;
+    fn();
+  }
+  return now_;
+}
+
+}  // namespace carousel::sim

@@ -1,0 +1,63 @@
+// Discrete-event simulation core.
+//
+// Figures 9–11 of the paper are measured on a 30-node EC2 Hadoop cluster we
+// do not have; DESIGN.md documents the substitution.  This engine plus the
+// fluid-flow model in sim/flow.h reproduce the effects those figures measure:
+// wave parallelism of map tasks, parallel-download fan-in, and bandwidth
+// caps on datanode egress links.
+
+#ifndef CAROUSEL_SIM_SIMULATION_H
+#define CAROUSEL_SIM_SIMULATION_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace carousel::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// Event-queue simulation.  Events fire in (time, insertion-order) order;
+/// handlers may schedule further events.
+class Simulation {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time t (>= now).
+  void at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run after `delay` seconds.
+  void after(Time delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the event queue drains; returns the final time.
+  Time run();
+
+  /// Number of events executed so far (for tests and debugging).
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace carousel::sim
+
+#endif  // CAROUSEL_SIM_SIMULATION_H

@@ -1,0 +1,105 @@
+#include "storage/stream.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace carousel::storage {
+
+StreamingEncoder::StreamingEncoder(const Carousel& code,
+                                   std::size_t block_bytes, StripeSink sink)
+    : code_(&code), block_bytes_(block_bytes), sink_(std::move(sink)) {
+  if (block_bytes == 0 || block_bytes % code.s() != 0)
+    throw std::invalid_argument(
+        "block_bytes must be a positive multiple of the code's "
+        "subpacketization");
+  if (!sink_) throw std::invalid_argument("sink must be callable");
+  pending_.reserve(code.k() * block_bytes);
+  out_.resize(code.n() * block_bytes);
+}
+
+void StreamingEncoder::write(std::span<const Byte> bytes) {
+  if (finished_) throw std::logic_error("write after finish");
+  consumed_ += bytes.size();
+  const std::size_t stripe_data = code_->k() * block_bytes_;
+  while (!bytes.empty()) {
+    const std::size_t take =
+        std::min(bytes.size(), stripe_data - pending_.size());
+    pending_.insert(pending_.end(), bytes.begin(),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(take));
+    bytes = bytes.subspan(take);
+    if (pending_.size() == stripe_data) emit();
+  }
+}
+
+std::size_t StreamingEncoder::finish() {
+  if (finished_) return stripe_;
+  finished_ = true;
+  if (!pending_.empty() || stripe_ == 0) {
+    pending_.resize(code_->k() * block_bytes_, 0);  // zero-pad the tail
+    emit();
+  }
+  return stripe_;
+}
+
+void StreamingEncoder::emit() {
+  std::vector<std::span<Byte>> blocks;
+  blocks.reserve(code_->n());
+  for (std::size_t i = 0; i < code_->n(); ++i)
+    blocks.emplace_back(out_.data() + i * block_bytes_, block_bytes_);
+  code_->encode(pending_, blocks);
+  std::vector<std::span<const Byte>> views(blocks.begin(), blocks.end());
+  sink_(stripe_, views);
+  ++stripe_;
+  pending_.clear();
+}
+
+StreamingDecoder::StreamingDecoder(const Carousel& code,
+                                   std::size_t block_bytes, BlockSource source)
+    : code_(&code), block_bytes_(block_bytes), source_(std::move(source)) {
+  if (block_bytes == 0 || block_bytes % code.s() != 0)
+    throw std::invalid_argument(
+        "block_bytes must be a positive multiple of the code's "
+        "subpacketization");
+  if (!source_) throw std::invalid_argument("source must be callable");
+}
+
+void StreamingDecoder::read(
+    std::size_t file_bytes,
+    const std::function<void(std::span<const Byte>)>& out) {
+  const std::size_t stripe_data = code_->k() * block_bytes_;
+  const std::size_t stripes =
+      std::max<std::size_t>(1, (file_bytes + stripe_data - 1) / stripe_data);
+  std::vector<Byte> buf(stripe_data);
+  std::size_t delivered = 0;
+  for (std::size_t s = 0; s < stripes; ++s) {
+    // Fetch whatever blocks exist, cheapest first: the p data-carriers,
+    // then parity until the best-effort decoder has enough.
+    std::vector<std::size_t> ids;
+    std::vector<std::vector<Byte>> blocks;
+    for (std::size_t i = 0; i < code_->n(); ++i) {
+      auto b = source_(s, i);
+      if (b.empty()) continue;
+      if (b.size() != block_bytes_)
+        throw std::runtime_error("source returned a block of the wrong size");
+      ids.push_back(i);
+      blocks.push_back(std::move(b));
+      // Early exit: all data-carrying blocks present and contiguous fetch
+      // reached them all — gather path needs nothing else.
+      if (ids.size() == code_->p() &&
+          ids.back() == code_->p() - 1)
+        break;
+      if (ids.size() >= code_->n()) break;
+    }
+    if (ids.size() < code_->k())
+      throw std::runtime_error("stripe " + std::to_string(s) +
+                               " unrecoverable");
+    std::vector<std::span<const Byte>> views;
+    for (const auto& b : blocks) views.emplace_back(b);
+    code_->decode_from_available(ids, views, buf);
+    const std::size_t take = std::min(stripe_data, file_bytes - delivered);
+    out(std::span<const Byte>(buf.data(), take));
+    delivered += take;
+  }
+}
+
+}  // namespace carousel::storage

@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <stdexcept>
+
+namespace carousel::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0)
+    throw std::invalid_argument("thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) throw std::logic_error("submit after shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i)
+    submit([&fn, i] { fn(i); });
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace carousel::util

@@ -1,0 +1,60 @@
+// Fixed-size worker pool used to parallelise per-stripe coding work.
+//
+// The paper's coding microbenchmarks run on 16-core machines; stripes are
+// independent, so file-level encode/decode parallelises across them with no
+// shared state (storage::ErasureFile drives this).
+
+#ifndef CAROUSEL_UTIL_THREAD_POOL_H
+#define CAROUSEL_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace carousel::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks may not touch the pool's own interface except
+  /// submit() (no wait_idle from inside a task).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.  If any task threw, the
+  /// first exception is rethrown here (the rest are dropped).
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits; convenience
+  /// for parallel loops.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace carousel::util
+
+#endif  // CAROUSEL_UTIL_THREAD_POOL_H

@@ -1,0 +1,176 @@
+// End-to-end tests of the carouselctl archive format: encode to disk,
+// destroy block files, decode and repair — the full operator workflow.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cli/cli.h"
+#include "test_util.h"
+
+namespace carousel::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("carousel_cli_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path write_input(std::size_t bytes, std::uint32_t seed = 7) {
+    auto data = test::random_bytes(bytes, seed);
+    fs::path p = dir_ / "input.bin";
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    return p;
+  }
+
+  static std::vector<std::uint8_t> slurp(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, EncodeDecodeRoundTrip) {
+  auto input = write_input(100'000);
+  encode_file(input, dir_ / "arc", {12, 6, 10, 12}, 4096);
+  std::size_t used = decode_file(dir_ / "arc", dir_ / "out.bin");
+  EXPECT_EQ(slurp(dir_ / "out.bin"), slurp(input));
+  EXPECT_LE(used, 12u);
+}
+
+TEST_F(CliTest, DecodeSurvivesNMinusKLosses) {
+  auto input = write_input(50'000, 9);
+  encode_file(input, dir_ / "arc", {12, 6, 10, 10}, 2048);
+  for (int i : {1, 4, 7, 9, 10, 11})  // 6 = n-k block files gone
+    fs::remove(dir_ / "arc" / ("block_" + std::string(i < 10 ? "00" : "0") +
+                               std::to_string(i) + ".bin"));
+  decode_file(dir_ / "arc", dir_ / "out.bin");
+  EXPECT_EQ(slurp(dir_ / "out.bin"), slurp(input));
+}
+
+TEST_F(CliTest, DecodeFailsBeyondTolerance) {
+  auto input = write_input(10'000, 3);
+  encode_file(input, dir_ / "arc", {6, 3, 4, 6}, 1024);
+  for (int i = 0; i < 4; ++i)
+    fs::remove(dir_ / "arc" / ("block_00" + std::to_string(i) + ".bin"));
+  EXPECT_THROW(decode_file(dir_ / "arc", dir_ / "out.bin"),
+               std::runtime_error);
+}
+
+TEST_F(CliTest, TruncatedBlockFileTreatedAsLost) {
+  auto input = write_input(10'000, 5);
+  encode_file(input, dir_ / "arc", {6, 3, 4, 6}, 1024);
+  // Truncate one block file: decoder must ignore it and still succeed.
+  fs::resize_file(dir_ / "arc" / "block_002.bin", 10);
+  decode_file(dir_ / "arc", dir_ / "out.bin");
+  EXPECT_EQ(slurp(dir_ / "out.bin"), slurp(input));
+}
+
+TEST_F(CliTest, RepairRestoresIdenticalBlockFile) {
+  auto input = write_input(60'000, 11);
+  encode_file(input, dir_ / "arc", {12, 6, 10, 12}, 2048);
+  auto original = slurp(dir_ / "arc" / "block_005.bin");
+  fs::remove(dir_ / "arc" / "block_005.bin");
+  auto traffic = repair_block_file(dir_ / "arc", 5);
+  EXPECT_EQ(slurp(dir_ / "arc" / "block_005.bin"), original);
+  // MSR-optimal: 2 block-files' worth, not 6.
+  EXPECT_EQ(traffic, 2 * original.size());
+  decode_file(dir_ / "arc", dir_ / "out.bin");
+  EXPECT_EQ(slurp(dir_ / "out.bin"), slurp(input));
+}
+
+TEST_F(CliTest, RepairFallsBackUnderManyLosses) {
+  auto input = write_input(30'000, 13);
+  encode_file(input, dir_ / "arc", {12, 6, 10, 12}, 2048);
+  auto original = slurp(dir_ / "arc" / "block_000.bin");
+  for (int i : {0, 2, 8})  // 3 losses: fewer than d=10 survivors
+    fs::remove(dir_ / "arc" / ("block_00" + std::to_string(i) + ".bin"));
+  repair_block_file(dir_ / "arc", 0);
+  EXPECT_EQ(slurp(dir_ / "arc" / "block_000.bin"), original);
+}
+
+TEST_F(CliTest, ChecksumGuardsCorruption) {
+  auto input = write_input(20'000, 17);
+  encode_file(input, dir_ / "arc", {6, 3, 3, 6}, 1024);
+  // Flip one byte in a DATA-carrying region of every copy-path block: the
+  // decode output changes, so the CRC must reject it.
+  {
+    std::fstream f(dir_ / "arc" / "block_001.bin",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(3);
+    char c;
+    f.seekg(3);
+    f.get(c);
+    c = static_cast<char>(c ^ 0x1);
+    f.seekp(3);
+    f.put(c);
+  }
+  EXPECT_THROW(decode_file(dir_ / "arc", dir_ / "out.bin"),
+               std::runtime_error);
+}
+
+TEST_F(CliTest, ManifestRoundTrip) {
+  Manifest m;
+  m.params = {12, 6, 10, 8};
+  m.file_bytes = 12345;
+  m.block_bytes = 4096;
+  m.stripes = 3;
+  m.checksum = 0xDEADBEEF;
+  auto parsed = Manifest::parse(m.serialize());
+  EXPECT_EQ(parsed.params, m.params);
+  EXPECT_EQ(parsed.file_bytes, m.file_bytes);
+  EXPECT_EQ(parsed.block_bytes, m.block_bytes);
+  EXPECT_EQ(parsed.stripes, m.stripes);
+  EXPECT_EQ(parsed.checksum, m.checksum);
+  EXPECT_THROW(Manifest::parse("format=unknown\n"), std::runtime_error);
+  EXPECT_THROW(Manifest::parse("format=carousel-archive-v1\nn=3\n"),
+               std::runtime_error);
+}
+
+TEST_F(CliTest, Crc32KnownVector) {
+  // "123456789" -> 0xCBF43926 (IEEE CRC-32 check value).
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST_F(CliTest, InfoDescribesArchive) {
+  auto input = write_input(10'000, 19);
+  encode_file(input, dir_ / "arc", {12, 6, 10, 10}, 2048);
+  fs::remove(dir_ / "arc" / "block_003.bin");
+  auto text = describe(dir_ / "arc");
+  EXPECT_NE(text.find("(12,6,10,10)"), std::string::npos);
+  EXPECT_NE(text.find("11/12 present"), std::string::npos);
+}
+
+TEST_F(CliTest, RunDispatchesAndValidates) {
+  auto input = write_input(5'000, 23);
+  EXPECT_EQ(run({}), 2);
+  EXPECT_EQ(run({"bogus"}), 2);
+  EXPECT_EQ(run({"encode", input.string(), (dir_ / "arc").string(), "6", "3",
+                 "4", "6", "1024"}),
+            0);
+  EXPECT_EQ(run({"info", (dir_ / "arc").string()}), 0);
+  EXPECT_EQ(run({"decode", (dir_ / "arc").string(),
+                 (dir_ / "out.bin").string()}),
+            0);
+  EXPECT_EQ(slurp(dir_ / "out.bin"), slurp(input));
+  EXPECT_EQ(run({"repair", (dir_ / "arc").string(), "2"}), 0);
+  EXPECT_EQ(run({"decode", "/nonexistent/dir", "x"}), 1);
+}
+
+}  // namespace
+}  // namespace carousel::cli

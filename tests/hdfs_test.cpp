@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "hdfs/cluster.h"
+#include "hdfs/dfs.h"
+
+namespace carousel::hdfs {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig c;
+  c.nodes = 15;
+  c.disk_read_bps = 100 * kMB;
+  c.node_egress_bps = mbps(300);
+  c.node_ingress_bps = mbps(1000);
+  c.client_ingress_bps = mbps(2500);
+  return c;
+}
+
+TEST(DfsFile, CodedPlacementDistinctNodesPerStripe) {
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {12, 6, 10, 12}, 6 * 512 * kMB, 512 * kMB);
+  EXPECT_EQ(f.stripes(), 1u);
+  ASSERT_EQ(f.blocks().size(), 12u);
+  std::vector<bool> used(cluster.nodes(), false);
+  for (const auto& b : f.blocks()) {
+    EXPECT_FALSE(used[b.node]) << "two blocks share node " << b.node;
+    used[b.node] = true;
+  }
+}
+
+TEST(DfsFile, CodedDataExtents) {
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {12, 6, 10, 10}, 6 * 512 * kMB, 512 * kMB);
+  double data_total = 0;
+  for (const auto& b : f.blocks()) {
+    if (b.index < 10)
+      EXPECT_NEAR(b.data_bytes, 512 * kMB * 6 / 10, 1.0) << b.index;
+    else
+      EXPECT_EQ(b.data_bytes, 0.0);
+    data_total += b.data_bytes;
+  }
+  EXPECT_NEAR(data_total, f.file_bytes(), 1.0);
+  EXPECT_NEAR(f.stored_bytes(), 12 * 512 * kMB, 1.0);
+}
+
+TEST(DfsFile, ReplicatedPlacementAndOverhead) {
+  Cluster cluster(small_config());
+  auto f = DfsFile::replicated(cluster, 6 * 512 * kMB, 512 * kMB, 3);
+  EXPECT_EQ(f.blocks().size(), 18u);
+  EXPECT_NEAR(f.stored_bytes(), 3 * 6 * 512 * kMB, 1.0);
+  // Replicas of one block on distinct nodes.
+  for (std::size_t b = 0; b < 6; ++b) {
+    std::vector<std::size_t> nodes;
+    for (const auto& blk : f.blocks())
+      if (blk.stripe == b) nodes.push_back(blk.node);
+    std::sort(nodes.begin(), nodes.end());
+    EXPECT_EQ(std::adjacent_find(nodes.begin(), nodes.end()), nodes.end());
+  }
+}
+
+TEST(DfsFile, FailNodeMarksItsBlocks) {
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {6, 3, 4, 6}, 3 * 64 * kMB, 64 * kMB);
+  std::size_t victim = f.blocks()[2].node;
+  f.fail_node(victim);
+  for (const auto& b : f.blocks())
+    EXPECT_EQ(b.available, b.node != victim);
+}
+
+TEST(SequentialGet, ReplicationTimeMatchesHandComputation) {
+  // 6 blocks of 512 MB, one after another, server egress 300 Mbps each
+  // (disk and client faster): 6 * 512MB / 37.5MB/s.
+  Cluster cluster(small_config());
+  auto f = DfsFile::replicated(cluster, 6 * 512 * kMB, 512 * kMB, 3);
+  auto r = sequential_get(cluster, f);
+  const double per_block = 512 * kMB / mbps(300);
+  EXPECT_NEAR(r.seconds, 6 * per_block, 0.05);
+  EXPECT_NEAR(r.bytes_transferred, 6 * 512 * kMB, 1.0);
+}
+
+TEST(SequentialGet, SkipsFailedReplica) {
+  Cluster cluster(small_config());
+  auto f = DfsFile::replicated(cluster, 2 * 64 * kMB, 64 * kMB, 2);
+  f.blocks()[0].available = false;  // first replica of block 0
+  auto r = sequential_get(cluster, f);
+  EXPECT_GT(r.seconds, 0.0);
+  f.blocks()[1].available = false;  // both replicas gone
+  EXPECT_THROW(sequential_get(cluster, f), std::runtime_error);
+}
+
+TEST(DfsFile, RackAwareSpreadSurvivesRackLoss) {
+  ClusterConfig cfg = small_config();
+  cfg.nodes = 30;
+  cfg.racks = 6;
+  Cluster cluster(cfg);
+  auto f = DfsFile::coded(cluster, {12, 6, 10, 10}, 2 * 6 * 512 * kMB,
+                          512 * kMB);
+  // Interleaved racks + staggered placement: each stripe puts at most
+  // ceil(12/6) = 2 blocks in any rack — under the n-k = 6 loss budget.
+  EXPECT_LE(f.max_blocks_per_rack(cluster), 2u);
+  f.fail_rack(cluster, 3);
+  // Every stripe keeps >= k blocks; a degraded parallel read still works.
+  auto r = parallel_read(cluster, f, 1e12);
+  EXPECT_GT(r.bytes_transferred, 0.0);
+  std::size_t down = 0;
+  for (const auto& b : f.blocks()) down += !b.available;
+  EXPECT_GT(down, 0u);
+}
+
+TEST(DfsFile, SingleRackClusterConcentratesBlocks) {
+  Cluster cluster(small_config());  // racks = 1
+  auto f = DfsFile::coded(cluster, {6, 3, 4, 6}, 3 * 64 * kMB, 64 * kMB);
+  EXPECT_EQ(f.max_blocks_per_rack(cluster), 6u);
+  f.fail_rack(cluster, 0);
+  EXPECT_THROW(parallel_read(cluster, f, 0), std::runtime_error);
+}
+
+TEST(SequentialGet, CodedFileWalksDataExtents) {
+  // fs -get over a coded file reads the data-carrying blocks' extents one
+  // after another: total bytes = the file, time = sum of extent transfers.
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {12, 6, 10, 10}, 6 * 512 * kMB, 512 * kMB);
+  auto r = sequential_get(cluster, f);
+  EXPECT_NEAR(r.bytes_transferred, 6 * 512 * kMB, 1.0);
+  EXPECT_NEAR(r.seconds, 6 * 512 * kMB / mbps(300), 0.1);
+}
+
+TEST(ParallelRead, ServerLimitedWhenFanOutIsSmall) {
+  // RS (12,6): 6 parallel streams of 512 MB at 300 Mbps each = 1.8 Gbps
+  // aggregate, under the 2.5 Gbps client link: server-limited.
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {12, 6, 6, 6}, 6 * 512 * kMB, 512 * kMB);
+  auto r = parallel_read(cluster, f, 0);
+  EXPECT_NEAR(r.seconds, 512 * kMB / mbps(300), 0.05);
+  EXPECT_EQ(r.bytes_decoded, 0.0);
+}
+
+TEST(ParallelRead, ClientLimitedWhenFanOutIsLarge) {
+  // Carousel p=12: 12 streams of 256 MB; aggregate 3.6 Gbps > client
+  // 2.5 Gbps: client-limited, total 3 GB / 2.5 Gbps.
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {12, 6, 10, 12}, 6 * 512 * kMB, 512 * kMB);
+  auto r = parallel_read(cluster, f, 0);
+  EXPECT_NEAR(r.seconds, 6 * 512 * kMB / mbps(2500), 0.05);
+}
+
+TEST(ParallelRead, FasterThanSequentialAndImprovesWithP) {
+  Cluster c1(small_config()), c2(small_config()), c3(small_config());
+  const double fb = 6 * 512 * kMB, bb = 512 * kMB;
+  auto rep = DfsFile::replicated(c1, fb, bb, 3);
+  auto rs = DfsFile::coded(c2, {12, 6, 6, 6}, fb, bb);
+  auto car = DfsFile::coded(c3, {12, 6, 10, 10}, fb, bb);
+  double t_rep = sequential_get(c1, rep).seconds;
+  double t_rs = parallel_read(c2, rs, 0).seconds;
+  double t_car = parallel_read(c3, car, 0).seconds;
+  EXPECT_LT(t_rs, t_rep);
+  EXPECT_LT(t_car, t_rs);  // the Fig. 11 ordering
+}
+
+TEST(ParallelRead, DegradedReadAddsDecodeTime) {
+  const double fb = 6 * 512 * kMB, bb = 512 * kMB;
+  Cluster c1(small_config()), c2(small_config());
+  auto f1 = DfsFile::coded(c1, {12, 6, 10, 10}, fb, bb);
+  auto f2 = DfsFile::coded(c2, {12, 6, 10, 10}, fb, bb);
+  f1.fail_block_index(2);
+  f2.fail_block_index(2);
+  auto fast_decode = parallel_read(c1, f1, 1e12);
+  auto slow_decode = parallel_read(c2, f2, 100 * kMB);
+  // One stand-in: k/p of a block must be decoded.
+  EXPECT_NEAR(fast_decode.bytes_decoded, bb * 6 / 10, 1.0);
+  EXPECT_GT(slow_decode.seconds, fast_decode.seconds);
+  EXPECT_NEAR(slow_decode.seconds - fast_decode.seconds,
+              fast_decode.bytes_decoded / (100 * kMB) -
+                  fast_decode.bytes_decoded / 1e12,
+              0.05);
+}
+
+TEST(ParallelRead, RsDegradedFetchesParityBlock) {
+  // p == k: the classic degraded read — still k streams, one of them parity.
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {12, 6, 6, 6}, 6 * 512 * kMB, 512 * kMB);
+  f.fail_block_index(0);
+  auto r = parallel_read(cluster, f, 0);
+  EXPECT_NEAR(r.bytes_transferred, 6 * 512 * kMB, 1.0);
+  EXPECT_NEAR(r.bytes_decoded, 512 * kMB, 1.0);
+}
+
+TEST(ParallelRead, ThrowsWhenUnrecoverable) {
+  Cluster cluster(small_config());
+  auto f = DfsFile::coded(cluster, {4, 2, 2, 2}, 2 * 64 * kMB, 64 * kMB);
+  f.fail_block_index(0);
+  f.fail_block_index(1);
+  f.fail_block_index(2);
+  EXPECT_THROW(parallel_read(cluster, f, 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace carousel::hdfs

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf/gf256.h"
+#include "matrix/matrix.h"
+#include "test_util.h"
+
+namespace carousel::matrix {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m.at(i, j) = Byte(rng());
+  return m;
+}
+
+TEST(Matrix, IdentityProperties) {
+  Matrix i = Matrix::identity(5);
+  EXPECT_TRUE(i.is_identity());
+  EXPECT_TRUE(i.is_square());
+  EXPECT_EQ(i.rank(), 5u);
+  EXPECT_EQ(i.nonzeros(), 5u);
+  auto m = random_matrix(5, 7, 1);
+  EXPECT_EQ(i.mul(m), m);
+}
+
+TEST(Matrix, FromRowsAndEquality) {
+  auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(1, 0), 3);
+  EXPECT_EQ(m, Matrix::from_rows({{1, 2}, {3, 4}}));
+  EXPECT_NE(m, Matrix::from_rows({{1, 2}, {3, 5}}));
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, MulAssociative) {
+  auto a = random_matrix(4, 6, 1);
+  auto b = random_matrix(6, 3, 2);
+  auto c = random_matrix(3, 5, 3);
+  EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+}
+
+TEST(Matrix, MulVecMatchesMul) {
+  auto a = random_matrix(5, 4, 7);
+  auto v = test::random_bytes(4, 9);
+  Matrix col(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) col.at(i, 0) = v[i];
+  auto prod = a.mul(col);
+  auto vec = a.mul_vec(v);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(vec[i], prod.at(i, 0));
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    auto a = random_matrix(8, 8, seed);
+    auto inv = a.inverse();
+    if (!inv) continue;  // rare singular draw
+    EXPECT_TRUE(a.mul(*inv).is_identity()) << "seed " << seed;
+    EXPECT_TRUE(inv->mul(a).is_identity()) << "seed " << seed;
+  }
+}
+
+TEST(Matrix, SingularHasNoInverse) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1;
+  a.at(1, 0) = 2;  // rank 1
+  a.at(2, 0) = 3;
+  EXPECT_FALSE(a.inverse().has_value());
+  EXPECT_EQ(a.rank(), 1u);
+  EXPECT_FALSE(random_matrix(3, 4, 1).inverse().has_value());  // non-square
+}
+
+TEST(Matrix, RankOfProductsAndStacks) {
+  auto a = random_matrix(6, 6, 11);
+  ASSERT_TRUE(a.inverse().has_value());
+  EXPECT_EQ(a.rank(), 6u);
+  // Duplicating rows cannot raise rank.
+  std::vector<std::size_t> dup = {0, 1, 2, 3, 4, 5, 0, 3};
+  EXPECT_EQ(a.select_rows(dup).rank(), 6u);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  auto a = random_matrix(3, 7, 5);
+  EXPECT_EQ(a.transpose().transpose(), a);
+  EXPECT_EQ(a.transpose().rows(), 7u);
+}
+
+TEST(Matrix, SelectRowsCols) {
+  auto a = random_matrix(5, 5, 13);
+  std::vector<std::size_t> idx = {4, 0, 2};
+  auto r = a.select_rows(idx);
+  EXPECT_EQ(r.rows(), 3u);
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(r.at(0, j), a.at(4, j));
+    EXPECT_EQ(r.at(2, j), a.at(2, j));
+  }
+  auto c = a.select_cols(idx);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(c.at(i, 1), a.at(i, 0));
+}
+
+TEST(Matrix, StackShapes) {
+  auto a = random_matrix(2, 3, 1);
+  auto b = random_matrix(4, 3, 2);
+  auto v = a.vstack(b);
+  EXPECT_EQ(v.rows(), 6u);
+  EXPECT_EQ(v.at(3, 2), b.at(1, 2));
+  auto c = random_matrix(2, 5, 3);
+  auto h = a.hstack(c);
+  EXPECT_EQ(h.cols(), 8u);
+  EXPECT_EQ(h.at(1, 6), c.at(1, 3));
+}
+
+TEST(Matrix, KronIdentityStructure) {
+  auto a = Matrix::from_rows({{3, 0}, {5, 7}});
+  auto e = a.kron_identity(3);
+  EXPECT_EQ(e.rows(), 6u);
+  EXPECT_EQ(e.cols(), 6u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      for (std::size_t u = 0; u < 3; ++u)
+        for (std::size_t v = 0; v < 3; ++v)
+          EXPECT_EQ(e.at(r * 3 + u, c * 3 + v), u == v ? a.at(r, c) : 0);
+  EXPECT_EQ(e.nonzeros(), a.nonzeros() * 3);
+}
+
+TEST(Matrix, KronIdentityPreservesInvertibility) {
+  auto a = random_matrix(4, 4, 17);
+  ASSERT_TRUE(a.inverse().has_value());
+  auto e = a.kron_identity(5);
+  ASSERT_TRUE(e.inverse().has_value());
+  EXPECT_EQ(*e.inverse(), a.inverse()->kron_identity(5));
+}
+
+TEST(Matrix, RowSupport) {
+  auto a = Matrix::from_rows({{0, 5, 0, 9}});
+  EXPECT_EQ(a.row_support(0), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Matrix, VandermondeStructureAndRank) {
+  std::vector<Byte> xs = {1, 2, 3, 4, 5, 6};
+  auto v = vandermonde(xs, 4);
+  EXPECT_EQ(v.at(2, 0), 1);
+  EXPECT_EQ(v.at(2, 1), 3);
+  EXPECT_EQ(v.at(2, 2), gf::mul(3, 3));
+  EXPECT_EQ(v.rank(), 4u);
+  // Any 4 rows of a Vandermonde with distinct points are independent.
+  for (const auto& rows : test::subsets(6, 4))
+    EXPECT_TRUE(v.select_rows(rows).inverse().has_value());
+}
+
+TEST(Matrix, CauchySystematicIsMdsSmall) {
+  // Exhaustively: every k-subset of rows is nonsingular.
+  for (auto [n, k] : {std::pair<std::size_t, std::size_t>{4, 2},
+                      {5, 3},
+                      {6, 4},
+                      {8, 4}}) {
+    auto g = cauchy_systematic(n, k);
+    std::vector<std::size_t> top(k);
+    for (std::size_t i = 0; i < k; ++i) top[i] = i;
+    EXPECT_TRUE(g.select_rows(top).is_identity());
+    for (const auto& rows : test::subsets(n, k))
+      EXPECT_TRUE(g.select_rows(rows).inverse().has_value())
+          << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Matrix, CauchySystematicRejectsBadShapes) {
+  EXPECT_THROW(cauchy_systematic(3, 0), std::invalid_argument);
+  EXPECT_THROW(cauchy_systematic(3, 4), std::invalid_argument);
+  EXPECT_THROW(cauchy_systematic(257, 2), std::invalid_argument);
+}
+
+TEST(Matrix, SolveMatchesInverse) {
+  auto a = random_matrix(6, 6, 23);
+  ASSERT_TRUE(a.inverse().has_value());
+  auto x = test::random_bytes(6, 4);
+  auto b = a.mul_vec(x);
+  auto solved = solve(a, b);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ(*solved, x);
+}
+
+TEST(Matrix, ToStringShape) {
+  auto a = Matrix::from_rows({{255, 0}});
+  EXPECT_EQ(a.to_string(), "ff 00 \n");
+}
+
+}  // namespace
+}  // namespace carousel::matrix

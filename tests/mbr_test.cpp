@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "codes/mbr.h"
+#include "test_util.h"
+
+namespace carousel::codes {
+namespace {
+
+using test::random_bytes;
+using test::split_const_spans;
+using test::split_spans;
+using test::subsets;
+
+std::pair<std::vector<Byte>, std::vector<Byte>> make_stripe(
+    const ProductMatrixMBR& mbr, std::size_t ub, std::uint32_t seed = 3) {
+  auto data = random_bytes(mbr.message_units() * ub, seed);
+  std::vector<Byte> blob(mbr.n() * mbr.alpha() * ub);
+  auto blocks = split_spans(blob, mbr.n());
+  mbr.encode(data, blocks);
+  return {std::move(data), std::move(blob)};
+}
+
+TEST(Mbr, GeometryMatchesTheory) {
+  ProductMatrixMBR mbr(6, 3, 4);
+  EXPECT_EQ(mbr.alpha(), 4u);
+  EXPECT_EQ(mbr.message_units(), 3u * 4 - 3);  // kd - k(k-1)/2 = 9
+  EXPECT_GT(mbr.storage_expansion(), 1.0);     // above the MDS minimum...
+  EXPECT_DOUBLE_EQ(mbr.repair_traffic_blocks(), 1.0);  // ...but 1-block repair
+  EXPECT_THROW(ProductMatrixMBR(6, 1, 4), std::invalid_argument);
+  EXPECT_THROW(ProductMatrixMBR(6, 4, 3), std::invalid_argument);
+  EXPECT_THROW(ProductMatrixMBR(5, 3, 5), std::invalid_argument);
+}
+
+TEST(Mbr, DecodeFromEveryKSubset) {
+  for (auto [n, k, d] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{5, 2, 3},
+        {6, 3, 4},
+        {6, 3, 5},
+        {7, 4, 5}}) {
+    ProductMatrixMBR mbr(n, k, d);
+    const std::size_t ub = 6;
+    auto [data, blob] = make_stripe(mbr, ub);
+    auto views = split_const_spans(blob, n);
+    for (const auto& ids : subsets(n, k)) {
+      std::vector<std::span<const Byte>> chosen;
+      for (std::size_t id : ids) chosen.push_back(views[id]);
+      std::vector<Byte> out(data.size());
+      auto stats = mbr.decode(ids, chosen, out);
+      ASSERT_EQ(out, data) << "(" << n << "," << k << "," << d << ")";
+      // Decode reads exactly B units: less than k full blocks.
+      EXPECT_EQ(stats.bytes_read, mbr.message_units() * ub);
+    }
+  }
+}
+
+TEST(Mbr, RepairEveryBlockAtOneBlockTraffic) {
+  ProductMatrixMBR mbr(7, 3, 5);
+  const std::size_t ub = 8;
+  const std::size_t w = mbr.alpha() * ub;
+  auto [data, blob] = make_stripe(mbr, ub);
+  auto views = split_const_spans(blob, 7);
+  for (std::size_t failed = 0; failed < 7; ++failed) {
+    std::vector<std::size_t> helpers;
+    for (std::size_t h = 0; h < 7 && helpers.size() < mbr.d(); ++h)
+      if (h != failed) helpers.push_back(h);
+    std::vector<std::vector<Byte>> store;
+    std::vector<std::span<const Byte>> chunks;
+    for (std::size_t h : helpers) {
+      store.emplace_back(ub);
+      mbr.helper_compute(h, failed, views[h], store.back());
+    }
+    for (auto& c : store) chunks.emplace_back(c);
+    std::vector<Byte> rebuilt(w);
+    auto stats = mbr.newcomer_compute(failed, helpers, chunks, rebuilt);
+    ASSERT_TRUE(
+        std::equal(rebuilt.begin(), rebuilt.end(), views[failed].begin()))
+        << "failed=" << failed;
+    EXPECT_EQ(stats.bytes_read, w);  // the MBR bound: one block size
+  }
+}
+
+TEST(Mbr, TradeoffAgainstMsrShape) {
+  // At (12,6,10): MBR repairs with half of MSR's traffic (1 vs 2 blocks)
+  // but stores ~1.33x more per block — the two endpoints of the RSK curve.
+  ProductMatrixMBR mbr(12, 6, 10);
+  EXPECT_NEAR(mbr.storage_expansion(), 60.0 / 45.0, 1e-9);
+  EXPECT_LT(mbr.repair_traffic_blocks(), 2.0);
+}
+
+TEST(Mbr, Validation) {
+  ProductMatrixMBR mbr(6, 3, 4);
+  const std::size_t ub = 4;
+  auto [data, blob] = make_stripe(mbr, ub);
+  auto views = split_const_spans(blob, 6);
+  std::vector<Byte> out(data.size());
+  std::vector<std::size_t> dup = {1, 1, 2};
+  std::vector<std::span<const Byte>> chosen = {views[1], views[1], views[2]};
+  EXPECT_THROW(mbr.decode(dup, chosen, out), std::invalid_argument);
+  std::vector<Byte> chunk(ub);
+  EXPECT_THROW(mbr.helper_compute(2, 2, views[2], chunk),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace carousel::codes

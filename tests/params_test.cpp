@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "codes/params.h"
+
+namespace carousel::codes {
+namespace {
+
+TEST(CodeParams, DerivedQuantities) {
+  CodeParams p{12, 6, 10, 12};
+  EXPECT_EQ(p.alpha(), 5u);
+  EXPECT_FALSE(p.trivial_repair());
+  EXPECT_DOUBLE_EQ(p.repair_traffic_blocks(), 2.0);
+  CodeParams rs{9, 6, 6, 6};
+  EXPECT_EQ(rs.alpha(), 1u);
+  EXPECT_TRUE(rs.trivial_repair());
+  EXPECT_DOUBLE_EQ(rs.repair_traffic_blocks(), 6.0);
+  EXPECT_EQ(p.to_string(), "(12,6,10,12)");
+}
+
+TEST(CodeParams, ValidationMatrix) {
+  // Valid corners.
+  EXPECT_NO_THROW((CodeParams{2, 1, 1, 1}.validate()));       // minimal
+  EXPECT_NO_THROW((CodeParams{12, 6, 6, 6}.validate()));      // RS
+  EXPECT_NO_THROW((CodeParams{12, 6, 10, 12}.validate()));    // paper
+  EXPECT_NO_THROW((CodeParams{4, 2, 3, 4}.validate()));       // d=2k-1, k=2
+  EXPECT_NO_THROW((CodeParams{128, 64, 126, 128}.validate())); // design max
+
+  // Each constraint violated in isolation.
+  EXPECT_THROW((CodeParams{6, 0, 3, 3}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{6, 7, 7, 7}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{129, 6, 10, 6}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{6, 3, 2, 3}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{6, 3, 6, 3}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{6, 3, 3, 2}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{6, 3, 3, 7}.validate()), std::invalid_argument);
+  // The product-matrix gap k < d < max(k+1, 2k-2).
+  EXPECT_THROW((CodeParams{10, 4, 5, 4}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{12, 5, 6, 5}.validate()), std::invalid_argument);
+  EXPECT_THROW((CodeParams{12, 5, 7, 5}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((CodeParams{12, 5, 8, 5}.validate()));  // 2k-2 boundary
+}
+
+TEST(CodeParams, EqualityAndFractionHelper) {
+  EXPECT_EQ((CodeParams{6, 3, 4, 5}), (CodeParams{6, 3, 4, 5}));
+  EXPECT_NE((CodeParams{6, 3, 4, 5}), (CodeParams{6, 3, 4, 6}));
+  EXPECT_EQ(reduce_fraction(30, 12), (std::pair<std::size_t, std::size_t>{5, 2}));
+  EXPECT_EQ(reduce_fraction(5, 1), (std::pair<std::size_t, std::size_t>{5, 1}));
+  EXPECT_EQ(reduce_fraction(7, 7), (std::pair<std::size_t, std::size_t>{1, 1}));
+}
+
+}  // namespace
+}  // namespace carousel::codes

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codes/lrc.h"
+#include "reliability/mttdl.h"
+
+namespace carousel::reliability {
+namespace {
+
+constexpr double kYear = 365.25 * 24 * 3600;
+
+TEST(BirthDeath, SingleStateMatchesExponential) {
+  // One transient state, no repair: MTTDL = 1/lambda.
+  EXPECT_DOUBLE_EQ(birth_death_absorption_time({0.25}, {0}), 4.0);
+}
+
+TEST(BirthDeath, TwoStateMatchesClosedForm) {
+  // Classic 2-way mirror: states 0 (both up) and 1 (one down).
+  // Closed form: MTTDL = (3*l + mu) / (2*l^2).
+  const double l = 0.01, mu = 5.0;
+  double expect = (3 * l + mu) / (2 * l * l);
+  double got = birth_death_absorption_time({2 * l, l}, {0, mu});
+  EXPECT_NEAR(got, expect, expect * 1e-9);
+}
+
+TEST(BirthDeath, FasterRepairNeverHurts) {
+  for (double mu : {0.1, 1.0, 10.0, 100.0}) {
+    double slow = birth_death_absorption_time({3e-3, 2e-3, 1e-3},
+                                              {0, mu, mu});
+    double fast = birth_death_absorption_time({3e-3, 2e-3, 1e-3},
+                                              {0, 3 * mu, 3 * mu});
+    EXPECT_GT(fast, slow);
+  }
+}
+
+TEST(BirthDeath, Validation) {
+  EXPECT_THROW(birth_death_absorption_time({}, {}), std::invalid_argument);
+  EXPECT_THROW(birth_death_absorption_time({1.0}, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(birth_death_absorption_time({0.0}, {0.0}),
+               std::invalid_argument);
+}
+
+TEST(MdsMttdl, MatchesGenericChain) {
+  Environment env{1.0 / (4 * kYear), 3600.0};
+  // (6,4): transient states 0,1,2.
+  double expect = birth_death_absorption_time(
+      {6 * env.block_failure_rate, 5 * env.block_failure_rate,
+       4 * env.block_failure_rate},
+      {0, 1 / 3600.0, 1 / 3600.0});
+  EXPECT_DOUBLE_EQ(mds_stripe_mttdl(6, 4, env), expect);
+}
+
+TEST(MdsMttdl, ParityAndRepairSpeedOrdering) {
+  Environment env{1.0 / (4 * kYear), 6 * 3600.0};
+  // More parity => astronomically more durable.
+  double rs_6_4 = mds_stripe_mttdl(6, 4, env);
+  double rs_9_6 = mds_stripe_mttdl(9, 6, env);
+  double rep3 = mds_stripe_mttdl(3, 1, env);
+  EXPECT_GT(rs_9_6, rs_6_4);
+  EXPECT_GT(rs_6_4, rep3 / 100);  // same tolerance class as 3-rep
+  // MSR/Carousel repair is 3x faster than RS at (12,6,10): traffic 2 vs 6
+  // block sizes.  MTTDL must rise by roughly the repair-speed ratio per
+  // additional tolerated failure.
+  Environment rs_env{1.0 / (4 * kYear), 6.0 * 3600};
+  Environment msr_env{1.0 / (4 * kYear), 2.0 * 3600};
+  double rs = mds_stripe_mttdl(12, 6, rs_env);
+  double msr = mds_stripe_mttdl(12, 6, msr_env);
+  EXPECT_GT(msr, rs * 100) << "6 extra failures each ~3x less likely";
+}
+
+TEST(Simulate, AgreesWithAnalyticOnMdsStripe) {
+  // Aggressive rates so Monte-Carlo converges quickly: blocks fail every
+  // ~100 s, repair takes 30 s, (4,2) stripe.
+  Environment env{1.0 / 100, 30};
+  double analytic = mds_stripe_mttdl(4, 2, env);
+  auto mds_ok = [](const std::vector<bool>& up) {
+    return std::count(up.begin(), up.end(), true) >= 2;
+  };
+  double mc = simulate_mttdl(4, mds_ok, env, 4000, 7);
+  EXPECT_NEAR(mc, analytic, analytic * 0.10) << "MC vs Markov chain";
+}
+
+TEST(Simulate, LrcSitsBelowEqualOverheadMds) {
+  // LRC(6,2,2) has n=10 like RS(10,6) but loses some 4-failure patterns, so
+  // its simulated MTTDL must land below the MDS chain's — yet far above an
+  // (8,6) code that only tolerates 2 failures.
+  Environment env{1.0 / 200, 40};
+  codes::LocalReconstructionCode lrc(6, 2, 2);
+  auto lrc_ok = [&lrc](const std::vector<bool>& up) {
+    return lrc.recoverable(up);
+  };
+  double lrc_mttdl = simulate_mttdl(10, lrc_ok, env, 1500, 3);
+  double mds_10_6 = mds_stripe_mttdl(10, 6, env);
+  double mds_8_6 = mds_stripe_mttdl(8, 6, env);
+  EXPECT_LT(lrc_mttdl, mds_10_6);
+  EXPECT_GT(lrc_mttdl, mds_8_6);
+}
+
+TEST(Simulate, Validation) {
+  Environment env{1.0 / 100, 30};
+  auto never = [](const std::vector<bool>&) { return true; };
+  EXPECT_THROW(simulate_mttdl(4, never, env, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace carousel::reliability

@@ -1,0 +1,64 @@
+// Shared helpers for the test suite.
+
+#ifndef CAROUSEL_TESTS_TEST_UTIL_H
+#define CAROUSEL_TESTS_TEST_UTIL_H
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace carousel::test {
+
+/// Deterministic pseudo-random byte buffer.
+inline std::vector<std::uint8_t> random_bytes(std::size_t n,
+                                              std::uint32_t seed = 42) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+/// Splits a contiguous buffer into `count` equal mutable spans.
+inline std::vector<std::span<std::uint8_t>> split_spans(
+    std::vector<std::uint8_t>& buf, std::size_t count) {
+  std::vector<std::span<std::uint8_t>> out;
+  const std::size_t each = buf.size() / count;
+  for (std::size_t i = 0; i < count; ++i)
+    out.emplace_back(buf.data() + i * each, each);
+  return out;
+}
+
+/// Const view of the same split.
+inline std::vector<std::span<const std::uint8_t>> split_const_spans(
+    const std::vector<std::uint8_t>& buf, std::size_t count) {
+  std::vector<std::span<const std::uint8_t>> out;
+  const std::size_t each = buf.size() / count;
+  for (std::size_t i = 0; i < count; ++i)
+    out.emplace_back(buf.data() + i * each, each);
+  return out;
+}
+
+/// All size-r subsets of {0, ..., n-1}.
+inline std::vector<std::vector<std::size_t>> subsets(std::size_t n,
+                                                     std::size_t r) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> cur;
+  auto rec = [&](auto&& self, std::size_t start) -> void {
+    if (cur.size() == r) {
+      out.push_back(cur);
+      return;
+    }
+    for (std::size_t i = start; i + (r - cur.size()) <= n; ++i) {
+      cur.push_back(i);
+      self(self, i + 1);
+      cur.pop_back();
+    }
+  };
+  rec(rec, 0);
+  return out;
+}
+
+}  // namespace carousel::test
+
+#endif  // CAROUSEL_TESTS_TEST_UTIL_H

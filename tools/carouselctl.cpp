@@ -1,0 +1,12 @@
+// carouselctl — encode, decode, repair and inspect Carousel-coded archives
+// on the local filesystem.  See src/cli/cli.h for the archive format.
+
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return carousel::cli::run(args);
+}
