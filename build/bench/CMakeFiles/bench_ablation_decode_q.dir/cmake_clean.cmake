@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decode_q.dir/bench_ablation_decode_q.cpp.o"
+  "CMakeFiles/bench_ablation_decode_q.dir/bench_ablation_decode_q.cpp.o.d"
+  "bench_ablation_decode_q"
+  "bench_ablation_decode_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decode_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

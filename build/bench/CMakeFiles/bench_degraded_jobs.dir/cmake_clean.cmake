@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_degraded_jobs.dir/bench_degraded_jobs.cpp.o"
+  "CMakeFiles/bench_degraded_jobs.dir/bench_degraded_jobs.cpp.o.d"
+  "bench_degraded_jobs"
+  "bench_degraded_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_degraded_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

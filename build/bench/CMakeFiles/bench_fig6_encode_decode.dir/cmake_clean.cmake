@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_encode_decode.dir/bench_fig6_encode_decode.cpp.o"
+  "CMakeFiles/bench_fig6_encode_decode.dir/bench_fig6_encode_decode.cpp.o.d"
+  "bench_fig6_encode_decode"
+  "bench_fig6_encode_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_encode_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hadoop_jobs.dir/bench_fig9_hadoop_jobs.cpp.o"
+  "CMakeFiles/bench_fig9_hadoop_jobs.dir/bench_fig9_hadoop_jobs.cpp.o.d"
+  "bench_fig9_hadoop_jobs"
+  "bench_fig9_hadoop_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hadoop_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lrc_comparison.dir/bench_lrc_comparison.cpp.o"
+  "CMakeFiles/bench_lrc_comparison.dir/bench_lrc_comparison.cpp.o.d"
+  "bench_lrc_comparison"
+  "bench_lrc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

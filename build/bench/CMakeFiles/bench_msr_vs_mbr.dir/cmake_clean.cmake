@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msr_vs_mbr.dir/bench_msr_vs_mbr.cpp.o"
+  "CMakeFiles/bench_msr_vs_mbr.dir/bench_msr_vs_mbr.cpp.o.d"
+  "bench_msr_vs_mbr"
+  "bench_msr_vs_mbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msr_vs_mbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multijob.dir/bench_multijob.cpp.o"
+  "CMakeFiles/bench_multijob.dir/bench_multijob.cpp.o.d"
+  "bench_multijob"
+  "bench_multijob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multijob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

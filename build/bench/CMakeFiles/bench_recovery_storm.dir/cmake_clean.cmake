@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_storm.dir/bench_recovery_storm.cpp.o"
+  "CMakeFiles/bench_recovery_storm.dir/bench_recovery_storm.cpp.o.d"
+  "bench_recovery_storm"
+  "bench_recovery_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_stragglers.cpp" "bench/CMakeFiles/bench_stragglers.dir/bench_stragglers.cpp.o" "gcc" "bench/CMakeFiles/bench_stragglers.dir/bench_stragglers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/carousel_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/carousel_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/carousel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/carousel_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/carousel_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/carousel_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

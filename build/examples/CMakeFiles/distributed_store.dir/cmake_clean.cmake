@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_store.dir/distributed_store.cpp.o"
+  "CMakeFiles/distributed_store.dir/distributed_store.cpp.o.d"
+  "distributed_store"
+  "distributed_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

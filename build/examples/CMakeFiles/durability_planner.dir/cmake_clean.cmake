@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_planner.dir/durability_planner.cpp.o"
+  "CMakeFiles/durability_planner.dir/durability_planner.cpp.o.d"
+  "durability_planner"
+  "durability_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_speedup.dir/mapreduce_speedup.cpp.o"
+  "CMakeFiles/mapreduce_speedup.dir/mapreduce_speedup.cpp.o.d"
+  "mapreduce_speedup"
+  "mapreduce_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

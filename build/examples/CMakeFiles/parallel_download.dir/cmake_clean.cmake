@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_download.dir/parallel_download.cpp.o"
+  "CMakeFiles/parallel_download.dir/parallel_download.cpp.o.d"
+  "parallel_download"
+  "parallel_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("gf")
+subdirs("matrix")
+subdirs("codes")
+subdirs("storage")
+subdirs("sim")
+subdirs("hdfs")
+subdirs("mapred")
+subdirs("cli")
+subdirs("reliability")
+subdirs("net")

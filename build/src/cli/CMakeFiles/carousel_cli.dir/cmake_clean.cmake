@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_cli.dir/cli.cpp.o"
+  "CMakeFiles/carousel_cli.dir/cli.cpp.o.d"
+  "libcarousel_cli.a"
+  "libcarousel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

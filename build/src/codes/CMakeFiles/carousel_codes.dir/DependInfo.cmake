@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/carousel.cpp" "src/codes/CMakeFiles/carousel_codes.dir/carousel.cpp.o" "gcc" "src/codes/CMakeFiles/carousel_codes.dir/carousel.cpp.o.d"
+  "/root/repo/src/codes/linear_code.cpp" "src/codes/CMakeFiles/carousel_codes.dir/linear_code.cpp.o" "gcc" "src/codes/CMakeFiles/carousel_codes.dir/linear_code.cpp.o.d"
+  "/root/repo/src/codes/lrc.cpp" "src/codes/CMakeFiles/carousel_codes.dir/lrc.cpp.o" "gcc" "src/codes/CMakeFiles/carousel_codes.dir/lrc.cpp.o.d"
+  "/root/repo/src/codes/mbr.cpp" "src/codes/CMakeFiles/carousel_codes.dir/mbr.cpp.o" "gcc" "src/codes/CMakeFiles/carousel_codes.dir/mbr.cpp.o.d"
+  "/root/repo/src/codes/msr.cpp" "src/codes/CMakeFiles/carousel_codes.dir/msr.cpp.o" "gcc" "src/codes/CMakeFiles/carousel_codes.dir/msr.cpp.o.d"
+  "/root/repo/src/codes/rs.cpp" "src/codes/CMakeFiles/carousel_codes.dir/rs.cpp.o" "gcc" "src/codes/CMakeFiles/carousel_codes.dir/rs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matrix/CMakeFiles/carousel_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/carousel_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

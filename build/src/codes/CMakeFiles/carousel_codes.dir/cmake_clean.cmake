@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_codes.dir/carousel.cpp.o"
+  "CMakeFiles/carousel_codes.dir/carousel.cpp.o.d"
+  "CMakeFiles/carousel_codes.dir/linear_code.cpp.o"
+  "CMakeFiles/carousel_codes.dir/linear_code.cpp.o.d"
+  "CMakeFiles/carousel_codes.dir/lrc.cpp.o"
+  "CMakeFiles/carousel_codes.dir/lrc.cpp.o.d"
+  "CMakeFiles/carousel_codes.dir/mbr.cpp.o"
+  "CMakeFiles/carousel_codes.dir/mbr.cpp.o.d"
+  "CMakeFiles/carousel_codes.dir/msr.cpp.o"
+  "CMakeFiles/carousel_codes.dir/msr.cpp.o.d"
+  "CMakeFiles/carousel_codes.dir/rs.cpp.o"
+  "CMakeFiles/carousel_codes.dir/rs.cpp.o.d"
+  "libcarousel_codes.a"
+  "libcarousel_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_gf.dir/vect.cpp.o"
+  "CMakeFiles/carousel_gf.dir/vect.cpp.o.d"
+  "CMakeFiles/carousel_gf.dir/vect_simd.cpp.o"
+  "CMakeFiles/carousel_gf.dir/vect_simd.cpp.o.d"
+  "libcarousel_gf.a"
+  "libcarousel_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

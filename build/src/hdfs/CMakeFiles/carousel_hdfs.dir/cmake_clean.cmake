@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_hdfs.dir/cluster.cpp.o"
+  "CMakeFiles/carousel_hdfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/carousel_hdfs.dir/dfs.cpp.o"
+  "CMakeFiles/carousel_hdfs.dir/dfs.cpp.o.d"
+  "libcarousel_hdfs.a"
+  "libcarousel_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_mapred.dir/job.cpp.o"
+  "CMakeFiles/carousel_mapred.dir/job.cpp.o.d"
+  "libcarousel_mapred.a"
+  "libcarousel_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

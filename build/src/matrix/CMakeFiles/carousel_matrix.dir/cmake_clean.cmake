@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_matrix.dir/echelon.cpp.o"
+  "CMakeFiles/carousel_matrix.dir/echelon.cpp.o.d"
+  "CMakeFiles/carousel_matrix.dir/matrix.cpp.o"
+  "CMakeFiles/carousel_matrix.dir/matrix.cpp.o.d"
+  "libcarousel_matrix.a"
+  "libcarousel_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

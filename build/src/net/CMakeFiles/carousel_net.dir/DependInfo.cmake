@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/block_server.cpp" "src/net/CMakeFiles/carousel_net.dir/block_server.cpp.o" "gcc" "src/net/CMakeFiles/carousel_net.dir/block_server.cpp.o.d"
+  "/root/repo/src/net/client.cpp" "src/net/CMakeFiles/carousel_net.dir/client.cpp.o" "gcc" "src/net/CMakeFiles/carousel_net.dir/client.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/carousel_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/carousel_net.dir/socket.cpp.o.d"
+  "/root/repo/src/net/store.cpp" "src/net/CMakeFiles/carousel_net.dir/store.cpp.o" "gcc" "src/net/CMakeFiles/carousel_net.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/carousel_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/carousel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/carousel_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/carousel_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/carousel_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

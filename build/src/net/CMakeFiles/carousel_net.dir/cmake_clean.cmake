@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_net.dir/block_server.cpp.o"
+  "CMakeFiles/carousel_net.dir/block_server.cpp.o.d"
+  "CMakeFiles/carousel_net.dir/client.cpp.o"
+  "CMakeFiles/carousel_net.dir/client.cpp.o.d"
+  "CMakeFiles/carousel_net.dir/socket.cpp.o"
+  "CMakeFiles/carousel_net.dir/socket.cpp.o.d"
+  "CMakeFiles/carousel_net.dir/store.cpp.o"
+  "CMakeFiles/carousel_net.dir/store.cpp.o.d"
+  "libcarousel_net.a"
+  "libcarousel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcarousel_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_reliability.dir/mttdl.cpp.o"
+  "CMakeFiles/carousel_reliability.dir/mttdl.cpp.o.d"
+  "libcarousel_reliability.a"
+  "libcarousel_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

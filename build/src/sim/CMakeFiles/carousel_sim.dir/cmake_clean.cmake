@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_sim.dir/flow.cpp.o"
+  "CMakeFiles/carousel_sim.dir/flow.cpp.o.d"
+  "CMakeFiles/carousel_sim.dir/simulation.cpp.o"
+  "CMakeFiles/carousel_sim.dir/simulation.cpp.o.d"
+  "libcarousel_sim.a"
+  "libcarousel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/erasure_file.cpp" "src/storage/CMakeFiles/carousel_storage.dir/erasure_file.cpp.o" "gcc" "src/storage/CMakeFiles/carousel_storage.dir/erasure_file.cpp.o.d"
+  "/root/repo/src/storage/stream.cpp" "src/storage/CMakeFiles/carousel_storage.dir/stream.cpp.o" "gcc" "src/storage/CMakeFiles/carousel_storage.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/carousel_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/carousel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/carousel_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/carousel_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_storage.dir/erasure_file.cpp.o"
+  "CMakeFiles/carousel_storage.dir/erasure_file.cpp.o.d"
+  "CMakeFiles/carousel_storage.dir/stream.cpp.o"
+  "CMakeFiles/carousel_storage.dir/stream.cpp.o.d"
+  "libcarousel_storage.a"
+  "libcarousel_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

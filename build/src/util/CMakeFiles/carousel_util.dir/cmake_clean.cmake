@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carousel_util.dir/crc32.cpp.o"
+  "CMakeFiles/carousel_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/carousel_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/carousel_util.dir/thread_pool.cpp.o.d"
+  "libcarousel_util.a"
+  "libcarousel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carousel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/cli_test.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/cli_test.dir/cli_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/carousel_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/carousel_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/carousel_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/matrix/CMakeFiles/carousel_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/carousel_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/carousel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

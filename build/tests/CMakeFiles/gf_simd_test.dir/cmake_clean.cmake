@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_simd_test.dir/gf_simd_test.cpp.o"
+  "CMakeFiles/gf_simd_test.dir/gf_simd_test.cpp.o.d"
+  "gf_simd_test"
+  "gf_simd_test.pdb"
+  "gf_simd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

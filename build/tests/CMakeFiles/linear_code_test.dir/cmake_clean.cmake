@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_code_test.dir/linear_code_test.cpp.o"
+  "CMakeFiles/linear_code_test.dir/linear_code_test.cpp.o.d"
+  "linear_code_test"
+  "linear_code_test.pdb"
+  "linear_code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_simd_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/params_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_code_test[1]_include.cmake")
+include("/root/repo/build/tests/rs_test[1]_include.cmake")
+include("/root/repo/build/tests/msr_test[1]_include.cmake")
+include("/root/repo/build/tests/carousel_test[1]_include.cmake")
+include("/root/repo/build/tests/lrc_test[1]_include.cmake")
+include("/root/repo/build/tests/mbr_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")

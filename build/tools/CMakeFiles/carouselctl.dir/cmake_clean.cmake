@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carouselctl.dir/carouselctl.cpp.o"
+  "CMakeFiles/carouselctl.dir/carouselctl.cpp.o.d"
+  "carouselctl"
+  "carouselctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carouselctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
