@@ -1,10 +1,20 @@
 #include "net/block_server.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "gf/vect.h"
+#include "util/crc32.h"
 
 namespace carousel::net {
+
+namespace {
+
+std::uint32_t crc_of(std::span<const std::uint8_t> bytes) {
+  return util::crc32(bytes);
+}
+
+}  // namespace
 
 BlockServer::BlockServer(std::uint16_t port)
     : listener_(TcpListener::bind(port)), port_(listener_.port()) {
@@ -18,16 +28,29 @@ void BlockServer::stop() {
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   listener_.close();  // wakes the blocked accept()
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
   {
     std::lock_guard lock(mu_);
-    for (auto& c : conns_) c.shutdown_both();  // wake workers stuck in recv
-    workers.swap(workers_);
+    for (auto& s : sessions_) s.conn.shutdown_both();  // wake blocked workers
   }
-  for (auto& w : workers)
-    if (w.joinable()) w.join();
+  // The acceptor is gone, so nobody mutates the list anymore; join without
+  // the lock (workers may still need mu_ to finish their last request).
+  for (auto& s : sessions_)
+    if (s.worker.joinable()) s.worker.join();
   std::lock_guard lock(mu_);
-  conns_.clear();
+  sessions_.clear();
+}
+
+void BlockServer::set_fault_plan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard lock(mu_);
+  faults_ = std::move(plan);
+}
+
+bool BlockServer::corrupt_block(const BlockKey& key, std::size_t offset) {
+  std::lock_guard lock(mu_);
+  auto it = blocks_.find(key);
+  if (it == blocks_.end() || it->second.bytes.empty()) return false;
+  it->second.bytes[offset % it->second.bytes.size()] ^= 0x01;
+  return true;
 }
 
 std::size_t BlockServer::block_count() const {
@@ -35,10 +58,15 @@ std::size_t BlockServer::block_count() const {
   return blocks_.size();
 }
 
+std::size_t BlockServer::session_count() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
 std::uint64_t BlockServer::stored_bytes() const {
   std::lock_guard lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [key, bytes] : blocks_) total += bytes.size();
+  for (const auto& [key, block] : blocks_) total += block.bytes.size();
   return total;
 }
 
@@ -48,20 +76,45 @@ void BlockServer::accept_loop() {
     if (!conn.valid()) return;  // listener closed: shutting down
     std::lock_guard lock(mu_);
     if (stopping_.load()) return;
-    conns_.push_back(std::move(conn));
-    TcpConn* c = &conns_.back();
-    workers_.emplace_back([this, c] { serve(*c); });
+    reap_finished_locked();
+    sessions_.emplace_back();
+    Session* s = &sessions_.back();
+    s->conn = std::move(conn);
+    s->worker = std::thread([this, s] { serve(*s); });
   }
 }
 
-void BlockServer::serve(TcpConn& conn) {
+void BlockServer::reap_finished_locked() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->done.load()) {
+      it->worker.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockServer::injected_sleep(std::uint32_t ms) {
+  // Sliced so stop() never waits behind an injected stall.
+  auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (!stopping_.load() && std::chrono::steady_clock::now() < until)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+}
+
+void BlockServer::serve(Session& session) {
+  TcpConn& conn = session.conn;
   // Whatever ends this session — clean EOF, a garbage frame, an I/O error —
   // the peer must see the connection go down; the fd itself stays owned by
-  // conns_ until stop() so shutdown here cannot race a reused descriptor.
+  // the session until reaped so shutdown here cannot race a reused
+  // descriptor.  `done` flags the session for the accept loop to reap.
   struct Hangup {
-    TcpConn& conn;
-    ~Hangup() { conn.shutdown_both(); }
-  } hangup{conn};
+    Session& s;
+    ~Hangup() {
+      s.conn.shutdown_both();
+      s.done.store(true);
+    }
+  } hangup{session};
   try {
     for (;;) {
       std::uint8_t op_raw;
@@ -72,22 +125,58 @@ void BlockServer::serve(TcpConn& conn) {
       std::vector<std::uint8_t> payload(len);
       if (len && !conn.recv_all(payload.data(), len)) return;
 
+      std::shared_ptr<FaultPlan> faults;
+      {
+        std::lock_guard lock(mu_);
+        faults = faults_;
+      }
+      std::optional<FaultRule> fault;
+      if (faults) fault = faults->decide(static_cast<Op>(op_raw));
+
       Writer resp;
       Status status = Status::kOk;
-      try {
-        Reader req(payload);
-        handle(static_cast<Op>(op_raw), req, resp, status);
-      } catch (const std::exception& e) {
+      if (fault && fault->action == FaultAction::kRefuse) {
         status = Status::kError;
-        resp = Writer();
-        resp.bytes({reinterpret_cast<const std::uint8_t*>(e.what()),
-                    std::strlen(e.what())});
+        const char* msg = "injected fault: refused";
+        resp.bytes({reinterpret_cast<const std::uint8_t*>(msg),
+                    std::strlen(msg)});
+      } else {
+        try {
+          Reader req(payload);
+          handle(static_cast<Op>(op_raw), req, resp, status);
+        } catch (const std::exception& e) {
+          status = Status::kError;
+          resp = Writer();
+          resp.bytes({reinterpret_cast<const std::uint8_t*>(e.what()),
+                      std::strlen(e.what())});
+        }
       }
+
+      if (fault) {
+        switch (fault->action) {
+          case FaultAction::kDropBeforeResponse:
+            return;  // Hangup severs the connection, response unsent
+          case FaultAction::kDelay:
+            injected_sleep(fault->delay_ms);
+            break;
+          case FaultAction::kCorruptPayload:
+            if (!resp.data().empty()) {
+              auto& buf = resp.data();
+              buf[fault->corrupt_offset % buf.size()] ^= 0x01;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+
       std::uint8_t st = static_cast<std::uint8_t>(status);
       std::uint32_t rlen = static_cast<std::uint32_t>(resp.data().size());
       conn.send_all(&st, 1);
       conn.send_all(&rlen, 4);
       if (rlen) conn.send_all(resp.data().data(), rlen);
+
+      if (fault && fault->action == FaultAction::kDropAfterResponse) return;
     }
   } catch (const std::exception&) {
     // Connection-level failure: drop the session; the store stays intact.
@@ -100,9 +189,19 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
       return;
     case Op::kPut: {
       BlockKey key = req.key();
+      std::uint32_t declared = req.u32();
       auto bytes = req.rest();
+      std::uint32_t actual = crc_of(bytes);
+      if (actual != declared) {
+        // The request payload was mangled in flight; refuse to store it.
+        status = Status::kCorrupt;
+        resp.u32(actual);
+        return;
+      }
       std::lock_guard lock(mu_);
-      blocks_[key].assign(bytes.begin(), bytes.end());
+      auto& block = blocks_[key];
+      block.bytes.assign(bytes.begin(), bytes.end());
+      block.crc = declared;
       return;
     }
     case Op::kGet: {
@@ -113,7 +212,14 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
         status = Status::kNotFound;
         return;
       }
-      resp.bytes(it->second);
+      std::uint32_t actual = crc_of(it->second.bytes);
+      if (actual != it->second.crc) {
+        status = Status::kCorrupt;
+        resp.u32(actual);
+        return;
+      }
+      resp.u32(it->second.crc);
+      resp.bytes(it->second.bytes);
       return;
     }
     case Op::kGetRange: {
@@ -126,9 +232,17 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
         status = Status::kNotFound;
         return;
       }
-      if (std::size_t(off) + len > it->second.size())
+      if (std::size_t(off) + len > it->second.bytes.size())
         throw std::runtime_error("range out of bounds");
-      resp.bytes({it->second.data() + off, len});
+      std::uint32_t actual = crc_of(it->second.bytes);
+      if (actual != it->second.crc) {
+        status = Status::kCorrupt;
+        resp.u32(actual);
+        return;
+      }
+      std::span<const std::uint8_t> range{it->second.bytes.data() + off, len};
+      resp.u32(crc_of(range));
+      resp.bytes(range);
       return;
     }
     case Op::kProject: {
@@ -141,11 +255,19 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
         status = Status::kNotFound;
         return;
       }
-      const auto& block = it->second;
+      const auto& block = it->second.bytes;
       if (unit_bytes == 0 || block.size() % unit_bytes != 0)
         throw std::runtime_error("unit size does not divide the block");
+      std::uint32_t actual = crc_of(block);
+      if (actual != it->second.crc) {
+        status = Status::kCorrupt;
+        resp.u32(actual);
+        return;
+      }
       const std::size_t units = block.size() / unit_bytes;
       std::vector<std::uint8_t> out(unit_bytes);
+      std::vector<std::uint8_t> body;
+      body.reserve(std::size_t(outputs) * unit_bytes);
       for (std::uint16_t o = 0; o < outputs; ++o) {
         std::uint16_t terms = req.u16();
         gf::zero_region(out.data(), out.size());
@@ -156,8 +278,10 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
           gf::mul_add_region(coeff, block.data() + std::size_t(pos) * unit_bytes,
                              out.data(), unit_bytes);
         }
-        resp.bytes(out);
+        body.insert(body.end(), out.begin(), out.end());
       }
+      resp.u32(crc_of(body));
+      resp.bytes(body);
       return;
     }
     case Op::kDelete: {
@@ -170,8 +294,21 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
       std::lock_guard lock(mu_);
       resp.u32(static_cast<std::uint32_t>(blocks_.size()));
       std::uint64_t total = 0;
-      for (const auto& [key, bytes] : blocks_) total += bytes.size();
+      for (const auto& [key, block] : blocks_) total += block.bytes.size();
       resp.u64(total);
+      return;
+    }
+    case Op::kVerify: {
+      BlockKey key = req.key();
+      std::lock_guard lock(mu_);
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        status = Status::kNotFound;
+        return;
+      }
+      std::uint32_t actual = crc_of(it->second.bytes);
+      if (actual != it->second.crc) status = Status::kCorrupt;
+      resp.u32(actual);
       return;
     }
   }

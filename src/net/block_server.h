@@ -1,10 +1,18 @@
 // In-memory block server: the datanode of the networked prototype.
 //
 // One accept thread plus one thread per connection; blocks live in a mutex-
-// guarded map.  The PROJECT primitive performs linear combinations of a
-// block's units with the GF(2^8) kernels — the helper-side repair compute of
-// the paper, executed where the block lives so only the projected chunk
+// guarded map together with their CRC-32, verified before every serve and on
+// the VERIFY audit op.  The PROJECT primitive performs linear combinations of
+// a block's units with the GF(2^8) kernels — the helper-side repair compute
+// of the paper, executed where the block lives so only the projected chunk
 // crosses the network.
+//
+// Finished connections are reaped as the accept loop turns over, so a
+// long-lived server with churning clients holds state only for live
+// sessions.  A FaultPlan (net/fault.h) can be installed to inject drops,
+// stalls, wire corruption and refusals deterministically, and
+// corrupt_block() flips a stored byte under the checksum — the failure
+// switchboard the fault-tolerance tests drive.
 
 #ifndef CAROUSEL_NET_BLOCK_SERVER_H
 #define CAROUSEL_NET_BLOCK_SERVER_H
@@ -12,10 +20,12 @@
 #include <atomic>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 
@@ -35,14 +45,39 @@ class BlockServer {
   /// Stops accepting, closes the listener and joins all threads.  Idempotent.
   void stop();
 
+  /// Installs (or clears, with nullptr) a fault-injection plan consulted on
+  /// every request.  The plan may be shared with the test for inspection.
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan);
+
+  /// Flips one bit of a stored block at byte `offset` (mod block size)
+  /// without touching its recorded checksum — simulates at-rest corruption.
+  /// Returns false when the block is not held.
+  bool corrupt_block(const BlockKey& key, std::size_t offset = 0);
+
   /// Test/ops hooks.
   std::size_t block_count() const;
   std::uint64_t stored_bytes() const;
+  /// Connection sessions currently tracked (live + not yet reaped).
+  std::size_t session_count() const;
 
  private:
+  struct StoredBlock {
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t crc = 0;  // CRC-32 the client declared on PUT
+  };
+  // One live connection and the thread serving it; reaped once `done`.
+  struct Session {
+    TcpConn conn;
+    std::thread worker;
+    std::atomic<bool> done{false};
+  };
+
   void accept_loop();
-  void serve(TcpConn& conn);
+  void reap_finished_locked();
+  void serve(Session& session);
   void handle(Op op, Reader& req, Writer& resp, Status& status);
+  /// Interruptible stall for FaultAction::kDelay (wakes early on stop()).
+  void injected_sleep(std::uint32_t ms);
 
   TcpListener listener_;
   std::uint16_t port_ = 0;
@@ -50,11 +85,11 @@ class BlockServer {
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex mu_;
-  std::map<BlockKey, std::vector<std::uint8_t>> blocks_;
-  // Connections live here (stable addresses) so stop() can shut them down
-  // and wake any worker blocked in recv; workers never outlive the server.
-  std::list<TcpConn> conns_;
-  std::vector<std::thread> workers_;
+  std::map<BlockKey, StoredBlock> blocks_;
+  std::shared_ptr<FaultPlan> faults_;
+  // Sessions live here (stable addresses) so stop() can shut them down and
+  // wake any worker blocked in recv; workers never outlive the server.
+  std::list<Session> sessions_;
 };
 
 }  // namespace carousel::net

@@ -1,24 +1,119 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
+
+#include "util/crc32.h"
 
 namespace carousel::net {
 
-std::pair<Status, std::vector<std::uint8_t>> Client::call(
-    Op op, const std::vector<std::uint8_t>& payload) {
-  try {
-    return call_once(op, payload);
-  } catch (const std::system_error&) {
-    // transport failure: fall through to the reconnect below
-  } catch (const std::runtime_error& e) {
-    // kError responses carry "server error: ..." — do not retry those.
-    if (std::string(e.what()).rfind("server error:", 0) == 0) throw;
-  }
+namespace {
+
+// Internal signal: the response arrived but its payload failed the checksum.
+// The frame boundary is intact, so the attempt is retryable on the same
+// connection.
+struct WireCorruption {};
+
+std::uint32_t read_le32(const std::vector<std::uint8_t>& b) {
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+void Client::ensure_connected() {
+  if (conn_.valid()) return;
+  conn_ = TcpConn::connect(port_);
+  conn_.set_io_timeout(policy_.io_timeout);
+  if (ever_connected_) ++counters_.reconnects;
+  ever_connected_ = true;
+}
+
+void Client::drop_connection() {
   sent_before_ += conn_.bytes_sent();
   received_before_ += conn_.bytes_received();
-  conn_ = TcpConn::connect(port_);
-  return call_once(op, payload);
+  conn_ = TcpConn();
+}
+
+void Client::backoff(int attempt,
+                     std::chrono::steady_clock::time_point deadline) {
+  using namespace std::chrono;
+  double ms = static_cast<double>(policy_.base_backoff.count());
+  for (int i = 0; i < attempt; ++i) ms *= policy_.backoff_multiplier;
+  ms = std::min(ms, static_cast<double>(policy_.max_backoff.count()));
+  if (policy_.jitter > 0.0) {
+    double u = std::uniform_real_distribution<double>(-1.0, 1.0)(jitter_rng_);
+    ms *= 1.0 + policy_.jitter * u;
+  }
+  auto wait = milliseconds(static_cast<milliseconds::rep>(std::max(ms, 0.0)));
+  if (steady_clock::now() + wait > deadline)
+    throw DeadlineError("op deadline exhausted while backing off");
+  std::this_thread::sleep_for(wait);
+}
+
+std::pair<Status, std::vector<std::uint8_t>> Client::call(
+    Op op, const std::vector<std::uint8_t>& payload, CallOpts opts) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = policy_.op_deadline.count() > 0
+                            ? clock::now() + policy_.op_deadline
+                            : clock::time_point::max();
+  std::string last_failure;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      ensure_connected();
+      auto [status, body] = call_once(op, payload);
+      if (status == Status::kError)
+        throw ServerError("server error: " +
+                          std::string(body.begin(), body.end()));
+      if (status == Status::kCorrupt) {
+        if (opts.corrupt_retryable) {
+          // PUT: our request was mangled in flight; resend it.
+          ++counters_.wire_corruptions;
+          throw WireCorruption{};
+        }
+        if (!opts.corrupt_returns) {
+          ++counters_.corrupt_blocks;
+          throw CorruptBlockError("block failed its checksum at rest");
+        }
+      }
+      if (opts.checksummed && status == Status::kOk) {
+        if (body.size() < 4)
+          throw ProtocolError("response missing its checksum");
+        std::uint32_t declared = read_le32(body);
+        body.erase(body.begin(), body.begin() + 4);
+        if (util::crc32(body) != declared) {
+          ++counters_.wire_corruptions;
+          throw WireCorruption{};
+        }
+      }
+      return {status, std::move(body)};
+    } catch (const TimeoutError& e) {
+      ++counters_.timeouts;
+      last_failure = e.what();
+      drop_connection();
+    } catch (const TransportError& e) {
+      last_failure = e.what();
+      drop_connection();
+    } catch (const std::system_error& e) {
+      last_failure = e.what();
+      drop_connection();
+    } catch (const WireCorruption&) {
+      last_failure = "response failed its checksum in flight";
+      // Framing survived; keep the connection.
+    }
+    // ProtocolError / ServerError / CorruptBlockError / DeadlineError
+    // propagate to the caller: retrying cannot change the answer.
+    if (attempt + 1 >= policy_.max_attempts)
+      throw TransportError("op failed after " +
+                           std::to_string(policy_.max_attempts) +
+                           " attempts; last: " + last_failure);
+    ++counters_.retries;
+    backoff(attempt, deadline);
+  }
 }
 
 std::pair<Status, std::vector<std::uint8_t>> Client::call_once(
@@ -31,18 +126,17 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call_once(
 
   std::uint8_t status_raw;
   if (!conn_.recv_all(&status_raw, 1))
-    throw std::runtime_error("server closed the connection");
+    throw TransportError("server closed the connection");
   std::uint32_t rlen;
-  if (!conn_.recv_all(&rlen, 4) || rlen > kMaxPayload)
-    throw std::runtime_error("malformed response");
+  if (!conn_.recv_all(&rlen, 4))
+    throw TransportError("server closed mid-response");
+  if (rlen > kMaxPayload) throw ProtocolError("malformed response length");
   std::vector<std::uint8_t> body(rlen);
   if (rlen && !conn_.recv_all(body.data(), rlen))
-    throw std::runtime_error("truncated response");
-  Status status = static_cast<Status>(status_raw);
-  if (status == Status::kError)
-    throw std::runtime_error("server error: " +
-                             std::string(body.begin(), body.end()));
-  return {status, std::move(body)};
+    throw TransportError("truncated response");
+  if (status_raw > static_cast<std::uint8_t>(Status::kCorrupt))
+    throw ProtocolError("unknown response status");
+  return {static_cast<Status>(status_raw), std::move(body)};
 }
 
 void Client::ping() { call(Op::kPing, {}); }
@@ -50,16 +144,17 @@ void Client::ping() { call(Op::kPing, {}); }
 void Client::put(const BlockKey& key, std::span<const std::uint8_t> bytes) {
   Writer w;
   w.key(key);
+  w.u32(util::crc32(bytes));
   w.bytes(bytes);
-  call(Op::kPut, w.data());
+  call(Op::kPut, w.data(), {.corrupt_retryable = true});
 }
 
 std::optional<std::vector<std::uint8_t>> Client::get(const BlockKey& key) {
   Writer w;
   w.key(key);
-  auto [status, body] = call(Op::kGet, w.data());
+  auto [status, body] = call(Op::kGet, w.data(), {.checksummed = true});
   if (status == Status::kNotFound) return std::nullopt;
-  return body;
+  return std::move(body);
 }
 
 std::optional<std::vector<std::uint8_t>> Client::get_range(
@@ -68,9 +163,9 @@ std::optional<std::vector<std::uint8_t>> Client::get_range(
   w.key(key);
   w.u32(offset);
   w.u32(length);
-  auto [status, body] = call(Op::kGetRange, w.data());
+  auto [status, body] = call(Op::kGetRange, w.data(), {.checksummed = true});
   if (status == Status::kNotFound) return std::nullopt;
-  return body;
+  return std::move(body);
 }
 
 std::optional<std::vector<std::uint8_t>> Client::project(
@@ -86,9 +181,9 @@ std::optional<std::vector<std::uint8_t>> Client::project(
       w.u8(coeff);
     }
   }
-  auto [status, body] = call(Op::kProject, w.data());
+  auto [status, body] = call(Op::kProject, w.data(), {.checksummed = true});
   if (status == Status::kNotFound) return std::nullopt;
-  return body;
+  return std::move(body);
 }
 
 bool Client::remove(const BlockKey& key) {
@@ -105,6 +200,15 @@ Client::Stats Client::stats() {
   s.blocks = r.u32();
   s.bytes = r.u64();
   return s;
+}
+
+BlockHealth Client::verify(const BlockKey& key, std::uint32_t* crc_out) {
+  Writer w;
+  w.key(key);
+  auto [status, body] = call(Op::kVerify, w.data(), {.corrupt_returns = true});
+  if (status == Status::kNotFound) return BlockHealth::kMissing;
+  if (crc_out && body.size() >= 4) *crc_out = read_le32(body);
+  return status == Status::kCorrupt ? BlockHealth::kCorrupt : BlockHealth::kOk;
 }
 
 }  // namespace carousel::net

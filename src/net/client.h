@@ -1,26 +1,62 @@
 // Client session to one block server: framed request/response over a single
 // TCP connection, with byte counters so tests can assert on-the-wire repair
 // traffic (the networked analogue of paper Fig. 7).
+//
+// Failure handling (net/errors.h gives the taxonomy):
+//   - every send/recv runs under the policy's socket timeout, so a dead or
+//     stalled server surfaces as TimeoutError instead of a hang;
+//   - transport failures (refused, reset, EOF, timeout) reconnect and retry
+//     under a RetryPolicy — capped attempts, exponential backoff with
+//     jitter, and a per-op deadline across all attempts.  Requests are
+//     idempotent, so the retry is safe;
+//   - protocol violations and Status::kError answers are never retried;
+//   - responses carry CRC-32s end to end: a mismatch on the wire is counted
+//     and retried, while Status::kCorrupt (block bad at rest) throws
+//     CorruptBlockError so callers can fail over to a parity path.
+// Counters expose how often each of those happened.
 
 #ifndef CAROUSEL_NET_CLIENT_H
 #define CAROUSEL_NET_CLIENT_H
 
+#include <chrono>
 #include <optional>
+#include <random>
 #include <utility>
 #include <vector>
 
+#include "net/errors.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 
 namespace carousel::net {
 
+/// How one logical operation survives transport failures.
+struct RetryPolicy {
+  /// Total tries per operation (first attempt included).
+  int max_attempts = 4;
+  /// Socket-level send/recv timeout per attempt (zero = block forever).
+  std::chrono::milliseconds io_timeout{1000};
+  /// Backoff before retry r is base_backoff * multiplier^r, capped at
+  /// max_backoff, then jittered by +/- jitter (fraction).
+  std::chrono::milliseconds base_backoff{5};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{200};
+  double jitter = 0.5;
+  /// Wall-clock budget for the operation across every attempt and backoff
+  /// (zero = unbounded).  Exceeding it throws DeadlineError.
+  std::chrono::milliseconds op_deadline{5000};
+};
+
+/// Health of one remote block, as reported by the VERIFY op.
+enum class BlockHealth { kOk, kMissing, kCorrupt };
+
 class Client {
  public:
-  /// Connects to a local block server.  If the connection later drops (the
-  /// server restarted), the next request reconnects once and retries —
-  /// requests are idempotent, so the retry is safe.
-  explicit Client(std::uint16_t port)
-      : port_(port), conn_(TcpConn::connect(port)) {}
+  /// Remembers the server's port; the connection is established lazily on
+  /// the first request (so a client can outlive server restarts and even be
+  /// created while its server is down).
+  explicit Client(std::uint16_t port, RetryPolicy policy = {})
+      : port_(port), policy_(policy), jitter_rng_(0x9e3779b97f4a7c15ull ^ port) {}
 
   void ping();
   void put(const BlockKey& key, std::span<const std::uint8_t> bytes);
@@ -43,6 +79,20 @@ class Client {
     std::uint64_t bytes = 0;
   };
   Stats stats();
+  /// Audits a block server-side without transferring it; `crc_out` (if
+  /// given) receives the block's actual CRC-32.
+  BlockHealth verify(const BlockKey& key, std::uint32_t* crc_out = nullptr);
+
+  /// Failure-handling telemetry, cumulative over the client's life.
+  struct Counters {
+    std::uint64_t retries = 0;           // attempts beyond the first
+    std::uint64_t reconnects = 0;        // connections after the first
+    std::uint64_t timeouts = 0;          // socket timeouts observed
+    std::uint64_t wire_corruptions = 0;  // checksum mismatches in flight
+    std::uint64_t corrupt_blocks = 0;    // Status::kCorrupt answers
+  };
+  const Counters& counters() const { return counters_; }
+  const RetryPolicy& policy() const { return policy_; }
 
   std::uint64_t bytes_sent() const { return sent_before_ + conn_.bytes_sent(); }
   std::uint64_t bytes_received() const {
@@ -50,15 +100,34 @@ class Client {
   }
 
  private:
-  /// Sends one frame and reads the response; throws on kError.  Reconnects
-  /// and retries once on a transport failure.
+  struct CallOpts {
+    bool checksummed = false;       // response = u32 crc, data (verify/strip)
+    bool corrupt_retryable = false; // kCorrupt = request mangled (PUT): retry
+    bool corrupt_returns = false;   // kCorrupt is a valid answer (VERIFY)
+  };
+  /// Runs one operation under the retry policy; see the header comment for
+  /// the full classification.
   std::pair<Status, std::vector<std::uint8_t>> call(
-      Op op, const std::vector<std::uint8_t>& payload);
+      Op op, const std::vector<std::uint8_t>& payload, CallOpts opts);
+  std::pair<Status, std::vector<std::uint8_t>> call(
+      Op op, const std::vector<std::uint8_t>& payload) {
+    return call(op, payload, CallOpts{});
+  }
   std::pair<Status, std::vector<std::uint8_t>> call_once(
       Op op, const std::vector<std::uint8_t>& payload);
+  void ensure_connected();
+  void drop_connection();
+  /// Backoff before retry `attempt`; throws DeadlineError when it would
+  /// cross `deadline`.
+  void backoff(int attempt,
+               std::chrono::steady_clock::time_point deadline);
 
   std::uint16_t port_;
+  RetryPolicy policy_;
   TcpConn conn_;
+  bool ever_connected_ = false;
+  Counters counters_;
+  std::minstd_rand jitter_rng_;
   std::uint64_t sent_before_ = 0;      // counters of prior connections
   std::uint64_t received_before_ = 0;
 };

@@ -1,0 +1,68 @@
+// Typed failure taxonomy of the networked prototype.
+//
+// Every failure a caller can see is classified by *what the right reaction
+// is*, not by where it was thrown:
+//
+//   TransportError   the connection died (refused, reset, EOF mid-frame).
+//                    Requests are idempotent, so reconnect-and-retry is safe.
+//   TimeoutError     a send/recv exceeded its socket timeout — the slow-peer
+//                    flavour of a transport failure, counted separately.
+//   ProtocolError    the peer answered, but with a frame that violates the
+//                    protocol (oversized length, short payload).  Retrying
+//                    the same bytes at the same peer is pointless.
+//   ServerError      the server executed the request and refused it
+//                    (Status::kError) — a caller bug or server-side
+//                    invariant, never retried.
+//   CorruptBlockError  the server reports the stored block fails its
+//                    checksum (Status::kCorrupt).  The block is bad at rest;
+//                    callers should treat it like an erasure and repair.
+//   DeadlineError    the per-op deadline expired across retries.
+//
+// All derive from std::runtime_error so pre-existing catch sites keep
+// working; new code catches the specific types.
+
+#ifndef CAROUSEL_NET_ERRORS_H
+#define CAROUSEL_NET_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace carousel::net {
+
+struct Error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Connection-level failure: safe to reconnect and retry.
+struct TransportError : Error {
+  using Error::Error;
+};
+
+/// Socket send/recv timeout (SO_SNDTIMEO/SO_RCVTIMEO fired).
+struct TimeoutError : TransportError {
+  using TransportError::TransportError;
+};
+
+/// The peer broke the wire protocol; retrying cannot help.
+struct ProtocolError : Error {
+  using Error::Error;
+};
+
+/// Status::kError response: the server rejected the request.
+struct ServerError : Error {
+  using Error::Error;
+};
+
+/// Status::kCorrupt response: the block is bad at rest — repair, don't retry.
+struct CorruptBlockError : Error {
+  using Error::Error;
+};
+
+/// The operation's deadline elapsed before any attempt succeeded.
+struct DeadlineError : Error {
+  using Error::Error;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_ERRORS_H

@@ -1,0 +1,30 @@
+#include "net/fault.h"
+
+namespace carousel::net {
+
+std::optional<FaultRule> FaultPlan::decide(Op op) {
+  std::lock_guard lock(mu_);
+  for (auto& st : states_) {
+    if (st.rule.op && *st.rule.op != op) continue;
+    if (st.hits >= st.rule.max_hits) continue;
+    if (st.seen++ < st.rule.skip) continue;
+    if (st.rule.probability < 1.0) {
+      // Always consume exactly one draw per eligible request, so the
+      // decision stream depends only on the request sequence.
+      double draw = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+      if (draw >= st.rule.probability) continue;
+    }
+    ++st.hits;
+    return st.rule;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultPlan::injected() const {
+  std::lock_guard lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& st : states_) total += st.hits;
+  return total;
+}
+
+}  // namespace carousel::net

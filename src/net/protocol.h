@@ -23,22 +23,34 @@
 
 namespace carousel::net {
 
+// End-to-end integrity: PUT carries the client-computed CRC-32 of the block,
+// which the server verifies on receipt and stores beside the bytes.  Every
+// data-bearing response (GET, GET_RANGE, PROJECT, VERIFY) leads with a u32
+// CRC-32 of the response data so the client can detect wire corruption; for
+// GET that CRC is the stored one, so the check spans PUT-to-GET end to end.
+// Before serving any read, the server re-checksums the whole stored block and
+// answers kCorrupt on a mismatch (at-rest corruption surfaces on first touch,
+// not only during scrubs).
 enum class Op : std::uint8_t {
   kPing = 0,
-  kPut = 1,      // key, bytes
-  kGet = 2,      // key -> bytes
-  kGetRange = 3, // key, u32 offset, u32 length -> bytes
+  kPut = 1,      // key, u32 crc, bytes
+  kGet = 2,      // key -> u32 crc, bytes
+  kGetRange = 3, // key, u32 offset, u32 length -> u32 crc, bytes
   kProject = 4,  // key, u32 unit_bytes, u16 outputs, per output:
                  //   u16 terms, terms x (u32 unit_pos, u8 coeff)
-                 // -> outputs * unit_bytes bytes
+                 // -> u32 crc, outputs * unit_bytes bytes
   kDelete = 5,   // key
   kStats = 6,    // -> u32 block count, u64 stored bytes
+  kVerify = 7,   // key -> u32 crc; audits a block without transferring it
+                 //   (kOk: checksum matches, kCorrupt: it does not)
 };
 
 enum class Status : std::uint8_t {
   kOk = 0,
   kNotFound = 1,
-  kError = 2,  // payload: UTF-8 message
+  kError = 2,    // payload: UTF-8 message
+  kCorrupt = 3,  // block failed its checksum (at rest for reads/VERIFY,
+                 //   in flight for PUT); payload: u32 actual crc when known
 };
 
 /// Identifies one stored block.
@@ -75,6 +87,7 @@ class Writer {
     u32(k.index);
   }
   const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t>& data() { return buf_; }
 
  private:
   std::vector<std::uint8_t> buf_;

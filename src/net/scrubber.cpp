@@ -1,0 +1,98 @@
+#include "net/scrubber.h"
+
+namespace carousel::net {
+
+Scrubber::Scrubber(CarouselStore& store, Options options)
+    : store_(store), options_(options) {}
+
+Scrubber::~Scrubber() { stop(); }
+
+void Scrubber::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Scrubber::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  running_ = false;
+}
+
+bool Scrubber::running() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+void Scrubber::loop() {
+  for (;;) {
+    run_once();
+    std::unique_lock lock(mu_);
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; }))
+      return;
+  }
+}
+
+Scrubber::Stats Scrubber::run_once() {
+  Stats sweep;
+  sweep.sweeps = 1;
+  const std::size_t n = store_.code().n();
+  for (const auto& [file_id, info] : store_.files()) {
+    for (std::size_t s = 0; s < info.stripes; ++s) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto stripe = static_cast<std::uint32_t>(s);
+        const auto index = static_cast<std::uint32_t>(i);
+        ++sweep.blocks_checked;
+        BlockState state = store_.verify_block(file_id, stripe, index);
+        switch (state) {
+          case BlockState::kOk:
+            ++sweep.ok;
+            continue;
+          case BlockState::kMissing:
+            ++sweep.missing_found;
+            break;
+          case BlockState::kCorrupt:
+            ++sweep.corrupt_found;
+            break;
+          case BlockState::kUnreachable:
+            // The home server is down: a rebuilt block has nowhere to go.
+            ++sweep.unreachable;
+            continue;
+        }
+        try {
+          sweep.repair_bytes += store_.repair_block(file_id, stripe, index);
+          ++sweep.repairs;
+        } catch (const std::exception&) {
+          ++sweep.repair_failures;
+        }
+      }
+    }
+  }
+  std::lock_guard lock(mu_);
+  total_.sweeps += sweep.sweeps;
+  total_.blocks_checked += sweep.blocks_checked;
+  total_.ok += sweep.ok;
+  total_.missing_found += sweep.missing_found;
+  total_.corrupt_found += sweep.corrupt_found;
+  total_.unreachable += sweep.unreachable;
+  total_.repairs += sweep.repairs;
+  total_.repair_failures += sweep.repair_failures;
+  total_.repair_bytes += sweep.repair_bytes;
+  return sweep;
+}
+
+Scrubber::Stats Scrubber::stats() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+}  // namespace carousel::net

@@ -1,0 +1,83 @@
+// Background integrity scrubber for a CarouselStore.
+//
+// Sweeps every block of every file in the store's manifest with the VERIFY
+// op (no block bytes move for healthy blocks) and triggers repair_block on
+// anything missing or corrupt — the networked analogue of HDFS's block
+// scanner, closing the loop between the end-to-end checksums and the
+// paper's optimal-bandwidth repair: a scrub-detected corruption costs
+// d/(d-k+1) block sizes to heal when d helpers survive, not k.
+//
+// Runs either synchronously (run_once, what the tests drive) or as a
+// background thread on a fixed interval (start/stop).  Unreachable servers
+// are recorded but not repaired — a rebuilt block could not be re-uploaded
+// to a dead home server anyway; the sweep retries once the server returns.
+
+#ifndef CAROUSEL_NET_SCRUBBER_H
+#define CAROUSEL_NET_SCRUBBER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "net/store.h"
+
+namespace carousel::net {
+
+class Scrubber {
+ public:
+  struct Options {
+    /// Pause between background sweeps.
+    std::chrono::milliseconds interval{1000};
+  };
+
+  struct Stats {
+    std::uint64_t sweeps = 0;
+    std::uint64_t blocks_checked = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t missing_found = 0;
+    std::uint64_t corrupt_found = 0;
+    std::uint64_t unreachable = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t repair_failures = 0;
+    std::uint64_t repair_bytes = 0;  // helper traffic spent healing
+  };
+
+  /// The store must outlive the scrubber.
+  Scrubber(CarouselStore& store, Options options);
+  explicit Scrubber(CarouselStore& store) : Scrubber(store, Options{}) {}
+  ~Scrubber();
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Launches the background sweep thread.  Idempotent.
+  void start();
+  /// Stops it and joins.  Idempotent; also called by the destructor.
+  void stop();
+  bool running() const;
+
+  /// One full synchronous sweep; returns that sweep's stats (also folded
+  /// into the cumulative ones).
+  Stats run_once();
+
+  /// Cumulative stats over every sweep so far.
+  Stats stats() const;
+
+ private:
+  void loop();
+
+  CarouselStore& store_;
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  Stats total_;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_SCRUBBER_H

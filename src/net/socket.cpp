@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -12,12 +13,16 @@
 #include <system_error>
 #include <utility>
 
+#include "net/errors.h"
+
 namespace carousel::net {
 
 namespace {
 
 [[noreturn]] void throw_errno(const char* what) {
-  throw std::system_error(errno, std::generic_category(), what);
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ETIMEDOUT)
+    throw TimeoutError(std::string(what) + ": timed out");
+  throw TransportError(std::string(what) + ": " + std::strerror(errno));
 }
 
 sockaddr_in loopback(std::uint16_t port) {
@@ -64,7 +69,7 @@ void TcpConn::send_all(const void* data, std::size_t n) {
       if (errno == EINTR) continue;
       throw_errno("send");
     }
-    if (w == 0) throw std::runtime_error("send: peer closed");
+    if (w == 0) throw TransportError("send: peer closed");
     p += w;
     n -= static_cast<std::size_t>(w);
     sent_ += static_cast<std::uint64_t>(w);
@@ -82,12 +87,21 @@ bool TcpConn::recv_all(void* data, std::size_t n) {
     }
     if (r == 0) {
       if (got == 0) return false;  // clean EOF at a message boundary
-      throw std::runtime_error("recv: connection truncated mid-message");
+      throw TransportError("recv: connection truncated mid-message");
     }
     got += static_cast<std::size_t>(r);
     received_ += static_cast<std::uint64_t>(r);
   }
   return true;
+}
+
+void TcpConn::set_io_timeout(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 void TcpConn::close() {
@@ -102,16 +116,13 @@ void TcpConn::shutdown_both() {
 }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
-}
+    : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
+    fd_ = other.fd_.exchange(-1);
     port_ = other.port_;
-    other.fd_ = -1;
   }
   return *this;
 }
@@ -148,7 +159,7 @@ TcpListener TcpListener::bind(std::uint16_t port) {
 }
 
 TcpConn TcpListener::accept() {
-  int fd = ::accept(fd_, nullptr, nullptr);
+  int fd = ::accept(fd_.load(), nullptr, nullptr);
   if (fd < 0) return TcpConn();  // listener closed or transient failure
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -156,11 +167,11 @@ TcpConn TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
+  int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown() wakes a blocked accept() so Server::stop can join.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -9,6 +9,8 @@
 #ifndef CAROUSEL_NET_SOCKET_H
 #define CAROUSEL_NET_SOCKET_H
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -26,15 +28,22 @@ class TcpConn {
   TcpConn(const TcpConn&) = delete;
   TcpConn& operator=(const TcpConn&) = delete;
 
-  /// Connects to 127.0.0.1:port; throws std::system_error on failure.
+  /// Connects to 127.0.0.1:port; throws TransportError on failure.
   static TcpConn connect(std::uint16_t port);
 
   bool valid() const { return fd_ >= 0; }
 
-  /// Sends exactly n bytes; throws on error or peer close.
+  /// Installs SO_SNDTIMEO / SO_RCVTIMEO on the socket: a send or recv that
+  /// makes no progress for this long throws TimeoutError instead of blocking
+  /// forever behind a dead or stalled peer.  Zero disables the timeout.
+  void set_io_timeout(std::chrono::milliseconds timeout);
+
+  /// Sends exactly n bytes; throws TransportError (TimeoutError if the send
+  /// timeout fired) on error or peer close.
   void send_all(const void* data, std::size_t n);
-  /// Receives exactly n bytes; throws on error; returns false on clean EOF
-  /// at a message boundary (n bytes requested, zero received).
+  /// Receives exactly n bytes; throws TransportError (TimeoutError if the
+  /// recv timeout fired) on error; returns false on clean EOF at a message
+  /// boundary (n bytes requested, zero received).
   bool recv_all(void* data, std::size_t n);
 
   void close();
@@ -65,7 +74,8 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Binds to the given port (0 = ephemeral) and listens.
+  /// Binds to the given port (0 = ephemeral) and listens; throws
+  /// TransportError on failure.
   static TcpListener bind(std::uint16_t port);
 
   std::uint16_t port() const { return port_; }
@@ -78,7 +88,8 @@ class TcpListener {
   void close();
 
  private:
-  int fd_ = -1;
+  // Atomic: close() (server shutdown) races the accept thread's read.
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

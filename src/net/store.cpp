@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "storage/erasure_file.h"
+#include "util/crc32.h"
 
 namespace carousel::net {
 
@@ -11,7 +12,7 @@ using codes::Byte;
 
 CarouselStore::CarouselStore(const codes::Carousel& code,
                              const std::vector<std::uint16_t>& ports,
-                             std::size_t block_bytes)
+                             std::size_t block_bytes, StoreOptions options)
     : code_(&code), block_bytes_(block_bytes) {
   if (ports.empty()) throw std::invalid_argument("need at least one server");
   if (block_bytes == 0 || block_bytes % code.s() != 0)
@@ -19,22 +20,25 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
         "block_bytes must be a positive multiple of the subpacketization");
   clients_.reserve(ports.size());
   for (std::uint16_t p : ports)
-    clients_.push_back(std::make_unique<Client>(p));
+    clients_.push_back(std::make_unique<Client>(p, options.policy));
 }
 
 std::size_t CarouselStore::put_file(std::uint32_t file_id,
                                     std::span<const Byte> bytes) {
+  std::lock_guard lock(mu_);
   storage::ErasureFile ef(*code_, bytes, block_bytes_);
   for (std::size_t s = 0; s < ef.stripes(); ++s)
     for (std::size_t i = 0; i < code_->n(); ++i)
       client_of(i).put(key(file_id, static_cast<std::uint32_t>(s),
                            static_cast<std::uint32_t>(i)),
                        ef.block(s, i));
+  manifest_[file_id] = FileInfo{bytes.size(), ef.stripes()};
   return ef.stripes();
 }
 
 std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
                                            std::size_t file_bytes) {
+  std::lock_guard lock(mu_);
   const std::size_t ub = block_bytes_ / code_->s();
   const std::size_t K = code_->data_units_per_block();
   const std::size_t p = code_->p();
@@ -42,6 +46,36 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
   const std::size_t stripe_data = code_->k() * block_bytes_;
   const std::size_t stripes =
       std::max<std::size_t>(1, (file_bytes + stripe_data - 1) / stripe_data);
+
+  // Any way a block can fail to arrive healthy — server down (transport /
+  // timeout / deadline), bad at rest (kCorrupt), or a server-side refusal —
+  // is an erasure: the stripe re-plans onto the next path down.
+  auto try_get_range = [&](std::size_t i, const BlockKey& k, std::uint32_t off,
+                           std::uint32_t len)
+      -> std::optional<std::vector<Byte>> {
+    try {
+      return client_of(i).get_range(k, off, len);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  };
+  auto try_project = [&](std::size_t i, const BlockKey& k, std::uint32_t u,
+                         const Client::Projection& proj)
+      -> std::optional<std::vector<Byte>> {
+    try {
+      return client_of(i).project(k, u, proj);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  };
+  auto try_get = [&](std::size_t i,
+                     const BlockKey& k) -> std::optional<std::vector<Byte>> {
+    try {
+      return client_of(i).get(k);
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  };
 
   std::vector<Byte> out(stripes * stripe_data);
   for (std::size_t s = 0; s < stripes; ++s) {
@@ -52,9 +86,9 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     std::vector<std::optional<std::vector<Byte>>> extents(p);
     std::vector<std::size_t> missing;
     for (std::size_t slot = 0; slot < p; ++slot) {
-      extents[slot] = client_of(slot).get_range(
-          key(file_id, s32, static_cast<std::uint32_t>(slot)), 0,
-          static_cast<std::uint32_t>(K * ub));
+      extents[slot] =
+          try_get_range(slot, key(file_id, s32, static_cast<std::uint32_t>(slot)),
+                        0, static_cast<std::uint32_t>(K * ub));
       if (!extents[slot]) missing.push_back(slot);
     }
     if (missing.empty()) {
@@ -73,8 +107,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
         Client::Projection proj;
         for (std::size_t pos : code_->selection_pattern(slot))
           proj.push_back({{static_cast<std::uint32_t>(pos), Byte{1}}});
-        auto resp = client_of(candidate).project(
-            key(file_id, s32, static_cast<std::uint32_t>(candidate)),
+        auto resp = try_project(
+            candidate, key(file_id, s32, static_cast<std::uint32_t>(candidate)),
             static_cast<std::uint32_t>(ub), proj);
         if (resp) {
           stand_ins.emplace_back(candidate++, std::move(*resp));
@@ -105,10 +139,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     std::vector<std::size_t> ids;
     std::vector<std::vector<Byte>> blocks;
     for (std::size_t i = 0; i < n && ids.size() < code_->k(); ++i) {
-      auto b = client_of(i).get(key(file_id, s32, static_cast<std::uint32_t>(i)));
-      if (!b) continue;
-      if (b->size() != block_bytes_)
-        throw std::runtime_error("server returned a block of the wrong size");
+      auto b = try_get(i, key(file_id, s32, static_cast<std::uint32_t>(i)));
+      if (!b || b->size() != block_bytes_) continue;
       ids.push_back(i);
       blocks.push_back(std::move(*b));
     }
@@ -124,32 +156,68 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
 
 bool CarouselStore::drop_block(std::uint32_t file_id, std::uint32_t stripe,
                                std::uint32_t index) {
+  std::lock_guard lock(mu_);
   return client_of(index).remove(key(file_id, stripe, index));
+}
+
+BlockState CarouselStore::verify_block(std::uint32_t file_id,
+                                       std::uint32_t stripe,
+                                       std::uint32_t index) {
+  std::lock_guard lock(mu_);
+  try {
+    switch (client_of(index).verify(key(file_id, stripe, index))) {
+      case BlockHealth::kOk:
+        return BlockState::kOk;
+      case BlockHealth::kMissing:
+        return BlockState::kMissing;
+      case BlockHealth::kCorrupt:
+        return BlockState::kCorrupt;
+    }
+  } catch (const Error&) {
+  }
+  return BlockState::kUnreachable;
 }
 
 std::uint64_t CarouselStore::repair_block(std::uint32_t file_id,
                                           std::uint32_t stripe,
                                           std::uint32_t index) {
+  std::lock_guard lock(mu_);
+  return repair_block_locked(file_id, stripe, index);
+}
+
+std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
+                                                 std::uint32_t stripe,
+                                                 std::uint32_t index) {
   const std::size_t ub = block_bytes_ / code_->s();
   std::uint64_t fetched = 0;
 
-  // Probe which survivors still hold their block (zero-length range reads),
-  // so the path choice never wastes helper chunks.
+  // Probe which survivors hold a *healthy* copy (VERIFY: corruption-aware
+  // and no block bytes move), so the path choice never wastes helper chunks
+  // on a block that cannot serve.
   std::vector<std::size_t> survivors;
   for (std::size_t h = 0; h < code_->n(); ++h) {
     if (h == index) continue;
-    if (client_of(h)
-            .get_range(key(file_id, stripe, static_cast<std::uint32_t>(h)), 0,
-                       0)
-            .has_value())
-      survivors.push_back(h);
+    try {
+      if (client_of(h).verify(key(file_id, stripe,
+                                  static_cast<std::uint32_t>(h))) ==
+          BlockHealth::kOk)
+        survivors.push_back(h);
+    } catch (const Error&) {
+      // unreachable: not a survivor
+    }
   }
 
+  std::vector<Byte> rebuilt(block_bytes_);
+  bool have_block = false;
+
   if (!code_->params().trivial_repair() && survivors.size() >= code_->d()) {
-    // Optimal-traffic repair: helpers project phi server-side.
+    // Optimal-traffic repair: helpers project phi server-side.  A helper
+    // dying mid-repair abandons this path (its traffic still counts) and
+    // drops through to the whole-block decode below.
     std::vector<std::size_t> helpers(survivors.begin(),
                                      survivors.begin() + code_->d());
     std::vector<std::vector<Byte>> chunk_store;
+    bool complete = true;
     for (std::size_t h : helpers) {
       auto proj = code_->repair_projection(h, index);
       Client::Projection wire;
@@ -158,50 +226,91 @@ std::uint64_t CarouselStore::repair_block(std::uint32_t file_id,
         for (auto [pos, coeff] : terms)
           wire.back().push_back({static_cast<std::uint32_t>(pos), coeff});
       }
-      auto resp = client_of(h).project(
-          key(file_id, stripe, static_cast<std::uint32_t>(h)),
-          static_cast<std::uint32_t>(ub), wire);
-      if (!resp)
-        throw std::runtime_error("helper vanished between probe and repair");
+      std::optional<std::vector<Byte>> resp;
+      try {
+        resp = client_of(h).project(
+            key(file_id, stripe, static_cast<std::uint32_t>(h)),
+            static_cast<std::uint32_t>(ub), wire);
+      } catch (const Error&) {
+        resp = std::nullopt;
+      }
+      if (!resp) {
+        complete = false;
+        break;
+      }
       fetched += resp->size();
       chunk_store.push_back(std::move(*resp));
     }
-    {
+    if (complete) {
       std::vector<std::span<const Byte>> chunks;
       for (const auto& c : chunk_store) chunks.emplace_back(c);
-      std::vector<Byte> rebuilt(block_bytes_);
       code_->newcomer_compute(index, helpers, chunks, rebuilt);
-      client_of(index).put(key(file_id, stripe, index), rebuilt);
-      return fetched;
+      have_block = true;
     }
   }
 
-  // Whole-block fallback (d == k, or fewer than d survivors).
-  if (survivors.size() < code_->k())
-    throw std::runtime_error("repair impossible: fewer than k blocks");
-  std::vector<codes::UnitRef> sources;
-  std::vector<std::vector<Byte>> blocks;
-  std::vector<std::size_t> ids(survivors.begin(),
-                               survivors.begin() + code_->k());
-  for (std::size_t i : ids) {
-    auto b =
-        client_of(i).get(key(file_id, stripe, static_cast<std::uint32_t>(i)));
-    if (!b) throw std::runtime_error("helper vanished between probe and read");
-    fetched += b->size();
-    blocks.push_back(std::move(*b));
+  if (!have_block) {
+    // Whole-block fallback (d == k, fewer than d survivors, or a helper
+    // died mid-MSR-repair): any k healthy blocks decode the stripe's view
+    // of the failed block.
+    std::vector<codes::UnitRef> sources;
+    std::vector<std::size_t> ids;
+    std::vector<std::vector<Byte>> blocks;
+    for (std::size_t h = 0; h < code_->n() && ids.size() < code_->k(); ++h) {
+      if (h == index) continue;
+      std::optional<std::vector<Byte>> b;
+      try {
+        b = client_of(h).get(key(file_id, stripe, static_cast<std::uint32_t>(h)));
+      } catch (const Error&) {
+        b = std::nullopt;
+      }
+      if (!b || b->size() != block_bytes_) continue;
+      fetched += b->size();
+      ids.push_back(h);
+      blocks.push_back(std::move(*b));
+    }
+    if (ids.size() < code_->k())
+      throw std::runtime_error("repair impossible: fewer than k blocks");
+    for (std::size_t j = 0; j < ids.size(); ++j)
+      for (std::size_t t = 0; t < code_->s(); ++t)
+        sources.push_back({ids[j], t, blocks[j].data() + t * ub});
+    code_->project_units(sources, ub, index, rebuilt);
   }
-  for (std::size_t j = 0; j < ids.size(); ++j)
-    for (std::size_t t = 0; t < code_->s(); ++t)
-      sources.push_back({ids[j], t, blocks[j].data() + t * ub});
-  std::vector<Byte> rebuilt(block_bytes_);
-  code_->project_units(sources, ub, index, rebuilt);
+
+  // Re-upload and audit: PUT carries the block's CRC end to end, and VERIFY
+  // confirms the server now holds a copy matching what we rebuilt.
   client_of(index).put(key(file_id, stripe, index), rebuilt);
+  std::uint32_t stored_crc = 0;
+  if (client_of(index).verify(key(file_id, stripe, index), &stored_crc) !=
+          BlockHealth::kOk ||
+      stored_crc != util::crc32(rebuilt))
+    throw Error("repaired block failed its post-repair audit");
   return fetched;
 }
 
+std::map<std::uint32_t, CarouselStore::FileInfo> CarouselStore::files() const {
+  std::lock_guard lock(mu_);
+  return manifest_;
+}
+
 std::uint64_t CarouselStore::bytes_received() const {
+  std::lock_guard lock(mu_);
   std::uint64_t total = 0;
   for (const auto& c : clients_) total += c->bytes_received();
+  return total;
+}
+
+Client::Counters CarouselStore::counters() const {
+  std::lock_guard lock(mu_);
+  Client::Counters total;
+  for (const auto& c : clients_) {
+    const auto& cc = c->counters();
+    total.retries += cc.retries;
+    total.reconnects += cc.reconnects;
+    total.timeouts += cc.timeouts;
+    total.wire_corruptions += cc.wire_corruptions;
+    total.corrupt_blocks += cc.corrupt_blocks;
+  }
   return total;
 }
 

@@ -10,11 +10,22 @@
 //   - repair: helpers run their phi-projections server-side (PROJECT), only
 //     the chunks travel, the newcomer combines and re-PUTs — so the bytes on
 //     the wire are exactly Fig. 7's d/(d-k+1) block sizes.
+//
+// Failure model: a block that times out, arrives corrupt, or whose server is
+// down is an *erasure*, not an error.  read_file re-plans the stripe onto
+// the §VII pattern read or the any-k MDS decode and only throws when fewer
+// than k blocks of a stripe are reachable.  repair_block degrades from the
+// d-helper MSR path to the k-block decode when a helper dies mid-repair, and
+// audits the rebuilt block (VERIFY + CRC compare) before declaring success.
+// All public methods are serialized by an internal mutex so a background
+// Scrubber can share the store with a foreground reader.
 
 #ifndef CAROUSEL_NET_STORE_H
 #define CAROUSEL_NET_STORE_H
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "codes/carousel.h"
@@ -22,14 +33,22 @@
 
 namespace carousel::net {
 
+/// Store-level view of one block's condition.
+enum class BlockState { kOk, kMissing, kCorrupt, kUnreachable };
+
+struct StoreOptions {
+  /// Applied to every server connection the store owns.
+  RetryPolicy policy{};
+};
+
 class CarouselStore {
  public:
-  /// Connects to the given servers.  The code must outlive the store.
-  /// Requires at least one server; one block per server when
-  /// ports.size() >= n (the paper's placement), round-robin otherwise.
+  /// Remembers the given servers (connections are lazy).  The code must
+  /// outlive the store.  Requires at least one server; one block per server
+  /// when ports.size() >= n (the paper's placement), round-robin otherwise.
   CarouselStore(const codes::Carousel& code,
                 const std::vector<std::uint16_t>& ports,
-                std::size_t block_bytes);
+                std::size_t block_bytes, StoreOptions options = {});
 
   const codes::Carousel& code() const { return *code_; }
   std::size_t block_bytes() const { return block_bytes_; }
@@ -39,13 +58,15 @@ class CarouselStore {
     return index % clients_.size();
   }
 
-  /// Encodes and uploads; returns the stripe count.
+  /// Encodes and uploads; returns the stripe count and records the file in
+  /// the manifest (what the scrubber sweeps).
   std::size_t put_file(std::uint32_t file_id,
                        std::span<const codes::Byte> bytes);
 
   /// Downloads and reassembles the file (size from put_file's input).
   /// Chooses per stripe: parallel extents, §VII pattern reads, or whole-
-  /// block MDS decode, depending on which servers still hold blocks.
+  /// block MDS decode, depending on which blocks are healthy — dead servers,
+  /// timeouts and corrupt blocks all count as erasures.
   std::vector<codes::Byte> read_file(std::uint32_t file_id,
                                      std::size_t file_bytes);
 
@@ -54,13 +75,30 @@ class CarouselStore {
   bool drop_block(std::uint32_t file_id, std::uint32_t stripe,
                   std::uint32_t index);
 
-  /// Rebuilds a lost block from d helpers (or k whole blocks when fewer
-  /// survive) and re-uploads it.  Returns bytes fetched from helpers.
+  /// Rebuilds a lost or corrupt block and re-uploads it, then audits the
+  /// stored copy (VERIFY) before returning.  Prefers the d-helper MSR path
+  /// (d/(d-k+1) block sizes on the wire); falls back to the k-block decode
+  /// when helpers are scarce or die mid-repair.  Returns bytes fetched from
+  /// helpers, including any wasted by an abandoned MSR attempt.
   std::uint64_t repair_block(std::uint32_t file_id, std::uint32_t stripe,
                              std::uint32_t index);
 
+  /// Audits one block without transferring it.
+  BlockState verify_block(std::uint32_t file_id, std::uint32_t stripe,
+                          std::uint32_t index);
+
+  /// Files this store has uploaded: id -> {bytes, stripes}.
+  struct FileInfo {
+    std::size_t file_bytes = 0;
+    std::size_t stripes = 0;
+  };
+  std::map<std::uint32_t, FileInfo> files() const;
+
   /// Total bytes received from all servers (traffic accounting).
   std::uint64_t bytes_received() const;
+
+  /// Aggregated failure-handling telemetry across every server connection.
+  Client::Counters counters() const;
 
  private:
   Client& client_of(std::size_t index) { return *clients_[server_of(index)]; }
@@ -68,10 +106,15 @@ class CarouselStore {
                std::uint32_t index) const {
     return BlockKey{file, stripe, index};
   }
+  std::uint64_t repair_block_locked(std::uint32_t file_id,
+                                    std::uint32_t stripe,
+                                    std::uint32_t index);
 
   const codes::Carousel* code_;
   std::size_t block_bytes_;
   std::vector<std::unique_ptr<Client>> clients_;
+  mutable std::mutex mu_;  // serializes public ops (scrubber vs. reader)
+  std::map<std::uint32_t, FileInfo> manifest_;
 };
 
 }  // namespace carousel::net

@@ -4,13 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "codes/carousel.h"
 #include "net/block_server.h"
 #include "net/client.h"
+#include "net/errors.h"
+#include "net/fault.h"
+#include "net/scrubber.h"
 #include "net/store.h"
 #include "storage/erasure_file.h"
+#include "util/crc32.h"
 #include "test_util.h"
 
 namespace carousel::net {
@@ -317,6 +322,352 @@ TEST_F(StoreTest, FewServersRoundRobinPlacement) {
   store.put_file(17, file);
   EXPECT_EQ(servers_[0]->block_count(), 4u);
   EXPECT_EQ(store.read_file(17, file.size()), file);
+}
+
+// ---- Fault tolerance ------------------------------------------------------
+
+// Snappy retry policy for failure tests: fast backoff, tight socket
+// timeouts, bounded deadline — so injected faults resolve in milliseconds.
+RetryPolicy fast_policy() {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  p.io_timeout = std::chrono::milliseconds(250);
+  p.base_backoff = std::chrono::milliseconds(2);
+  p.max_backoff = std::chrono::milliseconds(20);
+  p.op_deadline = std::chrono::milliseconds(3000);
+  return p;
+}
+
+TEST(Checksum, VerifyAuditsWithoutTransfer) {
+  BlockServer server;
+  Client client(server.port(), fast_policy());
+  BlockKey key{1, 0, 0};
+  auto data = random_bytes(4096, 31);
+  client.put(key, data);
+  std::uint64_t before = client.bytes_received();
+  std::uint32_t crc = 0;
+  EXPECT_EQ(client.verify(key, &crc), BlockHealth::kOk);
+  EXPECT_EQ(crc, util::crc32(data));
+  // The audit moved only a status frame + u32, never the 4 KiB block.
+  EXPECT_LT(client.bytes_received() - before, 64u);
+  EXPECT_EQ(client.verify(BlockKey{9, 9, 9}), BlockHealth::kMissing);
+}
+
+TEST(Checksum, AtRestCorruptionSurfacesAsCorruptBlockError) {
+  BlockServer server;
+  Client client(server.port(), fast_policy());
+  BlockKey key{2, 0, 0};
+  auto data = random_bytes(1024, 32);
+  client.put(key, data);
+  ASSERT_TRUE(server.corrupt_block(key, 100));
+  EXPECT_EQ(client.verify(key), BlockHealth::kCorrupt);
+  EXPECT_THROW(client.get(key), CorruptBlockError);
+  EXPECT_THROW(client.get_range(key, 0, 10), CorruptBlockError);
+  EXPECT_THROW(client.project(key, 256, {{{0, 1}}}), CorruptBlockError);
+  EXPECT_GE(client.counters().corrupt_blocks, 3u);
+  // A fresh PUT heals the block.
+  client.put(key, data);
+  EXPECT_EQ(client.verify(key), BlockHealth::kOk);
+  EXPECT_EQ(*client.get(key), data);
+}
+
+TEST(FaultInjection, RefusalIsServerErrorNotRetried) {
+  BlockServer server;
+  auto plan = std::make_shared<FaultPlan>(1);
+  plan->add({.action = FaultAction::kRefuse, .op = Op::kPing, .max_hits = 1});
+  server.set_fault_plan(plan);
+  Client client(server.port(), fast_policy());
+  EXPECT_THROW(client.ping(), ServerError);
+  EXPECT_EQ(client.counters().retries, 0u);  // refusals are never retried
+  client.ping();  // rule exhausted: server healthy again
+  EXPECT_EQ(plan->injected(), 1u);
+}
+
+TEST(FaultInjection, DeterministicReplayFromSeed) {
+  // The same seeded plan against the same request sequence makes identical
+  // decisions — failures found once can be replayed exactly.
+  auto run = [](std::uint64_t seed) {
+    BlockServer server;
+    auto plan = std::make_shared<FaultPlan>(seed);
+    plan->add({.action = FaultAction::kRefuse,
+               .op = Op::kPing,
+               .max_hits = 1000,
+               .probability = 0.5});
+    server.set_fault_plan(plan);
+    Client client(server.port(), fast_policy());
+    std::vector<bool> refused;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        client.ping();
+        refused.push_back(false);
+      } catch (const ServerError&) {
+        refused.push_back(true);
+      }
+    }
+    return refused;
+  };
+  auto a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // and a different seed actually changes the schedule
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(FaultInjection, DroppedConnectionIsRetriedTransparently) {
+  BlockServer server;
+  auto plan = std::make_shared<FaultPlan>(7);
+  plan->add({.action = FaultAction::kDropBeforeResponse,
+             .op = Op::kPut,
+             .max_hits = 1});
+  server.set_fault_plan(plan);
+  Client client(server.port(), fast_policy());
+  BlockKey key{3, 0, 0};
+  auto data = random_bytes(512, 33);
+  client.put(key, data);  // first attempt dropped unanswered; retry lands
+  EXPECT_GE(client.counters().retries, 1u);
+  EXPECT_GE(client.counters().reconnects, 1u);
+  EXPECT_EQ(*client.get(key), data);
+}
+
+TEST(FaultInjection, StalledResponseTimesOutAndRetries) {
+  BlockServer server;
+  auto plan = std::make_shared<FaultPlan>(7);
+  plan->add({.action = FaultAction::kDelay,
+             .op = Op::kGet,
+             .max_hits = 1,
+             .delay_ms = 2000});
+  server.set_fault_plan(plan);
+  RetryPolicy policy = fast_policy();
+  policy.io_timeout = std::chrono::milliseconds(60);
+  Client client(server.port(), policy);
+  BlockKey key{4, 0, 0};
+  auto data = random_bytes(256, 34);
+  client.put(key, data);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(*client.get(key), data);  // times out once, then succeeds
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(client.counters().timeouts, 1u);
+  EXPECT_GE(client.counters().retries, 1u);
+  // The stall never runs its full 2 s: the timeout cut it off.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+}
+
+TEST(FaultInjection, WireCorruptionDetectedByChecksumAndRetried) {
+  BlockServer server;
+  auto plan = std::make_shared<FaultPlan>(7);
+  plan->add({.action = FaultAction::kCorruptPayload,
+             .op = Op::kGet,
+             .max_hits = 1,
+             .corrupt_offset = 37});
+  server.set_fault_plan(plan);
+  Client client(server.port(), fast_policy());
+  BlockKey key{5, 0, 0};
+  auto data = random_bytes(1024, 35);
+  client.put(key, data);
+  EXPECT_EQ(*client.get(key), data);  // flipped byte caught, clean on retry
+  EXPECT_EQ(client.counters().wire_corruptions, 1u);
+}
+
+TEST(ClientErrors, ProtocolViolationsAreNotBlindlyRetried) {
+  // A fake server that answers every request with a garbage length field.
+  // The old client classified this as retryable and resent the request; the
+  // taxonomy says ProtocolError, thrown after exactly one attempt.
+  TcpListener listener = TcpListener::bind(0);
+  std::atomic<int> requests{0};
+  std::thread fake([&] {
+    TcpConn c = listener.accept();
+    for (;;) {
+      std::uint8_t op;
+      if (!c.recv_all(&op, 1)) return;
+      std::uint32_t len;
+      if (!c.recv_all(&len, 4)) return;
+      std::vector<std::uint8_t> payload(len);
+      if (len && !c.recv_all(payload.data(), len)) return;
+      ++requests;
+      std::uint8_t status = 0;
+      std::uint32_t rlen = 0xFFFFFFFF;  // violates kMaxPayload
+      c.send_all(&status, 1);
+      c.send_all(&rlen, 4);
+    }
+  });
+  {
+    Client client(listener.port(), fast_policy());
+    EXPECT_THROW(client.ping(), ProtocolError);
+  }
+  listener.close();
+  fake.join();
+  EXPECT_EQ(requests.load(), 1);  // no blind retry of a protocol violation
+}
+
+TEST(BlockServerTest, ReapsFinishedConnections) {
+  BlockServer server;
+  for (int i = 0; i < 24; ++i) {
+    Client client(server.port());
+    client.ping();
+  }  // each session closed here
+  // Let the server notice the hangups, then accept once more: the accept
+  // loop reaps every finished session before tracking the new one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Client last(server.port());
+  last.ping();
+  EXPECT_LE(server.session_count(), 3u);
+}
+
+// ---- Store failover and scrubbing -----------------------------------------
+
+TEST_F(StoreTest, ReadFailsOverWhenServerKilledMidRead) {
+  codes::Carousel code(12, 6, 10, 10);
+  const std::size_t block = code.s() * 128;
+  StoreOptions opts{fast_policy()};
+  CarouselStore store(code, ports_, block, opts);
+  auto file = random_bytes(2 * code.k() * block, 41);  // two stripes
+  store.put_file(21, file);
+  EXPECT_EQ(store.read_file(21, file.size()), file);
+
+  // Kill one data-carrying server outright (no drain): reads against it get
+  // connection-refused / EOF, and the store re-plans onto the §VII path.
+  servers_[3]->stop();
+  EXPECT_EQ(store.read_file(21, file.size()), file);
+  EXPECT_GE(store.counters().retries, 1u);
+}
+
+TEST_F(StoreTest, ReadFailsOverOnAtRestCorruption) {
+  codes::Carousel code(12, 6, 10, 10);
+  const std::size_t block = code.s() * 128;
+  CarouselStore store(code, ports_, block, StoreOptions{fast_policy()});
+  auto file = random_bytes(code.k() * block, 42);
+  store.put_file(23, file);
+  // Flip a byte of block 1 behind the checksum: the degraded read must treat
+  // it as an erasure and still return byte-identical contents.
+  ASSERT_TRUE(servers_[1]->corrupt_block(BlockKey{23, 0, 1}, 5));
+  EXPECT_EQ(store.read_file(23, file.size()), file);
+  EXPECT_GE(store.counters().corrupt_blocks, 1u);
+  EXPECT_EQ(store.verify_block(23, 0, 1), BlockState::kCorrupt);
+}
+
+TEST_F(StoreTest, RepairDegradesWhenHelperDiesMidRepair) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 128;
+  CarouselStore store(code, ports_, block, StoreOptions{fast_policy()});
+  auto file = random_bytes(code.k() * block, 43);
+  store.put_file(25, file);
+  ASSERT_TRUE(store.drop_block(25, 0, 4));
+
+  // Server 2 answers the VERIFY probe (so it is chosen as an MSR helper)
+  // but drops every PROJECT unanswered: the helper dies mid-repair and the
+  // store must fall back to the whole-block decode.
+  auto plan = std::make_shared<FaultPlan>(11);
+  plan->add({.action = FaultAction::kDropBeforeResponse,
+             .op = Op::kProject,
+             .max_hits = 1000});
+  servers_[2]->set_fault_plan(plan);
+
+  std::uint64_t fetched = store.repair_block(25, 0, 4);
+  EXPECT_GE(plan->injected(), 1u);  // the MSR attempt really was sabotaged
+  // Fallback cost: at most the abandoned MSR chunks plus k whole blocks.
+  EXPECT_LE(fetched, (code.d() / (code.d() - code.k() + 1) + code.k()) *
+                         std::uint64_t(block));
+  EXPECT_GE(fetched, std::uint64_t(code.k()) * block);
+  servers_[2]->set_fault_plan(nullptr);
+  EXPECT_EQ(store.verify_block(25, 0, 4), BlockState::kOk);
+  EXPECT_EQ(store.read_file(25, file.size()), file);
+}
+
+TEST_F(StoreTest, ScrubberDetectsAndRepairsCorruption) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 128;
+  CarouselStore store(code, ports_, block, StoreOptions{fast_policy()});
+  auto file = random_bytes(code.k() * block, 44);
+  store.put_file(27, file);
+
+  ASSERT_TRUE(servers_[8]->corrupt_block(BlockKey{27, 0, 8}, 0));
+  Scrubber scrubber(store);
+  auto sweep = scrubber.run_once();
+  EXPECT_EQ(sweep.blocks_checked, std::uint64_t(code.n()));
+  EXPECT_EQ(sweep.corrupt_found, 1u);
+  EXPECT_EQ(sweep.repairs, 1u);
+  EXPECT_EQ(sweep.repair_failures, 0u);
+  // All helpers survived, so the heal used the MSR path: d/(d-k+1) = 2
+  // block sizes, not k = 6.
+  EXPECT_EQ(sweep.repair_bytes, 2u * block);
+  EXPECT_EQ(store.verify_block(27, 0, 8), BlockState::kOk);
+  // A second sweep finds a fully healthy stripe.
+  auto again = scrubber.run_once();
+  EXPECT_EQ(again.ok, std::uint64_t(code.n()));
+  EXPECT_EQ(again.repairs, 0u);
+}
+
+TEST_F(StoreTest, BackgroundScrubberHealsWhileRunning) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 64;
+  CarouselStore store(code, ports_, block, StoreOptions{fast_policy()});
+  auto file = random_bytes(code.k() * block, 45);
+  store.put_file(29, file);
+  ASSERT_TRUE(store.drop_block(29, 0, 6));
+
+  Scrubber scrubber(store, Scrubber::Options{std::chrono::milliseconds(10)});
+  scrubber.start();
+  EXPECT_TRUE(scrubber.running());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (scrubber.stats().repairs < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  scrubber.stop();
+  EXPECT_FALSE(scrubber.running());
+  EXPECT_GE(scrubber.stats().repairs, 1u);
+  EXPECT_EQ(store.verify_block(29, 0, 6), BlockState::kOk);
+  EXPECT_EQ(store.read_file(29, file.size()), file);
+}
+
+// The issue's acceptance scenario end to end: one server killed (not
+// drained) AND one block corrupted at rest.  The read must still return
+// byte-identical contents within its deadline, and the scrubber must then
+// restore both blocks at optimal repair traffic (MSR path: d/(d-k+1) block
+// sizes each, well under the k whole blocks of a naive decode).
+TEST_F(StoreTest, KilledServerPlusCorruptBlockReadAndScrubRoundTrip) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 128;
+  CarouselStore store(code, ports_, block, StoreOptions{fast_policy()});
+  auto file = random_bytes(code.k() * block, 46);
+  store.put_file(31, file);
+
+  servers_[4]->stop();  // hosts block 4: killed, not drained
+  ASSERT_TRUE(servers_[7]->corrupt_block(BlockKey{31, 0, 7}, 11));
+
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(store.read_file(31, file.size()), file);
+  // Within the op deadline budget: the dead server fails fast, it does not
+  // stall the read until some transport-level timeout minutes later.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(6));
+
+  // A replacement server comes up on the dead one's port (empty disk).
+  servers_[4] = std::make_unique<BlockServer>(ports_[4]);
+
+  Scrubber scrubber(store);
+  auto sweep = scrubber.run_once();
+  EXPECT_EQ(sweep.missing_found, 1u);  // block 4 on the replacement server
+  EXPECT_EQ(sweep.corrupt_found, 1u);  // block 7 behind its checksum
+  EXPECT_EQ(sweep.repairs, 2u);
+  EXPECT_EQ(sweep.repair_failures, 0u);
+  // Both heals ran the optimal MSR path: 2 block sizes each — repair
+  // traffic 4 blocks total, vs 12 for two whole-block decodes.
+  EXPECT_EQ(sweep.repair_bytes, 2u * 2u * block);
+
+  // The fleet is fully healthy again and the data is byte-identical.
+  for (std::size_t i = 0; i < code.n(); ++i)
+    EXPECT_EQ(store.verify_block(31, 0, static_cast<std::uint32_t>(i)),
+              BlockState::kOk)
+        << "block " << i;
+  EXPECT_EQ(store.read_file(31, file.size()), file);
+  codes::Carousel verify_code(12, 6, 10, 12);
+  storage::ErasureFile ef(verify_code, file, block);
+  Client direct4(ports_[4]), direct7(ports_[7]);
+  auto b4 = direct4.get(BlockKey{31, 0, 4});
+  auto b7 = direct7.get(BlockKey{31, 0, 7});
+  ASSERT_TRUE(b4 && b7);
+  EXPECT_TRUE(std::equal(b4->begin(), b4->end(), ef.block(0, 4).begin()));
+  EXPECT_TRUE(std::equal(b7->begin(), b7->end(), ef.block(0, 7).begin()));
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: full build + test suite, then the networked
+# fault-tolerance tests again under AddressSanitizer (they exercise abrupt
+# server death, connection churn and background scrubbing — exactly where
+# lifetime bugs hide).
+#
+#   sh tools/verify.sh
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j 8
+
+cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
+cmake --build build-asan -j --target net_test
+./build-asan/tests/net_test
+
+echo "verify: OK (full suite + net tests under ASan)"
