@@ -6,10 +6,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace carousel::bench {
 
@@ -53,6 +57,24 @@ inline double time_best_s(const std::function<void()>& fn, int reps = 3) {
 }
 
 inline constexpr double kMiB = 1024.0 * 1024.0;
+
+/// Writes a machine-readable JSON snapshot of the global metrics registry
+/// (codec timings/bytes, GF kernel dispatch counts, thread-pool stats, ...)
+/// to BENCH_<name>.json in the working directory, or to
+/// $CAROUSEL_BENCH_SNAPSHOT_DIR/BENCH_<name>.json when that is set.
+/// Call at the end of a benchmark's main(); tooling diffs these files across
+/// runs.  Returns the path written, empty on I/O failure.
+inline std::string write_metrics_snapshot(const std::string& name) {
+  std::string path = "BENCH_" + name + ".json";
+  if (const char* dir = std::getenv("CAROUSEL_BENCH_SNAPSHOT_DIR"))
+    path = std::string(dir) + "/" + path;
+  std::string json = obs::MetricsRegistry::global().render_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return {};
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return path;
+}
 
 }  // namespace carousel::bench
 

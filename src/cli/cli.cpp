@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "codes/carousel.h"
+#include "net/client.h"
 #include "storage/erasure_file.h"
 #include "util/crc32.h"
 
@@ -248,15 +249,24 @@ std::string describe(const fs::path& dir) {
   return out.str();
 }
 
+std::string fetch_metrics(std::uint16_t port) {
+  net::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.io_timeout = std::chrono::milliseconds(2000);
+  net::Client client(port, policy);
+  return client.metrics_text();
+}
+
 int run(const std::vector<std::string>& args) {
   auto usage = [] {
     std::fprintf(
         stderr,
         "usage:\n"
-        "  carouselctl encode <input> <dir> [n k d p] [block_bytes]\n"
-        "  carouselctl decode <dir> <output>\n"
-        "  carouselctl repair <dir> <block-index>\n"
-        "  carouselctl info   <dir>\n");
+        "  carouselctl encode  <input> <dir> [n k d p] [block_bytes]\n"
+        "  carouselctl decode  <dir> <output>\n"
+        "  carouselctl repair  <dir> <block-index>\n"
+        "  carouselctl info    <dir>\n"
+        "  carouselctl metrics <port>\n");
     return 2;
   };
   try {
@@ -293,6 +303,15 @@ int run(const std::vector<std::string>& args) {
     if (cmd == "info") {
       if (args.size() != 2) return usage();
       std::fputs(describe(args[1]).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "metrics") {
+      if (args.size() != 2) return usage();
+      unsigned long port = std::stoul(args[1]);
+      if (port == 0 || port > 65535)
+        throw std::invalid_argument("port must be in [1, 65535]");
+      std::fputs(fetch_metrics(static_cast<std::uint16_t>(port)).c_str(),
+                 stdout);
       return 0;
     }
     return usage();

@@ -54,6 +54,11 @@ std::uint64_t repair_block_file(const std::filesystem::path& dir,
 /// Human-readable archive summary (for `carouselctl info`).
 std::string describe(const std::filesystem::path& dir);
 
+/// Fetches the Prometheus text dump from a running block server on
+/// 127.0.0.1:port (for `carouselctl metrics`).  Throws on connection
+/// failure.
+std::string fetch_metrics(std::uint16_t port);
+
 /// Entry point used by the binary: returns the process exit code.
 int run(const std::vector<std::string>& args);
 

@@ -8,6 +8,7 @@
 
 #include "gf/vect.h"
 #include "matrix/echelon.h"
+#include "obs/trace.h"
 
 namespace carousel::codes {
 
@@ -318,9 +319,13 @@ IoStats Carousel::newcomer_compute(
     for (std::size_t j = 0; j < helpers.size(); ++j)
       for (std::size_t t = 0; t < s(); ++t)
         sources.push_back({helpers[j], t, chunks[j].data() + t * ub});
-    project_units(sources, ub, failed, out);
+    project_units(sources, ub, failed, out);  // records the repair metrics
     return stats;
   }
+
+  const auto& ins = instruments();
+  obs::ScopedTimer timer(*ins.repair_seconds);
+  ins.repair_bytes_read->inc(stats.bytes_read);
 
   Matrix w = msr_base_->repair_combiner(failed, helpers);
   const Byte lam = msr_base_->lambda(failed);

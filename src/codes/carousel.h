@@ -51,6 +51,8 @@ class Carousel : public LinearCode {
  public:
   Carousel(std::size_t n, std::size_t k, std::size_t d, std::size_t p);
 
+  const char* kind() const override { return "carousel"; }
+
   std::size_t alpha() const { return params().alpha(); }
   std::size_t d() const { return params().d; }
   std::size_t p() const { return params().p; }

@@ -7,8 +7,32 @@
 
 #include "gf/vect.h"
 #include "matrix/echelon.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carousel::codes {
+
+const LinearCode::Instruments& LinearCode::instruments() const {
+  std::call_once(instruments_once_, [this] {
+    auto& reg = obs::MetricsRegistry::global();
+    auto named = [this](const char* base) {
+      return obs::labeled(base, "code", kind());
+    };
+    instruments_.encode_seconds =
+        &reg.histogram(named("carousel_codec_encode_seconds"));
+    instruments_.decode_seconds =
+        &reg.histogram(named("carousel_codec_decode_seconds"));
+    instruments_.repair_seconds =
+        &reg.histogram(named("carousel_codec_repair_seconds"));
+    instruments_.encode_bytes =
+        &reg.counter(named("carousel_codec_encode_bytes_total"));
+    instruments_.decode_bytes_read =
+        &reg.counter(named("carousel_codec_decode_bytes_read_total"));
+    instruments_.repair_bytes_read =
+        &reg.counter(named("carousel_codec_repair_bytes_read_total"));
+  });
+  return instruments_;
+}
 
 LinearCode::LinearCode(CodeParams params, std::size_t s, Matrix generator)
     : params_(params), s_(s), g_(std::move(generator)) {
@@ -34,11 +58,14 @@ void LinearCode::encode(std::span<const Byte> data,
     throw std::invalid_argument("data size must be a multiple of k*s");
   const std::size_t ub = data.size() / message_units();
   const std::size_t block_bytes = s_ * ub;
+  const auto& ins = instruments();
+  obs::ScopedTimer timer(*ins.encode_seconds);
   for (std::size_t i = 0; i < n(); ++i) {
     if (blocks[i].size() != block_bytes)
       throw std::invalid_argument("block buffer has wrong size");
     encode_block(i, data, blocks[i]);
   }
+  ins.encode_bytes->inc(n() * block_bytes);
 }
 
 void LinearCode::encode_block(std::size_t id, std::span<const Byte> data,
@@ -111,6 +138,8 @@ IoStats LinearCode::decode_units(std::span<const UnitRef> units,
     throw std::invalid_argument("decode_units needs exactly k*s units");
   if (data_out.size() != m * unit_bytes)
     throw std::invalid_argument("output buffer has wrong size");
+  const auto& ins = instruments();
+  obs::ScopedTimer timer(*ins.decode_seconds);
 
   // Systematic fast path bookkeeping: units that are verbatim message units
   // are copied; only the rest participate in region arithmetic.
@@ -139,6 +168,7 @@ IoStats LinearCode::decode_units(std::span<const UnitRef> units,
         ++stats.sources;
       }
   }
+  ins.decode_bytes_read->inc(stats.bytes_read);
 
   // First copy verbatim message units (identity generator rows), then solve
   // the rest through the inverse, skipping already-copied outputs.
@@ -176,6 +206,8 @@ IoStats LinearCode::decode_from_available(
   const std::size_t m = message_units();
   if (data_out.size() != m * ub)
     throw std::invalid_argument("output buffer has wrong size");
+  const auto& ins = instruments();
+  obs::ScopedTimer timer(*ins.decode_seconds);
 
   // Pass 1: copy every verbatim message unit and seed the rank basis with
   // the corresponding identity rows.
@@ -219,6 +251,7 @@ IoStats LinearCode::decode_from_available(
     throw std::runtime_error(
         "decode_from_available: blocks do not span the message space");
   stats.sources = ids.size();
+  ins.decode_bytes_read->inc(stats.bytes_read);
 
   if (solver_units.empty()) return stats;  // fully systematic read
 
@@ -282,6 +315,8 @@ IoStats LinearCode::project_units(std::span<const UnitRef> sources,
   if (target >= n()) throw std::invalid_argument("target block out of range");
   if (out.size() != s_ * unit_bytes)
     throw std::invalid_argument("output must be one full block");
+  const auto& ins = instruments();
+  obs::ScopedTimer timer(*ins.repair_seconds);
 
   Matrix a(m, m);
   for (std::size_t i = 0; i < sources.size(); ++i) {
@@ -308,6 +343,7 @@ IoStats LinearCode::project_units(std::span<const UnitRef> sources,
         ++stats.sources;
       }
   }
+  ins.repair_bytes_read->inc(stats.bytes_read);
   // Combination row for target unit t: G_row(target, t) * inv.  The
   // generator row is sparse (<= k*alpha nonzeros), so each combination costs
   // one sparse vector-matrix product on small matrices plus the region work.

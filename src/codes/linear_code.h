@@ -13,12 +13,18 @@
 #define CAROUSEL_CODES_LINEAR_CODE_H
 
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "codes/params.h"
 #include "gf/gf256.h"
 #include "matrix/matrix.h"
+
+namespace carousel::obs {
+class Counter;
+class Histogram;
+}  // namespace carousel::obs
 
 namespace carousel::codes {
 
@@ -45,6 +51,10 @@ class LinearCode {
   /// Takes ownership of the generator; generator must be (n*s) x (k*s).
   LinearCode(CodeParams params, std::size_t s, Matrix generator);
   virtual ~LinearCode() = default;
+
+  /// Short code-family tag, used as the `code` label on codec metrics
+  /// ("rs", "msr", "lrc", "carousel").
+  virtual const char* kind() const { return "linear"; }
 
   const CodeParams& params() const { return params_; }
   std::size_t n() const { return params_.n; }
@@ -142,6 +152,18 @@ class LinearCode {
     return g_.row(id * s_ + pos);
   }
 
+  /// Global-registry instruments labeled {code=kind()}.  Resolved lazily on
+  /// first use — kind() is virtual, so this cannot run in the constructor.
+  struct Instruments {
+    obs::Histogram* encode_seconds = nullptr;
+    obs::Histogram* decode_seconds = nullptr;
+    obs::Histogram* repair_seconds = nullptr;
+    obs::Counter* encode_bytes = nullptr;
+    obs::Counter* decode_bytes_read = nullptr;
+    obs::Counter* repair_bytes_read = nullptr;
+  };
+  const Instruments& instruments() const;
+
  private:
   CodeParams params_;
   std::size_t s_;
@@ -150,6 +172,8 @@ class LinearCode {
   // unit vectors additionally noted for the copy fast path.
   std::vector<std::vector<std::size_t>> support_;
   std::vector<std::ptrdiff_t> identity_col_;  // -1 when not a unit row
+  mutable std::once_flag instruments_once_;
+  mutable Instruments instruments_;
 };
 
 }  // namespace carousel::codes

@@ -30,6 +30,8 @@ class LocalReconstructionCode : public LinearCode {
   LocalReconstructionCode(std::size_t k, std::size_t groups,
                           std::size_t global);
 
+  const char* kind() const override { return "lrc"; }
+
   std::size_t groups() const { return groups_; }
   std::size_t group_size() const { return params().k / groups_; }
   std::size_t global_parities() const {

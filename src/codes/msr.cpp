@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "gf/vect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carousel::codes {
 
@@ -168,6 +170,10 @@ IoStats ProductMatrixMSR::newcomer_compute(
   const std::size_t ub = chunks.front().size();
   if (out.size() != s() * ub)
     throw std::invalid_argument("output must be one full block");
+
+  const auto& ins = instruments();
+  obs::ScopedTimer timer(*ins.repair_seconds);
+  ins.repair_bytes_read->inc(helpers.size() * ub);
 
   // xy rows 0..alpha-1 = S1 phi_f, rows alpha..2alpha-1 = S2 phi_f.
   std::vector<Byte> xy(2 * alpha() * ub, 0);

@@ -36,6 +36,8 @@ class ProductMatrixMSR : public LinearCode {
   /// Requires d >= max(k+1, 2k-2) (see CodeParams::validate) and k >= 2.
   ProductMatrixMSR(std::size_t n, std::size_t k, std::size_t d);
 
+  const char* kind() const override { return "msr"; }
+
   std::size_t alpha() const { return params().alpha(); }
   std::size_t d() const { return params().d; }
 

@@ -20,6 +20,8 @@ class ReedSolomon : public LinearCode {
  public:
   ReedSolomon(std::size_t n, std::size_t k);
 
+  const char* kind() const override { return "rs"; }
+
   /// Rebuilds block `failed` from k surviving whole blocks (ids/blocks
   /// parallel arrays, none equal to failed).  Returns the traffic consumed:
   /// k block-sizes, the RS repair cost the paper improves upon.

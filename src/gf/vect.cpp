@@ -7,6 +7,7 @@
 
 #include "gf/backend.h"
 #include "gf/vect_simd_internal.h"
+#include "obs/metrics.h"
 
 namespace carousel::gf {
 
@@ -15,6 +16,31 @@ namespace {
 std::atomic<Backend>& backend_slot() {
   static std::atomic<Backend> slot{best_backend()};
   return slot;
+}
+
+// Dispatch counters, one per (backend, kernel) pair.  Resolved once into a
+// static table so the per-call cost is a single relaxed atomic add — these
+// sit under every encode/decode/repair region pass in the stack.
+enum Kernel { kMul = 0, kMulAdd = 1, kXor = 2, kKernelCount = 3 };
+
+struct DispatchCounters {
+  obs::Counter* calls[3][kKernelCount];
+  DispatchCounters() {
+    auto& reg = obs::MetricsRegistry::global();
+    const char* backends[] = {"scalar", "avx2", "gfni"};
+    const char* kernels[] = {"mul", "mul_add", "xor"};
+    for (int b = 0; b < 3; ++b)
+      for (int k = 0; k < kKernelCount; ++k)
+        calls[b][k] = &reg.counter(obs::labeled(
+            obs::labeled("carousel_gf_kernel_calls_total", "backend",
+                         backends[b]),
+            "kernel", kernels[k]));
+  }
+};
+
+inline void count_dispatch(Backend b, Kernel k) {
+  static DispatchCounters counters;
+  counters.calls[static_cast<int>(b)][k]->inc();
 }
 
 }  // namespace
@@ -87,7 +113,9 @@ void mul_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
     if (dst != src) std::memcpy(dst, src, n);
     return;
   }
-  switch (active_backend()) {
+  const Backend be = active_backend();
+  count_dispatch(be, kMul);
+  switch (be) {
     case Backend::kGfni:
       internal::mul_region_gfni(c, src, dst, n, /*accumulate=*/false);
       return;
@@ -107,7 +135,9 @@ void mul_add_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
     xor_region(src, dst, n);
     return;
   }
-  switch (active_backend()) {
+  const Backend be = active_backend();
+  count_dispatch(be, kMulAdd);
+  switch (be) {
     case Backend::kGfni:
       internal::mul_region_gfni(c, src, dst, n, /*accumulate=*/true);
       return;
@@ -122,6 +152,7 @@ void mul_add_region(Byte c, const Byte* src, Byte* dst, std::size_t n) {
 }
 
 void xor_region(const Byte* src, Byte* dst, std::size_t n) {
+  count_dispatch(active_backend(), kXor);
   if (active_backend() != Backend::kScalar) {
     internal::xor_region_avx2(src, dst, n);
     return;

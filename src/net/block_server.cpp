@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "gf/vect.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 
 namespace carousel::net {
@@ -14,10 +15,34 @@ std::uint32_t crc_of(std::span<const std::uint8_t> bytes) {
   return util::crc32(bytes);
 }
 
+const char* fault_name(FaultAction a) {
+  switch (a) {
+    case FaultAction::kDropBeforeResponse: return "drop_before_response";
+    case FaultAction::kDropAfterResponse: return "drop_after_response";
+    case FaultAction::kDelay: return "delay";
+    case FaultAction::kCorruptPayload: return "corrupt_payload";
+    case FaultAction::kRefuse: return "refuse";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 BlockServer::BlockServer(std::uint16_t port)
     : listener_(TcpListener::bind(port)), port_(listener_.port()) {
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const char* op = op_name(static_cast<Op>(i));
+    op_requests_[i] = &metrics_.counter(
+        obs::labeled("carousel_server_requests_total", "op", op));
+    op_seconds_[i] = &metrics_.histogram(
+        obs::labeled("carousel_server_op_seconds", "op", op));
+  }
+  for (std::size_t i = 0; i < fault_hits_.size(); ++i)
+    fault_hits_[i] = &metrics_.counter(
+        obs::labeled("carousel_server_fault_injections_total", "action",
+                     fault_name(static_cast<FaultAction>(i))));
+  blocks_gauge_ = &metrics_.gauge("carousel_server_blocks");
+  stored_bytes_gauge_ = &metrics_.gauge("carousel_server_stored_bytes");
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -132,6 +157,8 @@ void BlockServer::serve(Session& session) {
       }
       std::optional<FaultRule> fault;
       if (faults) fault = faults->decide(static_cast<Op>(op_raw));
+      if (fault)
+        fault_hits_[static_cast<std::size_t>(fault->action)]->inc();
 
       Writer resp;
       Status status = Status::kOk;
@@ -142,7 +169,11 @@ void BlockServer::serve(Session& session) {
                     std::strlen(msg)});
       } else {
         try {
+          if (op_raw >= kOpCount)
+            throw std::runtime_error("unknown opcode");
           Reader req(payload);
+          op_requests_[op_raw]->inc();
+          obs::ScopedTimer timer(*op_seconds_[op_raw]);
           handle(static_cast<Op>(op_raw), req, resp, status);
         } catch (const std::exception& e) {
           status = Status::kError;
@@ -200,8 +231,12 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
       }
       std::lock_guard lock(mu_);
       auto& block = blocks_[key];
+      const double old_bytes = static_cast<double>(block.bytes.size());
       block.bytes.assign(bytes.begin(), bytes.end());
       block.crc = declared;
+      blocks_gauge_->set(static_cast<double>(blocks_.size()));
+      stored_bytes_gauge_->add(static_cast<double>(block.bytes.size()) -
+                               old_bytes);
       return;
     }
     case Op::kGet: {
@@ -287,7 +322,14 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
     case Op::kDelete: {
       BlockKey key = req.key();
       std::lock_guard lock(mu_);
-      if (blocks_.erase(key) == 0) status = Status::kNotFound;
+      auto it = blocks_.find(key);
+      if (it == blocks_.end()) {
+        status = Status::kNotFound;
+        return;
+      }
+      stored_bytes_gauge_->add(-static_cast<double>(it->second.bytes.size()));
+      blocks_.erase(it);
+      blocks_gauge_->set(static_cast<double>(blocks_.size()));
       return;
     }
     case Op::kStats: {
@@ -309,6 +351,15 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
       std::uint32_t actual = crc_of(it->second.bytes);
       if (actual != it->second.crc) status = Status::kCorrupt;
       resp.u32(actual);
+      return;
+    }
+    case Op::kMetrics: {
+      // This server's registry first, then the process-global one (codec,
+      // GF-kernel and thread-pool metrics) — one Prometheus text document.
+      std::string text = metrics_.render_prometheus();
+      text += obs::MetricsRegistry::global().render_prometheus();
+      resp.bytes({reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size()});
       return;
     }
   }

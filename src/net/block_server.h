@@ -17,6 +17,7 @@
 #ifndef CAROUSEL_NET_BLOCK_SERVER_H
 #define CAROUSEL_NET_BLOCK_SERVER_H
 
+#include <array>
 #include <atomic>
 #include <list>
 #include <map>
@@ -28,6 +29,7 @@
 #include "net/fault.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace carousel::net {
 
@@ -60,6 +62,11 @@ class BlockServer {
   /// Connection sessions currently tracked (live + not yet reaped).
   std::size_t session_count() const;
 
+  /// This server's own metric registry: per-op request counts and latency
+  /// histograms, fault-injection hits, stored-state gauges.  The METRICS
+  /// wire op renders this registry followed by the process-global one.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
  private:
   struct StoredBlock {
     std::vector<std::uint8_t> bytes;
@@ -83,6 +90,15 @@ class BlockServer {
   std::uint16_t port_ = 0;
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
+
+  // Per-server registry and cached instruments (resolved once in the
+  // constructor; the arrays are indexed by raw opcode / FaultAction).
+  obs::MetricsRegistry metrics_;
+  std::array<obs::Counter*, kOpCount> op_requests_{};
+  std::array<obs::Histogram*, kOpCount> op_seconds_{};
+  std::array<obs::Counter*, 5> fault_hits_{};
+  obs::Gauge* blocks_gauge_ = nullptr;
+  obs::Gauge* stored_bytes_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<BlockKey, StoredBlock> blocks_;

@@ -5,6 +5,8 @@
 #include <system_error>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 
 namespace carousel::net {
@@ -25,17 +27,41 @@ std::uint32_t read_le32(const std::vector<std::uint8_t>& b) {
 
 }  // namespace
 
+Client::Client(std::uint16_t port, RetryPolicy policy,
+               obs::MetricsRegistry* registry)
+    : port_(port),
+      policy_(policy),
+      jitter_rng_(0x9e3779b97f4a7c15ull ^ port) {
+  auto& reg = registry ? *registry : obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < kOpCount; ++i)
+    op_seconds_[i] = &reg.histogram(obs::labeled(
+        "carousel_client_op_seconds", "op", op_name(static_cast<Op>(i))));
+  retries_total_ = &reg.counter("carousel_client_retries_total");
+  reconnects_total_ = &reg.counter("carousel_client_reconnects_total");
+  timeouts_total_ = &reg.counter("carousel_client_timeouts_total");
+  wire_corruptions_total_ =
+      &reg.counter("carousel_client_wire_corruptions_total");
+  corrupt_blocks_total_ = &reg.counter("carousel_client_corrupt_blocks_total");
+}
+
 void Client::ensure_connected() {
   if (conn_.valid()) return;
   conn_ = TcpConn::connect(port_);
   conn_.set_io_timeout(policy_.io_timeout);
-  if (ever_connected_) ++counters_.reconnects;
+  if (ever_connected_) {
+    counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    reconnects_total_->inc();
+  }
   ever_connected_ = true;
 }
 
 void Client::drop_connection() {
-  sent_before_ += conn_.bytes_sent();
-  received_before_ += conn_.bytes_received();
+  // Fold first, reset second: a concurrent bytes_sent() reader may briefly
+  // see the folded total plus the old connection's count (a transient
+  // over-read) but never loses bytes once the reset lands.
+  sent_before_.fetch_add(conn_.bytes_sent(), std::memory_order_relaxed);
+  received_before_.fetch_add(conn_.bytes_received(),
+                             std::memory_order_relaxed);
   conn_ = TcpConn();
 }
 
@@ -58,6 +84,7 @@ void Client::backoff(int attempt,
 std::pair<Status, std::vector<std::uint8_t>> Client::call(
     Op op, const std::vector<std::uint8_t>& payload, CallOpts opts) {
   using clock = std::chrono::steady_clock;
+  obs::ScopedTimer timer(*op_seconds_[static_cast<std::size_t>(op)]);
   const auto deadline = policy_.op_deadline.count() > 0
                             ? clock::now() + policy_.op_deadline
                             : clock::time_point::max();
@@ -72,11 +99,13 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call(
       if (status == Status::kCorrupt) {
         if (opts.corrupt_retryable) {
           // PUT: our request was mangled in flight; resend it.
-          ++counters_.wire_corruptions;
+          counters_.wire_corruptions.fetch_add(1, std::memory_order_relaxed);
+          wire_corruptions_total_->inc();
           throw WireCorruption{};
         }
         if (!opts.corrupt_returns) {
-          ++counters_.corrupt_blocks;
+          counters_.corrupt_blocks.fetch_add(1, std::memory_order_relaxed);
+          corrupt_blocks_total_->inc();
           throw CorruptBlockError("block failed its checksum at rest");
         }
       }
@@ -86,13 +115,15 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call(
         std::uint32_t declared = read_le32(body);
         body.erase(body.begin(), body.begin() + 4);
         if (util::crc32(body) != declared) {
-          ++counters_.wire_corruptions;
+          counters_.wire_corruptions.fetch_add(1, std::memory_order_relaxed);
+          wire_corruptions_total_->inc();
           throw WireCorruption{};
         }
       }
       return {status, std::move(body)};
     } catch (const TimeoutError& e) {
-      ++counters_.timeouts;
+      counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      timeouts_total_->inc();
       last_failure = e.what();
       drop_connection();
     } catch (const TransportError& e) {
@@ -111,7 +142,8 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call(
       throw TransportError("op failed after " +
                            std::to_string(policy_.max_attempts) +
                            " attempts; last: " + last_failure);
-    ++counters_.retries;
+    counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    retries_total_->inc();
     backoff(attempt, deadline);
   }
 }
@@ -200,6 +232,11 @@ Client::Stats Client::stats() {
   s.blocks = r.u32();
   s.bytes = r.u64();
   return s;
+}
+
+std::string Client::metrics_text() {
+  auto [status, body] = call(Op::kMetrics, {});
+  return std::string(body.begin(), body.end());
 }
 
 BlockHealth Client::verify(const BlockKey& key, std::uint32_t* crc_out) {

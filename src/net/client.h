@@ -18,15 +18,25 @@
 #ifndef CAROUSEL_NET_CLIENT_H
 #define CAROUSEL_NET_CLIENT_H
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <optional>
 #include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "net/errors.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+
+namespace carousel::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace carousel::obs
 
 namespace carousel::net {
 
@@ -54,9 +64,11 @@ class Client {
  public:
   /// Remembers the server's port; the connection is established lazily on
   /// the first request (so a client can outlive server restarts and even be
-  /// created while its server is down).
-  explicit Client(std::uint16_t port, RetryPolicy policy = {})
-      : port_(port), policy_(policy), jitter_rng_(0x9e3779b97f4a7c15ull ^ port) {}
+  /// created while its server is down).  Failure counters and per-op latency
+  /// histograms are mirrored into `registry` (the process-global registry
+  /// when null); tests pass their own registry for isolated numbers.
+  explicit Client(std::uint16_t port, RetryPolicy policy = {},
+                  obs::MetricsRegistry* registry = nullptr);
 
   void ping();
   void put(const BlockKey& key, std::span<const std::uint8_t> bytes);
@@ -83,6 +95,10 @@ class Client {
   /// given) receives the block's actual CRC-32.
   BlockHealth verify(const BlockKey& key, std::uint32_t* crc_out = nullptr);
 
+  /// The server's Prometheus text dump (METRICS op): its own registry
+  /// followed by its process-global registry.
+  std::string metrics_text();
+
   /// Failure-handling telemetry, cumulative over the client's life.
   struct Counters {
     std::uint64_t retries = 0;           // attempts beyond the first
@@ -91,12 +107,24 @@ class Client {
     std::uint64_t wire_corruptions = 0;  // checksum mismatches in flight
     std::uint64_t corrupt_blocks = 0;    // Status::kCorrupt answers
   };
-  const Counters& counters() const { return counters_; }
+  /// Consistent-enough snapshot: each field is read atomically, so another
+  /// thread may observe counts mid-operation but never torn values.
+  Counters counters() const {
+    auto ld = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    return {ld(counters_.retries), ld(counters_.reconnects),
+            ld(counters_.timeouts), ld(counters_.wire_corruptions),
+            ld(counters_.corrupt_blocks)};
+  }
   const RetryPolicy& policy() const { return policy_; }
 
-  std::uint64_t bytes_sent() const { return sent_before_ + conn_.bytes_sent(); }
+  std::uint64_t bytes_sent() const {
+    return sent_before_.load(std::memory_order_relaxed) + conn_.bytes_sent();
+  }
   std::uint64_t bytes_received() const {
-    return received_before_ + conn_.bytes_received();
+    return received_before_.load(std::memory_order_relaxed) +
+           conn_.bytes_received();
   }
 
  private:
@@ -122,14 +150,34 @@ class Client {
   void backoff(int attempt,
                std::chrono::steady_clock::time_point deadline);
 
+  // Live counters: relaxed atomics so counters()/bytes_sent() are safe to
+  // read from other threads while an operation is in flight (the old plain
+  // fields raced the sent_before_ fold in drop_connection()).
+  struct AtomicCounters {
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> wire_corruptions{0};
+    std::atomic<std::uint64_t> corrupt_blocks{0};
+  };
+
   std::uint16_t port_;
   RetryPolicy policy_;
   TcpConn conn_;
   bool ever_connected_ = false;
-  Counters counters_;
+  AtomicCounters counters_;
   std::minstd_rand jitter_rng_;
-  std::uint64_t sent_before_ = 0;      // counters of prior connections
-  std::uint64_t received_before_ = 0;
+  std::atomic<std::uint64_t> sent_before_{0};  // counters of prior connections
+  std::atomic<std::uint64_t> received_before_{0};
+
+  // Registry mirrors (see constructor): per-op latency plus the same failure
+  // taxonomy as Counters, shared across every client of the registry.
+  std::array<obs::Histogram*, kOpCount> op_seconds_{};
+  obs::Counter* retries_total_ = nullptr;
+  obs::Counter* reconnects_total_ = nullptr;
+  obs::Counter* timeouts_total_ = nullptr;
+  obs::Counter* wire_corruptions_total_ = nullptr;
+  obs::Counter* corrupt_blocks_total_ = nullptr;
 };
 
 }  // namespace carousel::net

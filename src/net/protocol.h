@@ -15,6 +15,7 @@
 #ifndef CAROUSEL_NET_PROTOCOL_H
 #define CAROUSEL_NET_PROTOCOL_H
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -43,7 +44,29 @@ enum class Op : std::uint8_t {
   kStats = 6,    // -> u32 block count, u64 stored bytes
   kVerify = 7,   // key -> u32 crc; audits a block without transferring it
                  //   (kOk: checksum matches, kCorrupt: it does not)
+  kMetrics = 8,  // -> UTF-8 Prometheus text dump of the server's registry
+                 //   followed by the process-global registry
 };
+
+/// Lower-case op mnemonic ("ping", "put", ...), used as the {op=...} label
+/// on wire metrics and in trace output.  Returns "unknown" for bad bytes.
+inline const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kPut: return "put";
+    case Op::kGet: return "get";
+    case Op::kGetRange: return "get_range";
+    case Op::kProject: return "project";
+    case Op::kDelete: return "delete";
+    case Op::kStats: return "stats";
+    case Op::kVerify: return "verify";
+    case Op::kMetrics: return "metrics";
+  }
+  return "unknown";
+}
+
+/// Number of defined opcodes (for fixed-size per-op instrument tables).
+inline constexpr std::size_t kOpCount = 9;
 
 enum class Status : std::uint8_t {
   kOk = 0,

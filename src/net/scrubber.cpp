@@ -1,9 +1,23 @@
 #include "net/scrubber.h"
 
+#include "obs/metrics.h"
+
 namespace carousel::net {
 
 Scrubber::Scrubber(CarouselStore& store, Options options)
-    : store_(store), options_(options) {}
+    : store_(store), options_(options) {
+  auto& reg = store.metrics();
+  sweeps_total_ = &reg.counter("carousel_scrubber_sweeps_total");
+  blocks_checked_total_ =
+      &reg.counter("carousel_scrubber_blocks_checked_total");
+  repairs_total_ = &reg.counter("carousel_scrubber_repairs_total");
+  repair_failures_total_ =
+      &reg.counter("carousel_scrubber_repair_failures_total");
+  repair_bytes_total_ = &reg.counter("carousel_scrubber_repair_bytes_total");
+  last_sweep_unhealthy_ = &reg.gauge("carousel_scrubber_last_sweep_unhealthy");
+  last_sweep_repair_bytes_ =
+      &reg.gauge("carousel_scrubber_last_sweep_repair_bytes");
+}
 
 Scrubber::~Scrubber() { stop(); }
 
@@ -77,6 +91,15 @@ Scrubber::Stats Scrubber::run_once() {
       }
     }
   }
+  sweeps_total_->inc();
+  blocks_checked_total_->inc(sweep.blocks_checked);
+  repairs_total_->inc(sweep.repairs);
+  repair_failures_total_->inc(sweep.repair_failures);
+  repair_bytes_total_->inc(sweep.repair_bytes);
+  last_sweep_unhealthy_->set(static_cast<double>(
+      sweep.missing_found + sweep.corrupt_found + sweep.unreachable));
+  last_sweep_repair_bytes_->set(static_cast<double>(sweep.repair_bytes));
+
   std::lock_guard lock(mu_);
   total_.sweeps += sweep.sweeps;
   total_.blocks_checked += sweep.blocks_checked;

@@ -70,6 +70,16 @@ class Scrubber {
 
   CarouselStore& store_;
   Options options_;
+
+  // Mirrors into the store's registry (constructor-resolved): cumulative
+  // sweep counters plus last-sweep repair-traffic/health gauges.
+  obs::Counter* sweeps_total_ = nullptr;
+  obs::Counter* blocks_checked_total_ = nullptr;
+  obs::Counter* repairs_total_ = nullptr;
+  obs::Counter* repair_failures_total_ = nullptr;
+  obs::Counter* repair_bytes_total_ = nullptr;
+  obs::Gauge* last_sweep_unhealthy_ = nullptr;
+  obs::Gauge* last_sweep_repair_bytes_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::thread thread_;

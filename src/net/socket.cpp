@@ -39,8 +39,8 @@ TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = other.fd_;
-    sent_ = other.sent_;
-    received_ = other.received_;
+    sent_.store(other.bytes_sent(), std::memory_order_relaxed);
+    received_.store(other.bytes_received(), std::memory_order_relaxed);
     other.fd_ = -1;
   }
   return *this;
@@ -72,7 +72,7 @@ void TcpConn::send_all(const void* data, std::size_t n) {
     if (w == 0) throw TransportError("send: peer closed");
     p += w;
     n -= static_cast<std::size_t>(w);
-    sent_ += static_cast<std::uint64_t>(w);
+    sent_.fetch_add(static_cast<std::uint64_t>(w), std::memory_order_relaxed);
   }
 }
 
@@ -90,7 +90,8 @@ bool TcpConn::recv_all(void* data, std::size_t n) {
       throw TransportError("recv: connection truncated mid-message");
     }
     got += static_cast<std::size_t>(r);
-    received_ += static_cast<std::uint64_t>(r);
+    received_.fetch_add(static_cast<std::uint64_t>(r),
+                        std::memory_order_relaxed);
   }
   return true;
 }

@@ -23,7 +23,12 @@ class TcpConn {
   TcpConn() = default;
   explicit TcpConn(int fd) : fd_(fd) {}
   ~TcpConn() { close(); }
-  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn(TcpConn&& other) noexcept
+      : fd_(other.fd_),
+        sent_(other.bytes_sent()),
+        received_(other.bytes_received()) {
+    other.fd_ = -1;
+  }
   TcpConn& operator=(TcpConn&& other) noexcept;
   TcpConn(const TcpConn&) = delete;
   TcpConn& operator=(const TcpConn&) = delete;
@@ -55,13 +60,20 @@ class TcpConn {
 
   /// Bytes moved through this connection (both directions), for the
   /// traffic-accounting tests.
-  std::uint64_t bytes_sent() const { return sent_; }
-  std::uint64_t bytes_received() const { return received_; }
+  std::uint64_t bytes_sent() const {
+    return sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const {
+    return received_.load(std::memory_order_relaxed);
+  }
 
  private:
   int fd_ = -1;
-  std::uint64_t sent_ = 0;
-  std::uint64_t received_ = 0;
+  // Relaxed atomics: tests and metrics read traffic totals from other
+  // threads while the I/O thread is still moving bytes (and while Client
+  // folds a dying connection's totals during reconnect).
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
 };
 
 /// A listening socket bound to 127.0.0.1.

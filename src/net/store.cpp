@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "storage/erasure_file.h"
 #include "util/crc32.h"
 
@@ -13,19 +14,36 @@ using codes::Byte;
 CarouselStore::CarouselStore(const codes::Carousel& code,
                              const std::vector<std::uint16_t>& ports,
                              std::size_t block_bytes, StoreOptions options)
-    : code_(&code), block_bytes_(block_bytes) {
+    : code_(&code),
+      block_bytes_(block_bytes),
+      registry_(options.registry ? options.registry
+                                 : &obs::MetricsRegistry::global()) {
   if (ports.empty()) throw std::invalid_argument("need at least one server");
   if (block_bytes == 0 || block_bytes % code.s() != 0)
     throw std::invalid_argument(
         "block_bytes must be a positive multiple of the subpacketization");
   clients_.reserve(ports.size());
   for (std::uint16_t p : ports)
-    clients_.push_back(std::make_unique<Client>(p, options.policy));
+    clients_.push_back(std::make_unique<Client>(p, options.policy, registry_));
+  put_seconds_ = &registry_->histogram("carousel_store_put_seconds");
+  read_seconds_ = &registry_->histogram("carousel_store_read_seconds");
+  repair_seconds_ = &registry_->histogram("carousel_store_repair_seconds");
+  put_bytes_ = &registry_->counter("carousel_store_put_bytes_total");
+  read_bytes_ = &registry_->counter("carousel_store_read_bytes_total");
+  repairs_ = &registry_->counter("carousel_store_repairs_total");
+  repair_bytes_read_ =
+      &registry_->counter("carousel_store_repair_bytes_read_total");
+  degraded_reads_ =
+      &registry_->counter("carousel_store_degraded_stripe_reads_total");
+  decode_fallbacks_ =
+      &registry_->counter("carousel_store_decode_fallback_stripes_total");
 }
 
 std::size_t CarouselStore::put_file(std::uint32_t file_id,
                                     std::span<const Byte> bytes) {
   std::lock_guard lock(mu_);
+  obs::ScopedTimer timer(*put_seconds_);
+  put_bytes_->inc(bytes.size());
   storage::ErasureFile ef(*code_, bytes, block_bytes_);
   for (std::size_t s = 0; s < ef.stripes(); ++s)
     for (std::size_t i = 0; i < code_->n(); ++i)
@@ -39,6 +57,8 @@ std::size_t CarouselStore::put_file(std::uint32_t file_id,
 std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
                                            std::size_t file_bytes) {
   std::lock_guard lock(mu_);
+  obs::ScopedTimer timer(*read_seconds_);
+  read_bytes_->inc(file_bytes);
   const std::size_t ub = block_bytes_ / code_->s();
   const std::size_t K = code_->data_units_per_block();
   const std::size_t p = code_->p();
@@ -100,6 +120,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
 
     // §VII degraded read: parity blocks stand in for missing slots, each
     // serving that slot's selection pattern (k/p of a block over the wire).
+    degraded_reads_->inc();
     std::vector<std::pair<std::size_t, std::vector<Byte>>> stand_ins;
     std::size_t candidate = p;
     for (std::size_t slot : missing) {
@@ -136,6 +157,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     }
 
     // Last resort: any-k whole-block MDS decode.
+    decode_fallbacks_->inc();
     std::vector<std::size_t> ids;
     std::vector<std::vector<Byte>> blocks;
     for (std::size_t i = 0; i < n && ids.size() < code_->k(); ++i) {
@@ -188,6 +210,7 @@ std::uint64_t CarouselStore::repair_block(std::uint32_t file_id,
 std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
                                                  std::uint32_t stripe,
                                                  std::uint32_t index) {
+  obs::ScopedTimer timer(*repair_seconds_);
   const std::size_t ub = block_bytes_ / code_->s();
   std::uint64_t fetched = 0;
 
@@ -285,6 +308,8 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
           BlockHealth::kOk ||
       stored_crc != util::crc32(rebuilt))
     throw Error("repaired block failed its post-repair audit");
+  repairs_->inc();
+  repair_bytes_read_->inc(fetched);
   return fetched;
 }
 

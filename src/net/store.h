@@ -39,6 +39,10 @@ enum class BlockState { kOk, kMissing, kCorrupt, kUnreachable };
 struct StoreOptions {
   /// Applied to every server connection the store owns.
   RetryPolicy policy{};
+  /// Registry for the store's own metrics and those of its clients; the
+  /// process-global registry when null.  Tests pass a fresh registry to make
+  /// exact assertions on repair traffic.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 class CarouselStore {
@@ -100,6 +104,10 @@ class CarouselStore {
   /// Aggregated failure-handling telemetry across every server connection.
   Client::Counters counters() const;
 
+  /// The registry this store (and its clients, and any Scrubber sweeping it)
+  /// reports into — StoreOptions::registry, or the process-global one.
+  obs::MetricsRegistry& metrics() const { return *registry_; }
+
  private:
   Client& client_of(std::size_t index) { return *clients_[server_of(index)]; }
   BlockKey key(std::uint32_t file, std::uint32_t stripe,
@@ -112,9 +120,21 @@ class CarouselStore {
 
   const codes::Carousel* code_;
   std::size_t block_bytes_;
+  obs::MetricsRegistry* registry_ = nullptr;
   std::vector<std::unique_ptr<Client>> clients_;
   mutable std::mutex mu_;  // serializes public ops (scrubber vs. reader)
   std::map<std::uint32_t, FileInfo> manifest_;
+
+  // Cached instruments (constructor-resolved from registry_).
+  obs::Histogram* put_seconds_ = nullptr;
+  obs::Histogram* read_seconds_ = nullptr;
+  obs::Histogram* repair_seconds_ = nullptr;
+  obs::Counter* put_bytes_ = nullptr;
+  obs::Counter* read_bytes_ = nullptr;
+  obs::Counter* repairs_ = nullptr;
+  obs::Counter* repair_bytes_read_ = nullptr;
+  obs::Counter* degraded_reads_ = nullptr;
+  obs::Counter* decode_fallbacks_ = nullptr;
 };
 
 }  // namespace carousel::net

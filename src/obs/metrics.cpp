@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace carousel::obs {
+
+namespace {
+
+// 1 us .. 10 s, 1-2-5 ladder — covers loopback RPCs through multi-second
+// repair sweeps with 13 buckets.
+constexpr double kLatencyBounds[] = {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4,
+                                     2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2,
+                                     5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,
+                                     10.0};
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Splits "base{labels}" into base and the inner label list (may be empty).
+std::pair<std::string_view, std::string_view> split_labels(
+    std::string_view name) {
+  auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}')
+    return {name, {}};
+  return {name.substr(0, brace),
+          name.substr(brace + 1, name.size() - brace - 2)};
+}
+
+}  // namespace
+
+std::string labeled(std::string_view base, std::string_view label,
+                    std::string_view value) {
+  auto [name, existing] = split_labels(base);
+  std::string out(name);
+  out += '{';
+  if (!existing.empty()) {
+    out += existing;
+    out += ',';
+  }
+  out += label;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket whose upper bound admits v (le semantics); +inf otherwise.
+  std::size_t i =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                                v) -
+                               bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::span<const double> Histogram::latency_buckets_seconds() {
+  return kLatencyBounds;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds = Histogram::latency_buckets_seconds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(
+                          std::vector<double>(bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.buckets.reserve(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i <= hs.bounds.size(); ++i)
+      hs.buckets.push_back(h->bucket(i));
+    hs.count = h->count();
+    hs.sum = h->sum();
+    s.histograms[name] = std::move(hs);
+  }
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string Snapshot::render_prometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters)
+    out += name + " " + std::to_string(v) + "\n";
+  for (const auto& [name, v] : gauges)
+    out += name + " " + format_double(v) + "\n";
+  for (const auto& [name, h] : histograms) {
+    auto [base, labels] = split_labels(name);
+    auto series = [&](std::string_view suffix, std::string_view extra_labels) {
+      std::string s(base);
+      s += suffix;
+      if (!labels.empty() || !extra_labels.empty()) {
+        s += '{';
+        s += labels;
+        if (!labels.empty() && !extra_labels.empty()) s += ',';
+        s += extra_labels;
+        s += '}';
+      }
+      return s;
+    };
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += series("_bucket", "le=\"" + format_double(h.bounds[i]) + "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += series("_bucket", "le=\"+Inf\"") + " " + std::to_string(h.count) +
+           "\n";
+    out += series("_sum", {}) + " " + format_double(h.sum) + "\n";
+    out += series("_count", {}) + " " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string Snapshot::render_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + format_double(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      out += format_double(h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + format_double(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace carousel::obs

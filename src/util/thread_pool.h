@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace carousel::util {
 
 class ThreadPool {
@@ -44,6 +46,12 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  // Shared observability (global registry): queue depth across all pools,
+  // per-task wall-clock latency, total tasks executed.
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_seconds_;
+  obs::Counter* tasks_total_;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;

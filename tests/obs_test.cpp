@@ -1,0 +1,302 @@
+// Observability-layer tests: registry semantics under concurrency, histogram
+// bucket boundaries, snapshot isolation, trace spans, and the kMetrics wire
+// op end to end against a live BlockServer.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/block_server.h"
+#include "net/client.h"
+#include "net/errors.h"
+#include "net/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace carousel::obs {
+namespace {
+
+TEST(Counter, ConcurrentIncrementsNeverLoseUpdates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c_total");
+  constexpr int kThreads = 8, kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kIncs);
+  c.inc(58);
+  EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kIncs + 58);
+}
+
+TEST(Gauge, ConcurrentAddsSumExactly) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  constexpr int kThreads = 8, kAdds = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kAdds; ++i) g.add(1.0);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(g.value(), double(kThreads) * kAdds);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  // Bounds are inclusive upper limits (Prometheus "le"): a value equal to a
+  // bound lands in that bound's bucket, values past the last bound in +inf.
+  Histogram h({1.0, 2.0, 5.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 5.0, 7.0}) h.observe(v);
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bucket(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket(1), 2u);  // 1.5, 2.0
+  EXPECT_EQ(h.bucket(2), 1u);  // 5.0
+  EXPECT_EQ(h.bucket(3), 1u);  // 7.0 -> +inf
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 17.0);
+}
+
+TEST(HistogramTest, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, EmptyBoundsGetDefaultLatencyLadder) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat_seconds");
+  EXPECT_EQ(h.bounds().size(),
+            Histogram::latency_buckets_seconds().size());
+  EXPECT_DOUBLE_EQ(h.bounds().front(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.bounds().back(), 10.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesConserveCount) {
+  Histogram h({0.5});
+  constexpr int kThreads = 8, kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) h.observe(t % 2 ? 0.25 : 0.75);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kObs);
+  EXPECT_EQ(h.bucket(0) + h.bucket(1), h.count());
+  EXPECT_EQ(h.bucket(0), std::uint64_t(kThreads) / 2 * kObs);
+}
+
+TEST(Registry, InstrumentReferencesAreStable) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("same");
+  Counter& b = reg.counter("same");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = reg.histogram("h", std::vector<double>{1.0});
+  Histogram& h2 = reg.histogram("h", std::vector<double>{9.0, 10.0});
+  EXPECT_EQ(&h1, &h2);  // bounds consulted only on first creation
+  ASSERT_EQ(h2.bounds().size(), 1u);
+}
+
+TEST(Registry, SnapshotIsIsolatedFromLaterWrites) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("writes_total");
+  Histogram& h = reg.histogram("h", std::vector<double>{1.0});
+  c.inc(5);
+  h.observe(0.5);
+  Snapshot snap = reg.snapshot();
+  // Mutate heavily after the snapshot: it must not move.
+  c.inc(1000);
+  for (int i = 0; i < 100; ++i) h.observe(2.0);
+  reg.counter("appears_later_total").inc();
+  EXPECT_EQ(snap.counters.at("writes_total"), 5u);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+  EXPECT_EQ(snap.counters.count("appears_later_total"), 0u);
+  // And a fresh snapshot sees everything.
+  Snapshot now = reg.snapshot();
+  EXPECT_EQ(now.counters.at("writes_total"), 1005u);
+  EXPECT_EQ(now.histograms.at("h").count, 101u);
+  EXPECT_EQ(now.counters.at("appears_later_total"), 1u);
+}
+
+TEST(Registry, LabeledBuildsAndMergesBraceSuffixes) {
+  EXPECT_EQ(labeled("a", "k", "v"), "a{k=\"v\"}");
+  EXPECT_EQ(labeled("a{x=\"1\"}", "k", "v"), "a{x=\"1\",k=\"v\"}");
+}
+
+TEST(Registry, PrometheusRenderingIsCumulativeAndLabeled) {
+  MetricsRegistry reg;
+  reg.counter("jobs_total").inc(3);
+  reg.gauge("depth").set(1.5);
+  Histogram& h =
+      reg.histogram("op_seconds{op=\"get\"}", std::vector<double>{1.0, 2.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("jobs_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 1.5\n"), std::string::npos);
+  // Histogram series: cumulative buckets, le merged into the label group.
+  EXPECT_NE(text.find("op_seconds_bucket{op=\"get\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("op_seconds_bucket{op=\"get\",le=\"2\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("op_seconds_bucket{op=\"get\",le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("op_seconds_sum{op=\"get\"} 3.5\n"), std::string::npos);
+  EXPECT_NE(text.find("op_seconds_count{op=\"get\"} 2\n"), std::string::npos);
+}
+
+TEST(Registry, JsonRenderingHasAllThreeSections) {
+  MetricsRegistry reg;
+  reg.counter("c_total").inc(7);
+  reg.gauge("g").set(2.0);
+  reg.histogram("h", std::vector<double>{1.0}).observe(0.5);
+  std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"counters\":{\"c_total\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"g\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"bounds\":[1],\"buckets\":[1,0],\"count\":1"),
+            std::string::npos);
+}
+
+TEST(Trace, ScopedTimerObservesOnceIntoHistogram) {
+  Histogram h({1e-9, 1.0});
+  {
+    ScopedTimer timer(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    double s = timer.stop();
+    EXPECT_GE(s, 0.009);
+    EXPECT_LT(s, 5.0);
+  }  // stop() already observed; destructor must not observe again
+  EXPECT_EQ(h.count(), 1u);
+  { ScopedTimer timer(h); }  // destructor path
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Trace, RingKeepsNewestRecordsOldestFirst) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i)
+    ring.record("op" + std::to_string(i), 0.001 * i, std::uint64_t(i));
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  auto records = ring.records();
+  ASSERT_EQ(records.size(), 4u);  // only the newest `capacity` survive
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].name, "op" + std::to_string(6 + i));
+    EXPECT_EQ(records[i].seq, 6 + i);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.records().empty());
+  EXPECT_EQ(ring.total_recorded(), 10u);  // history count survives clear
+}
+
+TEST(Trace, SpanFeedsHistogramAndRingWithBytes) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("span_seconds");
+  TraceRing ring(8);
+  {
+    TraceSpan span("repair", &h, &ring);
+    span.add_bytes(1024);
+    span.add_bytes(512);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  auto records = ring.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "repair");
+  EXPECT_EQ(records[0].bytes, 1536u);
+  EXPECT_GE(records[0].seconds, 0.0);
+}
+
+// ---- kMetrics wire op against a live server --------------------------------
+
+TEST(MetricsWireOp, ServerExposesPerOpTelemetry) {
+  net::BlockServer server;
+  net::Client client(server.port());
+  net::BlockKey key{1, 0, 0};
+  auto data = test::random_bytes(2048, 61);
+  client.ping();
+  client.put(key, data);
+  ASSERT_TRUE(client.get(key).has_value());
+  ASSERT_TRUE(client.get(key).has_value());
+
+  std::string text = client.metrics_text();
+  // Request counters, one series per op.
+  EXPECT_NE(text.find("carousel_server_requests_total{op=\"ping\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("carousel_server_requests_total{op=\"put\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("carousel_server_requests_total{op=\"get\"} 2\n"),
+            std::string::npos);
+  // Latency histograms render as Prometheus series with merged le labels.
+  EXPECT_NE(text.find("carousel_server_op_seconds_bucket{op=\"put\",le=\""),
+            std::string::npos);
+  EXPECT_NE(text.find("carousel_server_op_seconds_count{op=\"put\"} 1\n"),
+            std::string::npos);
+  // Storage gauges track the put.
+  EXPECT_NE(text.find("carousel_server_blocks 1\n"), std::string::npos);
+  EXPECT_NE(text.find("carousel_server_stored_bytes 2048\n"),
+            std::string::npos);
+  // The dump appends the process-global registry: client-side mirrors of the
+  // very ops above are part of the same document.
+  EXPECT_NE(text.find("carousel_client_op_seconds_bucket{op=\"put\",le=\""),
+            std::string::npos);
+}
+
+TEST(MetricsWireOp, MetricsCountsItselfAndTracksDeletes) {
+  net::BlockServer server;
+  net::Client client(server.port());
+  net::BlockKey key{2, 0, 0};
+  client.put(key, test::random_bytes(512, 62));
+  ASSERT_TRUE(client.remove(key));
+  std::string first = client.metrics_text();
+  EXPECT_NE(first.find("carousel_server_blocks 0\n"), std::string::npos);
+  EXPECT_NE(first.find("carousel_server_stored_bytes 0\n"),
+            std::string::npos);
+  EXPECT_NE(first.find("carousel_server_requests_total{op=\"delete\"} 1\n"),
+            std::string::npos);
+  // Requests are counted before they are handled, so a METRICS dump counts
+  // itself — and the next one sees both.
+  EXPECT_NE(first.find("carousel_server_requests_total{op=\"metrics\"} 1\n"),
+            std::string::npos);
+  std::string second = client.metrics_text();
+  EXPECT_NE(second.find("carousel_server_requests_total{op=\"metrics\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsWireOp, FaultInjectionHitsAreCounted) {
+  net::BlockServer server;
+  auto plan = std::make_shared<net::FaultPlan>(1);
+  plan->add({.action = net::FaultAction::kRefuse,
+             .op = net::Op::kPing,
+             .max_hits = 2});
+  server.set_fault_plan(plan);
+  net::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff = std::chrono::milliseconds(1);
+  net::Client client(server.port(), policy);
+  EXPECT_THROW(client.ping(), net::ServerError);
+  EXPECT_THROW(client.ping(), net::ServerError);
+  client.ping();  // rule exhausted
+  std::string text = client.metrics_text();
+  EXPECT_NE(
+      text.find("carousel_server_fault_injections_total{action=\"refuse\"} 2\n"),
+      std::string::npos);
+}
+
+TEST(MetricsWireOp, EachServerHasIsolatedRegistry) {
+  net::BlockServer a, b;
+  net::Client ca(a.port()), cb(b.port());
+  ca.put(net::BlockKey{3, 0, 0}, test::random_bytes(64, 63));
+  cb.ping();
+  std::string ta = ca.metrics_text(), tb = cb.metrics_text();
+  EXPECT_NE(ta.find("carousel_server_requests_total{op=\"put\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(tb.find("carousel_server_requests_total{op=\"put\"} 0\n"),
+            std::string::npos);
+  EXPECT_EQ(a.metrics().snapshot().gauges.at("carousel_server_blocks"), 1.0);
+  EXPECT_EQ(b.metrics().snapshot().gauges.at("carousel_server_blocks"), 0.0);
+}
+
+}  // namespace
+}  // namespace carousel::obs

@@ -1,0 +1,238 @@
+// Randomized parameter-grid properties of the Carousel construction (paper
+// §V–§VII), over a seeded grid of (n, k, d, p) mixes: any-k MDS round-trip,
+// verbatim data-unit placement, and exact MSR-optimal repair traffic — the
+// latter cross-checked against the codec's repair-traffic counter in the
+// process-global metrics registry.
+//
+// The grid is seeded (std::mt19937), so a failure reproduces exactly; it
+// spans both base codes (d == k -> RS, d >= max(k+1, 2k-2) -> product-matrix
+// MSR) and the full k <= p <= n parallelism range.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "codes/carousel.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace carousel::codes {
+namespace {
+
+using test::random_bytes;
+
+constexpr std::size_t kUnitBytes = 8;
+constexpr std::size_t kMinConfigs = 25;
+
+struct GridEntry {
+  std::size_t n, k, d, p;
+  std::unique_ptr<Carousel> code;
+  std::size_t block_bytes = 0;
+};
+
+// Deterministic (n, k, d, p) grid: every draw obeys the paper's parameter
+// constraints (k <= p <= n; d == k or max(k+1, 2k-2) <= d < n), deduplicated
+// until kMinConfigs distinct mixes exist, with both base-code families and
+// the p > k regime guaranteed represented.
+const std::vector<GridEntry>& grid() {
+  static const std::vector<GridEntry>* entries = [] {
+    auto* out = new std::vector<GridEntry>;
+    std::mt19937 rng(20170605);  // ICDCS'17 vintage, fixed for replay
+    std::set<std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>>
+        seen;
+    std::size_t msr = 0, rs_base = 0, spread = 0;
+    while (seen.size() < kMinConfigs || msr < 5 || rs_base < 5 ||
+           spread < 5) {
+      std::size_t k = std::uniform_int_distribution<std::size_t>(2, 6)(rng);
+      std::size_t n =
+          std::uniform_int_distribution<std::size_t>(k + 1, k + 6)(rng);
+      std::size_t d = k;
+      std::size_t d_min = std::max(k + 1, 2 * k - 2);
+      if (d_min <= n - 1 && rng() % 2)
+        d = std::uniform_int_distribution<std::size_t>(d_min, n - 1)(rng);
+      std::size_t p = std::uniform_int_distribution<std::size_t>(k, n)(rng);
+      if (!seen.insert({n, k, d, p}).second) continue;
+      msr += d > k;
+      rs_base += d == k;
+      spread += p > k;
+      GridEntry e{n, k, d, p, std::make_unique<Carousel>(n, k, d, p), 0};
+      e.block_bytes = e.code->s() * kUnitBytes;
+      out->push_back(std::move(e));
+    }
+    return out;
+  }();
+  return *entries;
+}
+
+// One encoded stripe per entry, seeded by its index.
+struct Stripe {
+  std::vector<std::uint8_t> data;
+  std::vector<std::uint8_t> blob;
+  std::vector<std::span<const std::uint8_t>> views;
+};
+
+Stripe encode_stripe(const GridEntry& e, std::uint32_t seed) {
+  Stripe s;
+  s.data = random_bytes(e.k * e.block_bytes, seed);
+  s.blob.resize(e.n * e.block_bytes);
+  std::vector<std::span<std::uint8_t>> blocks;
+  for (std::size_t i = 0; i < e.n; ++i)
+    blocks.emplace_back(s.blob.data() + i * e.block_bytes, e.block_bytes);
+  e.code->encode(s.data, blocks);
+  for (std::size_t i = 0; i < e.n; ++i)
+    s.views.emplace_back(s.blob.data() + i * e.block_bytes, e.block_bytes);
+  return s;
+}
+
+TEST(PropertyGrid, CoversTheParameterSpace) {
+  const auto& g = grid();
+  EXPECT_GE(g.size(), kMinConfigs);
+  std::size_t msr = 0, rs_base = 0, spread = 0, full = 0;
+  for (const auto& e : g) {
+    ASSERT_LE(e.k, e.p);
+    ASSERT_LE(e.p, e.n);
+    ASSERT_TRUE(e.d == e.k || e.d >= std::max(e.k + 1, 2 * e.k - 2));
+    ASSERT_LT(e.d, e.n);
+    EXPECT_EQ(e.code->alpha(), e.d - e.k + 1);
+    msr += e.d > e.k;
+    rs_base += e.d == e.k;
+    spread += e.p > e.k;
+    full += e.p == e.n;
+  }
+  EXPECT_GE(msr, 5u);
+  EXPECT_GE(rs_base, 5u);
+  EXPECT_GE(spread, 5u);
+}
+
+TEST(PropertyGrid, AnyKBlocksRoundTrip) {
+  std::mt19937 rng(101);
+  std::uint32_t seed = 1000;
+  for (const auto& e : grid()) {
+    Stripe s = encode_stripe(e, seed++);
+    // A random k-subset of the n blocks must reproduce the stripe (MDS).
+    std::vector<std::size_t> ids(e.n);
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    ids.resize(e.k);
+    std::sort(ids.begin(), ids.end());
+    std::vector<std::span<const std::uint8_t>> chosen;
+    for (std::size_t id : ids) chosen.push_back(s.views[id]);
+    std::vector<std::uint8_t> out(s.data.size());
+    auto stats = e.code->decode(ids, chosen, out);
+    EXPECT_EQ(out, s.data) << "(" << e.n << "," << e.k << "," << e.d << ","
+                           << e.p << ")";
+    EXPECT_EQ(stats.bytes_read, e.k * e.block_bytes);
+    EXPECT_EQ(stats.sources, e.k);
+  }
+}
+
+TEST(PropertyGrid, DataUnitsArePlacedVerbatim) {
+  std::uint32_t seed = 2000;
+  for (const auto& e : grid()) {
+    Stripe s = encode_stripe(e, seed++);
+    const std::size_t ub = e.block_bytes / e.code->s();
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < e.n; ++i) {
+      auto [first, last] = e.code->message_slice(i);
+      if (i >= e.p) {
+        // Pure-parity blocks carry no verbatim data.
+        EXPECT_EQ(first, last);
+        EXPECT_EQ(e.code->data_extent_bytes(i, e.block_bytes), 0u);
+        continue;
+      }
+      // §VI: block i's head is message units [first, last), in file order.
+      const std::size_t extent = (last - first) * ub;
+      EXPECT_EQ(e.code->data_extent_bytes(i, e.block_bytes), extent);
+      EXPECT_TRUE(std::equal(s.views[i].begin(),
+                             s.views[i].begin() + extent,
+                             s.data.begin() + first * ub))
+          << "block " << i << " of (" << e.n << "," << e.k << "," << e.d
+          << "," << e.p << ")";
+      covered += last - first;
+    }
+    // The p data extents tile the whole message, nothing missing or doubled.
+    EXPECT_EQ(covered, e.code->message_units());
+  }
+}
+
+TEST(PropertyGrid, RepairTrafficIsExactlyTheMsrOptimum) {
+  std::mt19937 rng(202);
+  std::uint32_t seed = 3000;
+  auto& repair_counter = obs::MetricsRegistry::global().counter(
+      obs::labeled("carousel_codec_repair_bytes_read_total", "code",
+                   "carousel"));
+  for (const auto& e : grid()) {
+    Stripe s = encode_stripe(e, seed++);
+    const std::size_t alpha = e.d - e.k + 1;
+    const std::size_t failed =
+        std::uniform_int_distribution<std::size_t>(0, e.n - 1)(rng);
+    std::vector<std::size_t> helpers;
+    for (std::size_t i = 0; i < e.n; ++i)
+      if (i != failed) helpers.push_back(i);
+    std::shuffle(helpers.begin(), helpers.end(), rng);
+    helpers.resize(e.d);
+    std::sort(helpers.begin(), helpers.end());
+
+    const std::size_t chunk_bytes = e.code->helper_chunk_units() * kUnitBytes;
+    std::vector<std::vector<std::uint8_t>> chunks(e.d);
+    std::vector<std::span<const std::uint8_t>> chunk_views;
+    for (std::size_t h = 0; h < e.d; ++h) {
+      chunks[h].resize(chunk_bytes);
+      e.code->helper_compute(helpers[h], failed, s.views[helpers[h]],
+                             chunks[h]);
+    }
+    for (const auto& c : chunks) chunk_views.emplace_back(c);
+
+    std::vector<std::uint8_t> rebuilt(e.block_bytes);
+    const std::uint64_t counter_before = repair_counter.value();
+    auto stats = e.code->newcomer_compute(failed, helpers, chunk_views,
+                                          rebuilt);
+    // The rebuilt block is bit-identical...
+    EXPECT_TRUE(std::equal(rebuilt.begin(), rebuilt.end(),
+                           s.views[failed].begin()))
+        << "failed " << failed << " of (" << e.n << "," << e.k << "," << e.d
+        << "," << e.p << ")";
+    // ...at exactly d/(d-k+1) block sizes of helper traffic (Fig. 7), with
+    // no rounding slack: alpha divides s by construction.
+    EXPECT_EQ(stats.bytes_read * alpha, e.d * e.block_bytes);
+    EXPECT_EQ(stats.bytes_read, e.d * chunk_bytes);
+    EXPECT_EQ(stats.sources, e.d);
+    // The codec's registry counter saw the same bytes — the number the
+    // kMetrics dump and the bench snapshots report.
+    EXPECT_EQ(repair_counter.value() - counter_before, stats.bytes_read);
+  }
+}
+
+TEST(PropertyGrid, ParallelReadServesFromAnyPBlocks) {
+  // §VII bonus property on the same grid: any p distinct blocks serve a
+  // read, each contributing k/p of a block.
+  std::mt19937 rng(303);
+  std::uint32_t seed = 4000;
+  for (const auto& e : grid()) {
+    Stripe s = encode_stripe(e, seed++);
+    std::vector<std::size_t> ids(e.n);
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    ids.resize(e.p);
+    std::sort(ids.begin(), ids.end());
+    std::vector<std::span<const std::uint8_t>> chosen;
+    for (std::size_t id : ids) chosen.push_back(s.views[id]);
+    std::vector<std::uint8_t> out(s.data.size());
+    auto stats = e.code->decode_parallel(ids, chosen, out);
+    EXPECT_EQ(out, s.data) << "(" << e.n << "," << e.k << "," << e.d << ","
+                           << e.p << ")";
+    // The p contributors together ship k block sizes: k/p of a block each.
+    EXPECT_EQ(stats.bytes_read, e.k * e.block_bytes)
+        << "(" << e.n << "," << e.k << "," << e.d << "," << e.p << ")";
+    EXPECT_EQ(stats.sources, e.p);
+  }
+}
+
+}  // namespace
+}  // namespace carousel::codes

@@ -2,7 +2,9 @@
 # Tier-1 verification: full build + test suite, then the networked
 # fault-tolerance tests again under AddressSanitizer (they exercise abrupt
 # server death, connection churn and background scrubbing — exactly where
-# lifetime bugs hide).
+# lifetime bugs hide), and the net + observability tests under
+# ThreadSanitizer (client counters, registry instruments and trace rings are
+# all read while other threads mutate them).
 #
 #   sh tools/verify.sh
 set -e
@@ -13,7 +15,13 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j 8
 
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
-cmake --build build-asan -j --target net_test
+cmake --build build-asan -j --target net_test obs_test
 ./build-asan/tests/net_test
+./build-asan/tests/obs_test
 
-echo "verify: OK (full suite + net tests under ASan)"
+cmake -B build-tsan -S . -DCAROUSEL_SANITIZE=thread
+cmake --build build-tsan -j --target net_test obs_test
+./build-tsan/tests/net_test
+./build-tsan/tests/obs_test
+
+echo "verify: OK (full suite + net/obs tests under ASan and TSan)"
