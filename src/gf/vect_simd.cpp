@@ -21,6 +21,29 @@ namespace carousel::gf::internal {
 
 namespace {
 
+// memcpy-based vector access: the strict-aliasing- and alignment-clean form
+// of an unaligned load/store (gcc and clang fold each call to one vmovdqu at
+// -O2).  The kernels below take Byte* regions with no alignment contract, so
+// every access goes through these instead of dereferencing a cast pointer.
+__attribute__((target("avx2"), always_inline)) inline __m256i loadu256(
+    const Byte* p) {
+  __m256i v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+__attribute__((target("avx2"), always_inline)) inline void storeu256(
+    Byte* p, __m256i v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m128i load128(
+    const Byte* p) {
+  __m128i v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
 // Nibble product tables for PSHUFB: lo[i] = c*i, hi[i] = c*(i<<4).
 struct NibbleTables {
   alignas(16) Byte lo[16];
@@ -58,22 +81,18 @@ __attribute__((target("avx2")))
 void mul_region_avx2(Byte c, const Byte* src, Byte* dst, std::size_t n,
                      bool accumulate) {
   const NibbleTables t = make_nibble_tables(c);
-  const __m256i lo =
-      _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(t.lo)));
-  const __m256i hi =
-      _mm256_broadcastsi128_si256(_mm_load_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i lo = _mm256_broadcastsi128_si256(load128(t.lo));
+  const __m256i hi = _mm256_broadcastsi128_si256(load128(t.hi));
   const __m256i mask = _mm256_set1_epi8(0x0F);
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i x = loadu256(src + i);
     __m256i lo_prod = _mm256_shuffle_epi8(lo, _mm256_and_si256(x, mask));
     __m256i hi_prod = _mm256_shuffle_epi8(
         hi, _mm256_and_si256(_mm256_srli_epi64(x, 4), mask));
     __m256i prod = _mm256_xor_si256(lo_prod, hi_prod);
-    if (accumulate)
-      prod = _mm256_xor_si256(
-          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+    if (accumulate) prod = _mm256_xor_si256(prod, loadu256(dst + i));
+    storeu256(dst + i, prod);
   }
   const Byte* row = mul_row(c);
   for (; i < n; ++i)
@@ -87,12 +106,9 @@ void mul_region_gfni(Byte c, const Byte* src, Byte* dst, std::size_t n,
       _mm256_set1_epi64x(static_cast<long long>(affine_matrix(c)));
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    __m256i prod = _mm256_gf2p8affine_epi64_epi8(x, a, 0);
-    if (accumulate)
-      prod = _mm256_xor_si256(
-          prod, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), prod);
+    __m256i prod = _mm256_gf2p8affine_epi64_epi8(loadu256(src + i), a, 0);
+    if (accumulate) prod = _mm256_xor_si256(prod, loadu256(dst + i));
+    storeu256(dst + i, prod);
   }
   const Byte* row = mul_row(c);
   for (; i < n; ++i)
@@ -103,10 +119,7 @@ __attribute__((target("avx2")))
 void xor_region_avx2(const Byte* src, Byte* dst, std::size_t n) {
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(x, y));
+    storeu256(dst + i, _mm256_xor_si256(loadu256(src + i), loadu256(dst + i)));
   }
   for (; i < n; ++i) dst[i] ^= src[i];
 }

@@ -26,12 +26,17 @@ const char* fault_name(FaultAction a) {
   return "unknown";
 }
 
+void append_text(Writer& resp, const char* text) {
+  resp.bytes({reinterpret_cast<const std::uint8_t*>(text),
+              std::strlen(text)});
+}
+
 }  // namespace
 
 BlockServer::BlockServer(std::uint16_t port)
     : listener_(TcpListener::bind(port)), port_(listener_.port()) {
   for (std::size_t i = 0; i < kOpCount; ++i) {
-    const char* op = op_name(static_cast<Op>(i));
+    const char* op = op_name(op_from_index(i));
     op_requests_[i] = &metrics_.counter(
         obs::labeled("carousel_server_requests_total", "op", op));
     op_seconds_[i] = &metrics_.histogram(
@@ -41,6 +46,7 @@ BlockServer::BlockServer(std::uint16_t port)
     fault_hits_[i] = &metrics_.counter(
         obs::labeled("carousel_server_fault_injections_total", "action",
                      fault_name(static_cast<FaultAction>(i))));
+  bad_requests_ = &metrics_.counter("carousel_server_bad_requests_total");
   blocks_gauge_ = &metrics_.gauge("carousel_server_blocks");
   stored_bytes_gauge_ = &metrics_.gauge("carousel_server_stored_bytes");
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -146,40 +152,66 @@ void BlockServer::serve(Session& session) {
       if (!conn.recv_all(&op_raw, 1)) return;  // client hung up
       std::uint32_t len;
       if (!conn.recv_all(&len, 4)) return;
-      if (len > kMaxPayload) return;  // garbage frame: drop the connection
-      std::vector<std::uint8_t> payload(len);
-      if (len && !conn.recv_all(payload.data(), len)) return;
-
-      std::shared_ptr<FaultPlan> faults;
-      {
-        std::lock_guard lock(mu_);
-        faults = faults_;
-      }
-      std::optional<FaultRule> fault;
-      if (faults) fault = faults->decide(static_cast<Op>(op_raw));
-      if (fault)
-        fault_hits_[static_cast<std::size_t>(fault->action)]->inc();
 
       Writer resp;
       Status status = Status::kOk;
-      if (fault && fault->action == FaultAction::kRefuse) {
-        status = Status::kError;
-        const char* msg = "injected fault: refused";
-        resp.bytes({reinterpret_cast<const std::uint8_t*>(msg),
-                    std::strlen(msg)});
+      bool close_after = false;
+      std::optional<Op> op;
+      std::optional<FaultRule> fault;
+      std::vector<std::uint8_t> payload;
+
+      if (len > kMaxFrameBytes) {
+        // A hostile or garbage length prefix: reject it *before* allocating
+        // anything.  We cannot resync past bytes we refuse to read, so the
+        // typed answer goes out and then the connection closes.
+        status = Status::kBadRequest;
+        append_text(resp, "frame length exceeds kMaxFrameBytes");
+        close_after = true;
       } else {
-        try {
-          if (op_raw >= kOpCount)
-            throw std::runtime_error("unknown opcode");
-          Reader req(payload);
-          op_requests_[op_raw]->inc();
-          obs::ScopedTimer timer(*op_seconds_[op_raw]);
-          handle(static_cast<Op>(op_raw), req, resp, status);
-        } catch (const std::exception& e) {
+        payload.resize(len);
+        if (len && !conn.recv_all(payload.data(), len)) return;
+        op = parse_op(op_raw);
+        const char* defect =
+            op ? validate_request(*op, payload) : "unknown opcode";
+        if (defect) {
+          // The frame boundary held (we read exactly `len` bytes), so the
+          // session survives a malformed request.
+          status = Status::kBadRequest;
+          append_text(resp, defect);
+        }
+      }
+      if (status == Status::kBadRequest) bad_requests_->inc();
+
+      if (op && status == Status::kOk) {
+        std::shared_ptr<FaultPlan> faults;
+        {
+          std::lock_guard lock(mu_);
+          faults = faults_;
+        }
+        if (faults) fault = faults->decide(*op);
+        if (fault)
+          fault_hits_[static_cast<std::size_t>(fault->action)]->inc();
+
+        if (fault && fault->action == FaultAction::kRefuse) {
           status = Status::kError;
-          resp = Writer();
-          resp.bytes({reinterpret_cast<const std::uint8_t*>(e.what()),
-                      std::strlen(e.what())});
+          append_text(resp, "injected fault: refused");
+        } else {
+          const auto idx = static_cast<std::size_t>(*op);
+          try {
+            Reader req(payload);
+            op_requests_[idx]->inc();
+            obs::ScopedTimer timer(*op_seconds_[idx]);
+            handle(*op, req, resp, status);
+          } catch (const MalformedPayload& e) {
+            status = Status::kBadRequest;
+            bad_requests_->inc();
+            resp = Writer();
+            append_text(resp, e.what());
+          } catch (const std::exception& e) {
+            status = Status::kError;
+            resp = Writer();
+            append_text(resp, e.what());
+          }
         }
       }
 
@@ -207,6 +239,7 @@ void BlockServer::serve(Session& session) {
       conn.send_all(&rlen, 4);
       if (rlen) conn.send_all(resp.data().data(), rlen);
 
+      if (close_after) return;
       if (fault && fault->action == FaultAction::kDropAfterResponse) return;
     }
   } catch (const std::exception&) {

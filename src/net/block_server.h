@@ -97,6 +97,7 @@ class BlockServer {
   std::array<obs::Counter*, kOpCount> op_requests_{};
   std::array<obs::Histogram*, kOpCount> op_seconds_{};
   std::array<obs::Counter*, 5> fault_hits_{};
+  obs::Counter* bad_requests_ = nullptr;
   obs::Gauge* blocks_gauge_ = nullptr;
   obs::Gauge* stored_bytes_gauge_ = nullptr;
 

@@ -35,7 +35,7 @@ Client::Client(std::uint16_t port, RetryPolicy policy,
   auto& reg = registry ? *registry : obs::MetricsRegistry::global();
   for (std::size_t i = 0; i < kOpCount; ++i)
     op_seconds_[i] = &reg.histogram(obs::labeled(
-        "carousel_client_op_seconds", "op", op_name(static_cast<Op>(i))));
+        "carousel_client_op_seconds", "op", op_name(op_from_index(i))));
   retries_total_ = &reg.counter("carousel_client_retries_total");
   reconnects_total_ = &reg.counter("carousel_client_reconnects_total");
   timeouts_total_ = &reg.counter("carousel_client_timeouts_total");
@@ -96,6 +96,9 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call(
       if (status == Status::kError)
         throw ServerError("server error: " +
                           std::string(body.begin(), body.end()));
+      if (status == Status::kBadRequest)
+        throw BadRequestError("server rejected request as malformed: " +
+                              std::string(body.begin(), body.end()));
       if (status == Status::kCorrupt) {
         if (opts.corrupt_retryable) {
           // PUT: our request was mangled in flight; resend it.
@@ -136,8 +139,9 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call(
       last_failure = "response failed its checksum in flight";
       // Framing survived; keep the connection.
     }
-    // ProtocolError / ServerError / CorruptBlockError / DeadlineError
-    // propagate to the caller: retrying cannot change the answer.
+    // ProtocolError / BadRequestError / ServerError / CorruptBlockError /
+    // DeadlineError propagate to the caller: retrying cannot change the
+    // answer.
     if (attempt + 1 >= policy_.max_attempts)
       throw TransportError("op failed after " +
                            std::to_string(policy_.max_attempts) +
@@ -162,13 +166,15 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call_once(
   std::uint32_t rlen;
   if (!conn_.recv_all(&rlen, 4))
     throw TransportError("server closed mid-response");
-  if (rlen > kMaxPayload) throw ProtocolError("malformed response length");
+  // Check the length prefix against the frame cap *before* sizing the body
+  // buffer: a garbage length must not drive an unbounded allocation.
+  if (rlen > kMaxFrameBytes) throw ProtocolError("malformed response length");
+  std::optional<Status> status = parse_status(status_raw);
+  if (!status) throw ProtocolError("unknown response status");
   std::vector<std::uint8_t> body(rlen);
   if (rlen && !conn_.recv_all(body.data(), rlen))
     throw TransportError("truncated response");
-  if (status_raw > static_cast<std::uint8_t>(Status::kCorrupt))
-    throw ProtocolError("unknown response status");
-  return {static_cast<Status>(status_raw), std::move(body)};
+  return {*status, std::move(body)};
 }
 
 void Client::ping() { call(Op::kPing, {}); }

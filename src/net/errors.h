@@ -10,6 +10,9 @@
 //   ProtocolError    the peer answered, but with a frame that violates the
 //                    protocol (oversized length, short payload).  Retrying
 //                    the same bytes at the same peer is pointless.
+//   BadRequestError  the server answered Status::kBadRequest — it judged our
+//                    frame malformed (opcode, length or payload shape).  A
+//                    caller bug, never retried.
 //   ServerError      the server executed the request and refused it
 //                    (Status::kError) — a caller bug or server-side
 //                    invariant, never retried.
@@ -45,6 +48,13 @@ struct TimeoutError : TransportError {
 
 /// The peer broke the wire protocol; retrying cannot help.
 struct ProtocolError : Error {
+  using Error::Error;
+};
+
+/// Status::kBadRequest response: the server judged *our* frame malformed
+/// (unknown opcode, over-cap length, payload shape).  A caller bug, never
+/// retried — the same bytes would be rejected again.
+struct BadRequestError : Error {
   using Error::Error;
 };
 

@@ -11,12 +11,20 @@
 // as degenerate cases) is expressible as a PROJECT, so servers never need to
 // know which code the client runs — mirroring how the paper's prototype
 // pushes the helper-side encode to where the block lives.
+//
+// Hostile-input policy: every byte that arrives off the wire is untrusted.
+// Opcode and status bytes only enter the typed enums through parse_op() /
+// parse_status() (check_invariants.py enforces that no other code casts raw
+// network bytes to Op or Status), frame payloads are capped at
+// kMaxFrameBytes *before* any allocation, and request payloads pass the
+// structural validate_request() check before any handler logic touches them.
 
 #ifndef CAROUSEL_NET_PROTOCOL_H
 #define CAROUSEL_NET_PROTOCOL_H
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -48,8 +56,26 @@ enum class Op : std::uint8_t {
                  //   followed by the process-global registry
 };
 
+/// Number of defined opcodes (for fixed-size per-op instrument tables).
+inline constexpr std::size_t kOpCount = 9;
+
+/// The one sanctioned conversion from a wire byte to Op.  Unknown bytes are
+/// rejected here, at parse time, so no out-of-range value ever reaches a
+/// per-op switch (which would be an invalid enum load the UBSan build traps).
+inline std::optional<Op> parse_op(std::uint8_t raw) {
+  if (raw >= kOpCount) return std::nullopt;
+  return static_cast<Op>(raw);
+}
+
+/// Trusted index -> Op for iterating the per-op instrument tables; the
+/// precondition (i < kOpCount) makes this the non-wire counterpart of
+/// parse_op().
+inline Op op_from_index(std::size_t i) {
+  return static_cast<Op>(static_cast<std::uint8_t>(i));
+}
+
 /// Lower-case op mnemonic ("ping", "put", ...), used as the {op=...} label
-/// on wire metrics and in trace output.  Returns "unknown" for bad bytes.
+/// on wire metrics and in trace output.
 inline const char* op_name(Op op) {
   switch (op) {
     case Op::kPing: return "ping";
@@ -65,16 +91,26 @@ inline const char* op_name(Op op) {
   return "unknown";
 }
 
-/// Number of defined opcodes (for fixed-size per-op instrument tables).
-inline constexpr std::size_t kOpCount = 9;
-
 enum class Status : std::uint8_t {
   kOk = 0,
   kNotFound = 1,
-  kError = 2,    // payload: UTF-8 message
-  kCorrupt = 3,  // block failed its checksum (at rest for reads/VERIFY,
-                 //   in flight for PUT); payload: u32 actual crc when known
+  kError = 2,       // the server failed executing a well-formed request;
+                    //   payload: UTF-8 message
+  kCorrupt = 3,     // block failed its checksum (at rest for reads/VERIFY,
+                    //   in flight for PUT); payload: u32 actual crc when known
+  kBadRequest = 4,  // the request frame violates the protocol (unknown
+                    //   opcode, over-cap length, malformed payload);
+                    //   payload: UTF-8 message.  Never retried.
 };
+
+/// Number of defined statuses.
+inline constexpr std::size_t kStatusCount = 5;
+
+/// The one sanctioned conversion from a wire byte to Status (see parse_op).
+inline std::optional<Status> parse_status(std::uint8_t raw) {
+  if (raw >= kStatusCount) return std::nullopt;
+  return static_cast<Status>(raw);
+}
 
 /// Identifies one stored block.
 struct BlockKey {
@@ -83,6 +119,14 @@ struct BlockKey {
   std::uint32_t index = 0;
   friend bool operator==(const BlockKey&, const BlockKey&) = default;
   friend auto operator<=>(const BlockKey&, const BlockKey&) = default;
+};
+
+/// A request payload failed a structural check (underrun, declared counts
+/// disagreeing with the byte count).  The server answers kBadRequest and
+/// keeps the connection; anything else escaping a handler is kError.
+struct MalformedPayload : std::runtime_error {
+  explicit MalformedPayload(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 /// Append-only little-endian payload builder.
@@ -124,7 +168,8 @@ class Reader {
   std::uint8_t u8() { return take(1)[0]; }
   std::uint16_t u16() {
     auto b = take(2);
-    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return static_cast<std::uint16_t>(b[0] |
+                                      (static_cast<unsigned>(b[1]) << 8));
   }
   std::uint32_t u32() {
     auto b = take(4);
@@ -145,8 +190,8 @@ class Reader {
 
  private:
   std::span<const std::uint8_t> take(std::size_t n) {
-    if (pos_ + n > data_.size())
-      throw std::runtime_error("malformed message: payload underrun");
+    if (n > data_.size() - pos_)
+      throw MalformedPayload("malformed message: payload underrun");
     auto out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
@@ -155,8 +200,65 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-/// Hard cap on frame payloads (guards the server against garbage lengths).
-inline constexpr std::uint32_t kMaxPayload = 256u << 20;
+/// Hard cap on frame payloads, requests and responses alike.  Both peers
+/// check a frame's u32 length prefix against it *before* allocating, so a
+/// hostile or garbage length can never drive an unbounded allocation — the
+/// server answers kBadRequest, the client throws ProtocolError.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+// Per-request fixed sizes (bytes) used by validate_request().
+inline constexpr std::size_t kKeyBytes = 12;       // 3 x u32
+inline constexpr std::size_t kProjectTermBytes = 5;  // u32 pos + u8 coeff
+
+/// Structural validation of a request payload: declared counts must agree
+/// with the byte count, fixed-size requests must be exactly their size, and
+/// a PROJECT's promised response must fit under kMaxFrameBytes.  Returns
+/// nullptr when the payload is well-formed, else a static description of the
+/// defect.  Purely syntactic — semantic checks (does the block exist, do the
+/// unit positions fit the stored block) stay in the handlers.  This is the
+/// function the protocol fuzzers drive directly.
+inline const char* validate_request(Op op,
+                                    std::span<const std::uint8_t> payload) {
+  const std::size_t n = payload.size();
+  switch (op) {
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kMetrics:
+      return n == 0 ? nullptr : "unexpected payload on bodyless request";
+    case Op::kGet:
+    case Op::kDelete:
+    case Op::kVerify:
+      return n == kKeyBytes ? nullptr : "request payload is not a block key";
+    case Op::kPut:
+      return n >= kKeyBytes + 4 ? nullptr : "PUT payload shorter than key+crc";
+    case Op::kGetRange:
+      return n == kKeyBytes + 8 ? nullptr
+                                : "GET_RANGE payload is not key+offset+length";
+    case Op::kProject: {
+      if (n < kKeyBytes + 6) return "PROJECT payload shorter than its header";
+      Reader r(payload);
+      (void)r.key();
+      const std::uint32_t unit_bytes = r.u32();
+      const std::uint16_t outputs = r.u16();
+      if (unit_bytes == 0) return "PROJECT unit size is zero";
+      // The response is outputs * unit_bytes data bytes plus a u32 CRC; cap
+      // it like any other frame before any compute or allocation happens.
+      if (outputs &&
+          static_cast<std::uint64_t>(outputs) * unit_bytes > kMaxFrameBytes - 4)
+        return "PROJECT response would exceed the frame cap";
+      for (std::uint16_t o = 0; o < outputs; ++o) {
+        if (r.remaining() < 2) return "PROJECT output count overruns payload";
+        const std::uint16_t terms = r.u16();
+        if (r.remaining() < std::size_t{terms} * kProjectTermBytes)
+          return "PROJECT term count overruns payload";
+        (void)r.bytes(std::size_t{terms} * kProjectTermBytes);
+      }
+      if (r.remaining() != 0) return "PROJECT payload has trailing bytes";
+      return nullptr;
+    }
+  }
+  return "unknown opcode";
+}
 
 }  // namespace carousel::net
 

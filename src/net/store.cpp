@@ -69,12 +69,17 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
 
   // Any way a block can fail to arrive healthy — server down (transport /
   // timeout / deadline), bad at rest (kCorrupt), or a server-side refusal —
-  // is an erasure: the stripe re-plans onto the next path down.
+  // is an erasure: the stripe re-plans onto the next path down.  One
+  // exception: kBadRequest means *this* store composed a malformed frame.
+  // That is a local bug, not a dead server; swallowing it would mask the bug
+  // behind silently degraded reads, so it propagates.
   auto try_get_range = [&](std::size_t i, const BlockKey& k, std::uint32_t off,
                            std::uint32_t len)
       -> std::optional<std::vector<Byte>> {
     try {
       return client_of(i).get_range(k, off, len);
+    } catch (const BadRequestError&) {
+      throw;
     } catch (const Error&) {
       return std::nullopt;
     }
@@ -84,6 +89,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
       -> std::optional<std::vector<Byte>> {
     try {
       return client_of(i).project(k, u, proj);
+    } catch (const BadRequestError&) {
+      throw;
     } catch (const Error&) {
       return std::nullopt;
     }
@@ -92,6 +99,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
                      const BlockKey& k) -> std::optional<std::vector<Byte>> {
     try {
       return client_of(i).get(k);
+    } catch (const BadRequestError&) {
+      throw;
     } catch (const Error&) {
       return std::nullopt;
     }
@@ -254,6 +263,8 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
         resp = client_of(h).project(
             key(file_id, stripe, static_cast<std::uint32_t>(h)),
             static_cast<std::uint32_t>(ub), wire);
+      } catch (const BadRequestError&) {
+        throw;  // locally composed malformed frame: a bug, not a dead helper
       } catch (const Error&) {
         resp = std::nullopt;
       }
@@ -284,6 +295,8 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
       std::optional<std::vector<Byte>> b;
       try {
         b = client_of(h).get(key(file_id, stripe, static_cast<std::uint32_t>(h)));
+      } catch (const BadRequestError&) {
+        throw;  // locally composed malformed frame: a bug, not a dead helper
       } catch (const Error&) {
         b = std::nullopt;
       }

@@ -52,6 +52,68 @@ std::pair<std::string_view, std::string_view> split_labels(
           name.substr(brace + 1, name.size() - brace - 2)};
 }
 
+bool is_word(std::string_view s) {
+  if (s.empty() || s.front() == '_' || s.back() == '_') return false;
+  bool prev_underscore = false;
+  for (char c : s) {
+    if (c == '_') {
+      if (prev_underscore) return false;
+      prev_underscore = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      prev_underscore = false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Runtime twin of the static lint in tools/check_invariants.py: names in the
+// carousel_ namespace must follow the documented grammar
+// carousel_<subsystem>_<what>[_unit]{label="value",...} — counters end in
+// _total, histograms in _seconds, label keys are lowercase words.  The static
+// lint catches literals at review time; this catches dynamically composed
+// names (labeled(), benches) the moment they register.  Checked once, on
+// instrument creation, so the hot path never pays for it.  Names outside the
+// carousel_ namespace (tests, scratch registries) are exempt.
+void validate_name(std::string_view kind_suffix, std::string_view name) {
+  auto [base, labels] = split_labels(name);
+  if (!base.starts_with("carousel_")) return;
+  auto fail = [&](const char* why) {
+    throw std::invalid_argument("metric name '" + std::string(name) + "': " +
+                                why + " (grammar: carousel_<subsystem>_<what>"
+                                "[_unit], see DESIGN.md)");
+  };
+  if (!is_word(base) || base.find('_', sizeof("carousel_") - 1) ==
+                            std::string_view::npos)
+    fail("base must be carousel_<subsystem>_<what> in lowercase words");
+  if (!kind_suffix.empty() && !ends_with(base, kind_suffix))
+    fail(kind_suffix == "_total" ? "counter names must end in _total"
+                                 : "histogram names must end in _seconds");
+  while (!labels.empty()) {
+    auto eq = labels.find('=');
+    if (eq == std::string_view::npos || eq == 0 || !is_word(labels.substr(0, eq)))
+      fail("label keys must be lowercase words followed by =\"value\"");
+    auto open = eq + 1;
+    if (open >= labels.size() || labels[open] != '"')
+      fail("label values must be double-quoted");
+    auto close = labels.find('"', open + 1);
+    if (close == std::string_view::npos)
+      fail("label values must be double-quoted");
+    labels.remove_prefix(close + 1);
+    if (!labels.empty()) {
+      if (labels.front() != ',' || labels.size() == 1)
+        fail("labels must be comma-separated key=\"value\" pairs");
+      labels.remove_prefix(1);
+    }
+  }
+}
+
 }  // namespace
 
 std::string labeled(std::string_view base, std::string_view label,
@@ -98,17 +160,21 @@ std::span<const double> Histogram::latency_buckets_seconds() {
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard lock(mu_);
   auto it = counters_.find(name);
-  if (it == counters_.end())
+  if (it == counters_.end()) {
+    validate_name("_total", name);
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
+  }
   return *it->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   std::lock_guard lock(mu_);
   auto it = gauges_.find(name);
-  if (it == gauges_.end())
+  if (it == gauges_.end()) {
+    validate_name({}, name);
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
   return *it->second;
 }
 
@@ -117,6 +183,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   std::lock_guard lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    validate_name("_seconds", name);
     if (bounds.empty()) bounds = Histogram::latency_buckets_seconds();
     it = histograms_
              .emplace(std::string(name),

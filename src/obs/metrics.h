@@ -19,7 +19,12 @@
 //   carousel_server_op_seconds{op="get"}
 //   carousel_gf_kernel_calls_total{backend="gfni",kernel="mul_add"}
 // The renderers understand the brace suffix and merge histogram "le" labels
-// into it, so the text dump is Prometheus-parseable as-is.
+// into it, so the text dump is Prometheus-parseable as-is.  The grammar is
+// enforced twice: statically over string literals by
+// tools/check_invariants.py, and at instrument creation for any name in the
+// carousel_ namespace (a malformed name throws std::invalid_argument before
+// it can pollute the exposition).  Names outside carousel_ are exempt, so
+// tests and scratch registries can use short names.
 //
 // Most of the stack shares one process-wide registry (MetricsRegistry::
 // global()); components that need isolated numbers — each BlockServer, a

@@ -269,17 +269,27 @@ TEST(ClientResilience, ReconnectsAfterServerRestart) {
 TEST(ProtocolRobustness, GarbageFramesDropConnectionNotServer) {
   BlockServer server;
   {
-    // Oversized length field: server must drop this connection only.
+    // Oversized length field: typed kBadRequest answer, then the server
+    // drops this connection only (it cannot resync past unread bytes).
     TcpConn raw = TcpConn::connect(server.port());
     std::uint8_t op = 2;
     std::uint32_t len = 0xFFFFFFFF;
     raw.send_all(&op, 1);
     raw.send_all(&len, 4);
+    std::uint8_t status;
+    ASSERT_TRUE(raw.recv_all(&status, 1));
+    EXPECT_EQ(status, static_cast<std::uint8_t>(Status::kBadRequest));
+    std::uint32_t rlen;
+    ASSERT_TRUE(raw.recv_all(&rlen, 4));
+    std::vector<char> msg(rlen);
+    if (rlen) {
+      ASSERT_TRUE(raw.recv_all(msg.data(), rlen));
+    }
     char b;
     EXPECT_FALSE(raw.recv_all(&b, 1));  // connection closed on us
   }
   {
-    // Unknown opcode: polite kError response, connection stays up.
+    // Unknown opcode: polite kBadRequest response, connection stays up.
     TcpConn raw = TcpConn::connect(server.port());
     std::uint8_t op = 99;
     std::uint32_t len = 0;
@@ -287,7 +297,7 @@ TEST(ProtocolRobustness, GarbageFramesDropConnectionNotServer) {
     raw.send_all(&len, 4);
     std::uint8_t status;
     ASSERT_TRUE(raw.recv_all(&status, 1));
-    EXPECT_EQ(status, static_cast<std::uint8_t>(Status::kError));
+    EXPECT_EQ(status, static_cast<std::uint8_t>(Status::kBadRequest));
   }
   // The server still serves normal clients.
   Client client(server.port());
@@ -486,7 +496,7 @@ TEST(ClientErrors, ProtocolViolationsAreNotBlindlyRetried) {
       if (len && !c.recv_all(payload.data(), len)) return;
       ++requests;
       std::uint8_t status = 0;
-      std::uint32_t rlen = 0xFFFFFFFF;  // violates kMaxPayload
+      std::uint32_t rlen = 0xFFFFFFFF;  // violates kMaxFrameBytes
       c.send_all(&status, 1);
       c.send_all(&rlen, 4);
     }

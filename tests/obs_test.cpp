@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -125,6 +126,42 @@ TEST(Registry, SnapshotIsIsolatedFromLaterWrites) {
 TEST(Registry, LabeledBuildsAndMergesBraceSuffixes) {
   EXPECT_EQ(labeled("a", "k", "v"), "a{k=\"v\"}");
   EXPECT_EQ(labeled("a{x=\"1\"}", "k", "v"), "a{x=\"1\",k=\"v\"}");
+}
+
+// Runtime twin of the tools/check_invariants.py metric-naming lint: names in
+// the carousel_ namespace must follow the documented grammar the moment they
+// register, so a dynamically composed bad name cannot pollute the exposition.
+TEST(Registry, CarouselNamespaceNamesMustFollowTheGrammar) {
+  MetricsRegistry reg;
+  EXPECT_NO_THROW(reg.counter("carousel_server_requests_total"));
+  EXPECT_NO_THROW(reg.counter(
+      labeled("carousel_gf_kernel_calls_total", "backend", "gfni")));
+  EXPECT_NO_THROW(reg.gauge("carousel_server_blocks"));
+  EXPECT_NO_THROW(reg.histogram("carousel_store_put_seconds"));
+
+  // Counters must end _total, histograms _seconds.
+  EXPECT_THROW(reg.counter("carousel_server_requests"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("carousel_store_put_ms"), std::invalid_argument);
+  // Lowercase words, at least carousel_<subsystem>_<what>.
+  EXPECT_THROW(reg.counter("carousel_Server_requests_total"),
+               std::invalid_argument);
+  EXPECT_THROW(reg.counter("carousel_total"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("carousel_a__b_total"), std::invalid_argument);
+  // Label keys are lowercase words, values double-quoted.
+  EXPECT_THROW(reg.counter("carousel_server_requests_total{Op=\"get\"}"),
+               std::invalid_argument);
+  EXPECT_THROW(reg.counter("carousel_server_requests_total{op=get}"),
+               std::invalid_argument);
+
+  // A rejected name must not leave a half-registered instrument behind.
+  EXPECT_THROW(reg.counter("carousel_server_requests"), std::invalid_argument);
+  EXPECT_EQ(reg.snapshot().counters.count("carousel_server_requests"), 0u);
+
+  // Names outside the carousel_ namespace (tests, scratch registries) are
+  // exempt.
+  EXPECT_NO_THROW(reg.counter("short_total"));
+  EXPECT_NO_THROW(reg.gauge("g"));
+  EXPECT_NO_THROW(reg.histogram("h"));
 }
 
 TEST(Registry, PrometheusRenderingIsCumulativeAndLabeled) {

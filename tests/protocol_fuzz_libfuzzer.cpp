@@ -1,0 +1,85 @@
+// libFuzzer harness over the wire-protocol parsing surface (CAROUSEL_FUZZ=ON,
+// clang only: links -fsanitize=fuzzer).  Explores the same property the
+// deterministic ctest fuzz (protocol_fuzz_test.cpp) asserts, but coverage-
+// guided: any payload validate_request() accepts must be walkable by the
+// handlers' Reader without an underrun, and rejection must come back as a
+// typed defect string, never an exception or a crash.
+//
+//   cmake -B build-fuzz -S . -DCAROUSEL_FUZZ=ON \
+//         -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target protocol_fuzz_libfuzzer
+//   ./build-fuzz/tests/protocol_fuzz_libfuzzer -max_len=4096 -runs=1000000
+//
+// Input layout: byte 0 is the opcode, the rest is the request payload —
+// exactly one request frame minus the length prefix (libFuzzer owns the
+// length).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "net/protocol.h"
+
+namespace {
+
+using namespace carousel::net;
+
+// Mirrors the per-op Reader walk in BlockServer::handle.  Any MalformedPayload
+// escaping here after validate_request() accepted the payload is a bug in the
+// validator — abort so libFuzzer records the input.
+void walk(Op op, std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  switch (op) {
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kMetrics:
+      break;
+    case Op::kPut:
+      (void)r.key();
+      (void)r.u32();
+      (void)r.rest();
+      break;
+    case Op::kGet:
+    case Op::kDelete:
+    case Op::kVerify:
+      (void)r.key();
+      break;
+    case Op::kGetRange:
+      (void)r.key();
+      (void)r.u32();
+      (void)r.u32();
+      break;
+    case Op::kProject: {
+      (void)r.key();
+      (void)r.u32();
+      const std::uint16_t outputs = r.u16();
+      for (std::uint16_t o = 0; o < outputs; ++o) {
+        const std::uint16_t terms = r.u16();
+        for (std::uint16_t t = 0; t < terms; ++t) {
+          (void)r.u32();
+          (void)r.u8();
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const auto op = parse_op(data[0]);
+  if (!op) return 0;  // rejected at the opcode byte, as the server would
+  const std::span<const std::uint8_t> payload(data + 1, size - 1);
+  const char* defect = validate_request(*op, payload);
+  if (defect != nullptr) return 0;  // typed rejection: the good path
+  try {
+    walk(*op, payload);
+  } catch (...) {
+    std::abort();  // validator accepted what the handler cannot walk
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lints that clang-tidy cannot express.
+
+Run from anywhere:  python3 tools/check_invariants.py
+
+Rules (see DESIGN.md "Correctness tooling"):
+
+  1. wire-byte conversions — every conversion of a wire byte into the Op or
+     Status enums must go through the checked parse_op()/parse_status() in
+     src/net/protocol.h.  A raw `static_cast<Op>`/`static_cast<Status>`
+     anywhere else in src/ can turn hostile network data into an
+     out-of-range enum value (UB the UBSan build traps at runtime; this rule
+     catches it at lint time).
+
+  2. metric naming grammar — every metric name literal registered in src/
+     follows carousel_<subsystem>_<what>[_unit]: lowercase, underscore-
+     separated, at least three segments.  Counters must end in `_total`,
+     histograms in `_seconds` (the two unit suffixes the renderers and
+     dashboards assume).  Label keys are lowercase identifiers.
+
+  3. CMake option coverage — every CAROUSEL_* cache option defined in any
+     CMakeLists.txt is documented in README.md, so no build knob ships
+     undocumented.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+METRIC_NAME = re.compile(r"^carousel_[a-z0-9]+(_[a-z0-9]+)+$")
+LABEL_KEY = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def src_files(*suffixes: str):
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix in suffixes and path.is_file():
+            yield path
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_wire_casts(problems: list[str]) -> None:
+    """Rule 1: no raw static_cast<Op>/<Status> outside src/net/protocol.h."""
+    pattern = re.compile(
+        r"static_cast<\s*(?:carousel::)?(?:net::)?(Op|Status)\s*>")
+    allowed = REPO / "src" / "net" / "protocol.h"
+    for path in src_files(".h", ".cpp"):
+        if path == allowed:
+            continue
+        text = path.read_text()
+        for m in pattern.finditer(text):
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"raw static_cast<{m.group(1)}> — wire bytes must go through "
+                f"parse_{m.group(1).lower()}() (trusted indices through "
+                f"op_from_index())")
+
+
+def check_metric_names(problems: list[str]) -> None:
+    """Rule 2: registered metric names follow the documented grammar."""
+    # Kind visible through an obs::labeled(...) wrapper or a direct literal.
+    kinded = re.compile(
+        r"\b(counter|gauge|histogram)\(\s*(?:obs::)?labeled\(\s*\"([^\"]+)\""
+        r"|\b(counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+    # Any labeled() call: base name and label key both face the grammar.
+    labeled = re.compile(r"\blabeled\(\s*\"([^\"]+)\",\s*\"([^\"]+)\"")
+    suffix_rule = {"counter": "_total", "histogram": "_seconds"}
+    for path in src_files(".h", ".cpp"):
+        text = path.read_text()
+        where = lambda m: f"{path.relative_to(REPO)}:{line_of(text, m.start())}"
+        for m in kinded.finditer(text):
+            kind, name = (m.group(1), m.group(2)) if m.group(1) else \
+                         (m.group(3), m.group(4))
+            if not METRIC_NAME.match(name):
+                problems.append(
+                    f"{where(m)}: metric name '{name}' violates the "
+                    f"carousel_<subsystem>_<what> grammar")
+            want = suffix_rule.get(kind)
+            if want and not name.endswith(want):
+                problems.append(
+                    f"{where(m)}: {kind} '{name}' must end in '{want}'")
+        for m in labeled.finditer(text):
+            base, key = m.group(1), m.group(2)
+            if not METRIC_NAME.match(base):
+                problems.append(
+                    f"{where(m)}: labeled base '{base}' violates the "
+                    f"carousel_<subsystem>_<what> grammar")
+            if not LABEL_KEY.match(key):
+                problems.append(
+                    f"{where(m)}: label key '{key}' is not a lowercase "
+                    f"identifier")
+
+
+def check_cmake_options(problems: list[str]) -> None:
+    """Rule 3: every CAROUSEL_* CMake option is documented in README.md."""
+    defined: dict[str, str] = {}
+    pattern = re.compile(
+        r"(?:option\(\s*(CAROUSEL_\w+)|set\(\s*(CAROUSEL_\w+)[^)]*?\bCACHE\b)",
+        re.DOTALL)
+    for path in sorted(REPO.rglob("CMakeLists.txt")):
+        if "build" in path.parts:
+            continue
+        for m in pattern.finditer(path.read_text()):
+            name = m.group(1) or m.group(2)
+            defined.setdefault(name, str(path.relative_to(REPO)))
+    readme = (REPO / "README.md").read_text()
+    for name, origin in sorted(defined.items()):
+        if name not in readme:
+            problems.append(
+                f"{origin}: CMake option {name} is not documented in "
+                f"README.md")
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_wire_casts(problems)
+    check_metric_names(problems)
+    check_cmake_options(problems)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_invariants: {len(problems)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

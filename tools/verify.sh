@@ -1,10 +1,19 @@
 #!/usr/bin/env sh
-# Tier-1 verification: full build + test suite, then the networked
-# fault-tolerance tests again under AddressSanitizer (they exercise abrupt
-# server death, connection churn and background scrubbing — exactly where
-# lifetime bugs hide), and the net + observability tests under
-# ThreadSanitizer (client counters, registry instruments and trace rings are
-# all read while other threads mutate them).
+# Tier-1 verification, mirroring the CI matrix:
+#
+#   1. full build + test suite (includes the seeded protocol fuzz:
+#      >=10k mutated frames against a live server);
+#   2. static analysis — tools/lint.sh (clang-tidy when installed, plus the
+#      repo-specific invariant lints in tools/check_invariants.py);
+#   3. the networked fault-tolerance, observability and protocol-hardening
+#      tests again under AddressSanitizer (abrupt server death, connection
+#      churn, malformed frames — where lifetime bugs hide);
+#   4. the net + observability tests under ThreadSanitizer (client counters,
+#      registry instruments and trace rings are read while other threads
+#      mutate them);
+#   5. the full suite under UndefinedBehaviorSanitizer with recovery
+#      disabled (GF kernels, matrix pipeline, wire decode: where silent UB
+#      corrupts data without failing a test).
 #
 #   sh tools/verify.sh
 set -e
@@ -14,14 +23,23 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j 8
 
+sh tools/lint.sh build
+
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
-cmake --build build-asan -j --target net_test obs_test
+cmake --build build-asan -j --target net_test obs_test protocol_test \
+  protocol_fuzz_test
 ./build-asan/tests/net_test
 ./build-asan/tests/obs_test
+./build-asan/tests/protocol_test
+./build-asan/tests/protocol_fuzz_test
 
 cmake -B build-tsan -S . -DCAROUSEL_SANITIZE=thread
 cmake --build build-tsan -j --target net_test obs_test
 ./build-tsan/tests/net_test
 ./build-tsan/tests/obs_test
 
-echo "verify: OK (full suite + net/obs tests under ASan and TSan)"
+cmake -B build-ubsan -S . -DCAROUSEL_SANITIZE=undefined
+cmake --build build-ubsan -j
+ctest --test-dir build-ubsan --output-on-failure -j 8
+
+echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan)"
