@@ -1,14 +1,20 @@
 #include "cli/cli.h"
 
 #include <array>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "codes/carousel.h"
+#include "net/block_server.h"
 #include "net/client.h"
+#include "net/persistence.h"
 #include "storage/erasure_file.h"
 #include "util/crc32.h"
 
@@ -257,6 +263,40 @@ std::string fetch_metrics(std::uint16_t port) {
   return client.metrics_text();
 }
 
+std::string recover_store(const fs::path& dir) {
+  net::PersistentBlockStore store(dir);
+  const net::RecoveryReport report = store.recover();
+  return "recovery scan of " + dir.string() + ":\n" + report.to_string();
+}
+
+namespace {
+
+// Written only from the SIGINT/SIGTERM handlers; polled by serve_store.
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void request_serve_stop(int) { g_serve_stop = 1; }
+
+}  // namespace
+
+int serve_store(std::uint16_t port, const fs::path& data_dir, bool fsync) {
+  net::PersistentBlockStore::Options popts;
+  popts.fsync = fsync;
+  net::BlockServer server(port, data_dir, popts);
+  std::fputs(server.recovery_report().to_string().c_str(), stdout);
+  std::printf("serving %s on port %u%s (SIGINT/SIGTERM to stop)\n",
+              data_dir.string().c_str(), unsigned{server.port()},
+              fsync ? "" : " [fsync off]");
+  std::fflush(stdout);
+  g_serve_stop = 0;
+  std::signal(SIGINT, request_serve_stop);
+  std::signal(SIGTERM, request_serve_stop);
+  while (!g_serve_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  std::printf("stopped\n");
+  return 0;
+}
+
 int run(const std::vector<std::string>& args) {
   auto usage = [] {
     std::fprintf(
@@ -266,7 +306,12 @@ int run(const std::vector<std::string>& args) {
         "  carouselctl decode  <dir> <output>\n"
         "  carouselctl repair  <dir> <block-index>\n"
         "  carouselctl info    <dir>\n"
-        "  carouselctl metrics <port>\n");
+        "  carouselctl metrics <port>\n"
+        "  carouselctl recover <data-dir>\n"
+        "  carouselctl serve   <port> [data-dir] [--no-fsync]\n"
+        "environment:\n"
+        "  CAROUSEL_DATA_DIR       default data-dir for `serve`\n"
+        "  CAROUSEL_PERSIST_FSYNC  0 disables fsync (like --no-fsync)\n");
     return 2;
   };
   try {
@@ -313,6 +358,40 @@ int run(const std::vector<std::string>& args) {
       std::fputs(fetch_metrics(static_cast<std::uint16_t>(port)).c_str(),
                  stdout);
       return 0;
+    }
+    if (cmd == "recover") {
+      if (args.size() != 2) return usage();
+      std::fputs(recover_store(args[1]).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "serve") {
+      // carouselctl serve <port> [data-dir] [--no-fsync]; port 0 binds an
+      // ephemeral port (printed on startup).  The directory falls back to
+      // $CAROUSEL_DATA_DIR; $CAROUSEL_PERSIST_FSYNC=0 acts like --no-fsync.
+      if (args.size() < 2 || args.size() > 4) return usage();
+      unsigned long port = std::stoul(args[1]);
+      if (port > 65535)
+        throw std::invalid_argument("port must be in [0, 65535]");
+      std::string dir;
+      bool fsync = true;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--no-fsync")
+          fsync = false;
+        else if (dir.empty())
+          dir = args[i];
+        else
+          return usage();
+      }
+      if (dir.empty()) {
+        const char* env = std::getenv("CAROUSEL_DATA_DIR");
+        if (!env || !*env)
+          throw std::invalid_argument(
+              "no data directory: pass one or set CAROUSEL_DATA_DIR");
+        dir = env;
+      }
+      const char* fsync_env = std::getenv("CAROUSEL_PERSIST_FSYNC");
+      if (fsync_env && std::string(fsync_env) == "0") fsync = false;
+      return serve_store(static_cast<std::uint16_t>(port), dir, fsync);
     }
     return usage();
   } catch (const std::exception& e) {

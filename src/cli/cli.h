@@ -59,6 +59,18 @@ std::string describe(const std::filesystem::path& dir);
 /// failure.
 std::string fetch_metrics(std::uint16_t port);
 
+/// Offline recovery scan of a persistent block-server data directory (for
+/// `carouselctl recover`): classifies and quarantines damaged files exactly
+/// as server startup would, and returns the human-readable report.  Safe to
+/// run repeatedly; a clean directory is left untouched.
+std::string recover_store(const std::filesystem::path& dir);
+
+/// Runs a persistent block server on `port` over `data_dir` until SIGINT or
+/// SIGTERM (for `carouselctl serve`).  Prints the recovery report, then
+/// blocks.  Returns the process exit code.
+int serve_store(std::uint16_t port, const std::filesystem::path& data_dir,
+                bool fsync);
+
 /// Entry point used by the binary: returns the process exit code.
 int run(const std::vector<std::string>& args);
 

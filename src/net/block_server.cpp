@@ -22,8 +22,20 @@ const char* fault_name(FaultAction a) {
     case FaultAction::kDelay: return "delay";
     case FaultAction::kCorruptPayload: return "corrupt_payload";
     case FaultAction::kRefuse: return "refuse";
+    case FaultAction::kCrashBeforeFsync: return "crash_before_fsync";
+    case FaultAction::kCrashBeforeRename: return "crash_before_rename";
+    case FaultAction::kTornWrite: return "torn_write";
   }
   return "unknown";
+}
+
+CrashPoint crash_point_of(FaultAction a) {
+  switch (a) {
+    case FaultAction::kCrashBeforeFsync: return CrashPoint::kBeforeFsync;
+    case FaultAction::kCrashBeforeRename: return CrashPoint::kBeforeRename;
+    case FaultAction::kTornWrite: return CrashPoint::kTornWrite;
+    default: return CrashPoint::kNone;
+  }
 }
 
 void append_text(Writer& resp, const char* text) {
@@ -33,8 +45,7 @@ void append_text(Writer& resp, const char* text) {
 
 }  // namespace
 
-BlockServer::BlockServer(std::uint16_t port)
-    : listener_(TcpListener::bind(port)), port_(listener_.port()) {
+void BlockServer::init_instruments() {
   for (std::size_t i = 0; i < kOpCount; ++i) {
     const char* op = op_name(op_from_index(i));
     op_requests_[i] = &metrics_.counter(
@@ -49,6 +60,34 @@ BlockServer::BlockServer(std::uint16_t port)
   bad_requests_ = &metrics_.counter("carousel_server_bad_requests_total");
   blocks_gauge_ = &metrics_.gauge("carousel_server_blocks");
   stored_bytes_gauge_ = &metrics_.gauge("carousel_server_stored_bytes");
+}
+
+BlockServer::BlockServer(std::uint16_t port)
+    : listener_(TcpListener::bind(port)), port_(listener_.port()) {
+  init_instruments();
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+BlockServer::BlockServer(std::uint16_t port,
+                         const std::filesystem::path& data_dir,
+                         PersistentBlockStore::Options persist)
+    : listener_(TcpListener::bind(port)), port_(listener_.port()) {
+  init_instruments();
+  if (!persist.registry) persist.registry = &metrics_;
+  persist_ = std::make_unique<PersistentBlockStore>(data_dir, persist);
+  // Recovery runs before the accept loop starts: the first client request
+  // already sees the post-crash truth (intact blocks served, damaged keys
+  // answering kCorrupt).  No lock needed — no other thread exists yet.
+  std::vector<PersistentBlockStore::RecoveredBlock> intact;
+  recovery_ = persist_->recover(&intact);
+  std::uint64_t total = 0;
+  for (auto& b : intact) {
+    total += b.bytes.size();
+    blocks_[b.key] = StoredBlock{std::move(b.bytes), b.crc};
+  }
+  quarantined_.insert(recovery_.damaged.begin(), recovery_.damaged.end());
+  blocks_gauge_->set(static_cast<double>(blocks_.size()));
+  stored_bytes_gauge_->set(static_cast<double>(total));
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -79,8 +118,13 @@ void BlockServer::set_fault_plan(std::shared_ptr<FaultPlan> plan) {
 bool BlockServer::corrupt_block(const BlockKey& key, std::size_t offset) {
   std::lock_guard lock(mu_);
   auto it = blocks_.find(key);
+  // An empty block has no byte to flip: refuse rather than divide by zero.
   if (it == blocks_.end() || it->second.bytes.empty()) return false;
-  it->second.bytes[offset % it->second.bytes.size()] ^= 0x01;
+  const std::size_t pos = offset % it->second.bytes.size();
+  it->second.bytes[pos] ^= 0x01;
+  // Rot the same byte at rest, so the corruption survives a restart and the
+  // next recovery scan quarantines the block instead of reloading it.
+  if (persist_) persist_->corrupt_at_rest(key, pos);
   return true;
 }
 
@@ -196,12 +240,17 @@ void BlockServer::serve(Session& session) {
           status = Status::kError;
           append_text(resp, "injected fault: refused");
         } else {
+          // A crash fault on a persistent PUT cuts the durable write at the
+          // injected point; elsewhere it degrades to drop-before-response.
+          CrashPoint crash = CrashPoint::kNone;
+          if (fault && *op == Op::kPut && persist_)
+            crash = crash_point_of(fault->action);
           const auto idx = static_cast<std::size_t>(*op);
           try {
             Reader req(payload);
             op_requests_[idx]->inc();
             obs::ScopedTimer timer(*op_seconds_[idx]);
-            handle(*op, req, resp, status);
+            handle(*op, req, resp, status, crash);
           } catch (const MalformedPayload& e) {
             status = Status::kBadRequest;
             bad_requests_->inc();
@@ -219,6 +268,13 @@ void BlockServer::serve(Session& session) {
         switch (fault->action) {
           case FaultAction::kDropBeforeResponse:
             return;  // Hangup severs the connection, response unsent
+          case FaultAction::kCrashBeforeFsync:
+          case FaultAction::kCrashBeforeRename:
+          case FaultAction::kTornWrite:
+            // The simulated crash already left its torn on-disk state (and,
+            // on a persistent PUT, skipped the in-memory update); the
+            // "dead" server never answers.
+            return;
           case FaultAction::kDelay:
             injected_sleep(fault->delay_ms);
             break;
@@ -247,7 +303,8 @@ void BlockServer::serve(Session& session) {
   }
 }
 
-void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
+void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
+                         CrashPoint crash) {
   switch (op) {
     case Op::kPing:
       return;
@@ -263,6 +320,14 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
         return;
       }
       std::lock_guard lock(mu_);
+      if (persist_) {
+        // Durability before acknowledgement: the block must survive a
+        // power cut the instant after the response is sent.  A simulated
+        // crash leaves the injected torn state on disk and skips the
+        // in-memory update — RAM would not have survived either.
+        if (!persist_->put(key, bytes, declared, crash)) return;
+      }
+      quarantined_.erase(key);
       auto& block = blocks_[key];
       const double old_bytes = static_cast<double>(block.bytes.size());
       block.bytes.assign(bytes.begin(), bytes.end());
@@ -275,6 +340,13 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
     case Op::kGet: {
       BlockKey key = req.key();
       std::lock_guard lock(mu_);
+      if (quarantined_.contains(key)) {
+        // Recovery moved this block's files aside: the block is known but
+        // its payload is gone.  kCorrupt (no CRC known) tells the client
+        // and scrubber to repair it, not to treat it as never written.
+        status = Status::kCorrupt;
+        return;
+      }
       auto it = blocks_.find(key);
       if (it == blocks_.end()) {
         status = Status::kNotFound;
@@ -295,6 +367,10 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
       std::uint32_t off = req.u32();
       std::uint32_t len = req.u32();
       std::lock_guard lock(mu_);
+      if (quarantined_.contains(key)) {
+        status = Status::kCorrupt;
+        return;
+      }
       auto it = blocks_.find(key);
       if (it == blocks_.end()) {
         status = Status::kNotFound;
@@ -318,6 +394,10 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
       std::uint32_t unit_bytes = req.u32();
       std::uint16_t outputs = req.u16();
       std::lock_guard lock(mu_);
+      if (quarantined_.contains(key)) {
+        status = Status::kCorrupt;
+        return;
+      }
       auto it = blocks_.find(key);
       if (it == blocks_.end()) {
         status = Status::kNotFound;
@@ -355,11 +435,15 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
     case Op::kDelete: {
       BlockKey key = req.key();
       std::lock_guard lock(mu_);
+      // Deleting a quarantined block clears the damage mark (its files
+      // already sit in quarantine/, nothing on the main path to remove).
+      const bool was_quarantined = quarantined_.erase(key) > 0;
       auto it = blocks_.find(key);
       if (it == blocks_.end()) {
-        status = Status::kNotFound;
+        if (!was_quarantined) status = Status::kNotFound;
         return;
       }
+      if (persist_) persist_->erase(key);
       stored_bytes_gauge_->add(-static_cast<double>(it->second.bytes.size()));
       blocks_.erase(it);
       blocks_gauge_->set(static_cast<double>(blocks_.size()));
@@ -376,6 +460,10 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status) {
     case Op::kVerify: {
       BlockKey key = req.key();
       std::lock_guard lock(mu_);
+      if (quarantined_.contains(key)) {
+        status = Status::kCorrupt;  // payload lost to quarantine: no CRC
+        return;
+      }
       auto it = blocks_.find(key);
       if (it == blocks_.end()) {
         status = Status::kNotFound;

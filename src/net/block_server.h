@@ -1,4 +1,4 @@
-// In-memory block server: the datanode of the networked prototype.
+// Block server: the datanode of the networked prototype.
 //
 // One accept thread plus one thread per connection; blocks live in a mutex-
 // guarded map together with their CRC-32, verified before every serve and on
@@ -6,6 +6,15 @@
 // a block's units with the GF(2^8) kernels — the helper-side repair compute
 // of the paper, executed where the block lives so only the projected chunk
 // crosses the network.
+//
+// Constructed with a data directory, the server is durable: every PUT is
+// written crash-atomically to disk (net/persistence.h) before it is
+// acknowledged, and construction runs a recovery scan that reloads intact
+// blocks and quarantines damaged ones.  A quarantined key answers kCorrupt
+// (never silently kNotFound-as-if-unwritten) until a fresh PUT replaces it —
+// which is exactly the signal the Scrubber turns into a repair at the
+// code's optimal d/(d-k+1) traffic.  Without a directory the server is the
+// original RAM-only store the fast tests use.
 //
 // Finished connections are reaped as the accept loop turns over, so a
 // long-lived server with churning clients holds state only for live
@@ -19,14 +28,17 @@
 
 #include <array>
 #include <atomic>
+#include <filesystem>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "net/fault.h"
+#include "net/persistence.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -35,8 +47,17 @@ namespace carousel::net {
 
 class BlockServer {
  public:
-  /// Binds (port 0 = ephemeral) and starts serving.
+  /// Binds (port 0 = ephemeral) and starts serving from RAM only.
   explicit BlockServer(std::uint16_t port = 0);
+
+  /// Binds and serves durably from `data_dir` (created if needed): runs the
+  /// recovery scan before accepting connections, then writes every PUT
+  /// crash-atomically to the directory before acknowledging it.  A null
+  /// `persist.registry` is replaced with this server's own registry, so the
+  /// METRICS op exposes the carousel_persist_* instruments.
+  BlockServer(std::uint16_t port, const std::filesystem::path& data_dir,
+              PersistentBlockStore::Options persist = {});
+
   ~BlockServer();
 
   BlockServer(const BlockServer&) = delete;
@@ -51,10 +72,19 @@ class BlockServer {
   /// every request.  The plan may be shared with the test for inspection.
   void set_fault_plan(std::shared_ptr<FaultPlan> plan);
 
-  /// Flips one bit of a stored block at byte `offset` (mod block size)
-  /// without touching its recorded checksum — simulates at-rest corruption.
-  /// Returns false when the block is not held.
+  /// Flips one bit of a stored block without touching its recorded
+  /// checksum — simulates at-rest corruption.  The byte flipped is
+  /// `offset % size`, so any offset addresses a valid byte of a non-empty
+  /// block (offset 0 and offset size flip the same byte).  Returns false —
+  /// never indexes — when the block is not held or is empty (an empty
+  /// block has no byte to flip).  On a persistent server the same byte is
+  /// flipped in the on-disk payload, so the rot survives a restart.
   bool corrupt_block(const BlockKey& key, std::size_t offset = 0);
+
+  /// Whether this server writes through to a data directory.
+  bool persistent() const { return persist_ != nullptr; }
+  /// Outcome of the startup recovery scan (all zeros for RAM-only servers).
+  const RecoveryReport& recovery_report() const { return recovery_; }
 
   /// Test/ops hooks.
   std::size_t block_count() const;
@@ -79,10 +109,15 @@ class BlockServer {
     std::atomic<bool> done{false};
   };
 
+  void init_instruments();
   void accept_loop();
   void reap_finished_locked();
   void serve(Session& session);
-  void handle(Op op, Reader& req, Writer& resp, Status& status);
+  /// `crash` is non-kNone only when a crash fault fired on a persistent
+  /// PUT; the handler then leaves that crash point's torn on-disk state and
+  /// skips the in-memory update (a real crash loses RAM too).
+  void handle(Op op, Reader& req, Writer& resp, Status& status,
+              CrashPoint crash);
   /// Interruptible stall for FaultAction::kDelay (wakes early on stop()).
   void injected_sleep(std::uint32_t ms);
 
@@ -96,13 +131,20 @@ class BlockServer {
   obs::MetricsRegistry metrics_;
   std::array<obs::Counter*, kOpCount> op_requests_{};
   std::array<obs::Histogram*, kOpCount> op_seconds_{};
-  std::array<obs::Counter*, 5> fault_hits_{};
+  std::array<obs::Counter*, kFaultActionCount> fault_hits_{};
   obs::Counter* bad_requests_ = nullptr;
   obs::Gauge* blocks_gauge_ = nullptr;
   obs::Gauge* stored_bytes_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<BlockKey, StoredBlock> blocks_;
+  // Durable backend (null = RAM-only).  Disk writes happen under mu_, so
+  // the on-disk and in-memory state never diverge mid-request.
+  std::unique_ptr<PersistentBlockStore> persist_;
+  RecoveryReport recovery_;
+  // Keys whose stored copy recovery quarantined: reads answer kCorrupt
+  // until a PUT (typically the scrubber's repair) replaces them.
+  std::set<BlockKey> quarantined_;
   std::shared_ptr<FaultPlan> faults_;
   // Sessions live here (stable addresses) so stop() can shut them down and
   // wake any worker blocked in recv; workers never outlive the server.

@@ -13,10 +13,18 @@
 // response stalls (client-side timeouts must fire), the payload is flipped
 // on the wire (end-to-end checksums must catch it), or the server refuses
 // the op outright (Status::kError).
+//
+// The crash actions extend that to durable-state faults: on a persistent
+// server they cut a PUT's write path at a chosen point (net/persistence.h
+// CrashPoint) and then sever the connection unanswered, leaving exactly the
+// on-disk state a power cut there would — what the restart-recovery tests
+// drive.  On an in-memory server (or a non-PUT op) they degrade to
+// kDropBeforeResponse semantics: the op executes, the client never hears.
 
 #ifndef CAROUSEL_NET_FAULT_H
 #define CAROUSEL_NET_FAULT_H
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -33,7 +41,16 @@ enum class FaultAction : std::uint8_t {
   kDelay,               // stall delay_ms before answering
   kCorruptPayload,      // flip one response-payload byte (at corrupt_offset)
   kRefuse,              // answer Status::kError without executing the op
+  // Simulated crashes on a persistent PUT (CrashPoint in net/persistence.h);
+  // each severs the connection unanswered and loses the in-memory copy:
+  kCrashBeforeFsync,    // die mid-write: partial temp file, nothing flushed
+  kCrashBeforeRename,   // die with the temp file flushed but never published
+  kTornWrite,           // publish a truncated payload under a full-length
+                        //   commit record, then die
 };
+
+/// Number of defined fault actions (for per-action instrument tables).
+inline constexpr std::size_t kFaultActionCount = 8;
 
 struct FaultRule {
   FaultAction action = FaultAction::kRefuse;

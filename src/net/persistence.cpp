@@ -1,0 +1,392 @@
+#include "net/persistence.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace carousel::net {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Commit-record layout (little-endian, written with the wire Writer):
+//   u32 magic, key (3 x u32), u64 payload length, u32 payload CRC-32,
+//   u32 CRC-32 of the preceding 28 bytes.
+constexpr std::uint32_t kMetaMagic = 0x314D4243;  // "CBM1"
+constexpr std::size_t kMetaBytes = 32;
+
+struct MetaRecord {
+  BlockKey key;
+  std::uint64_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+std::vector<std::uint8_t> serialize_meta(const BlockKey& key,
+                                         std::uint64_t payload_len,
+                                         std::uint32_t payload_crc) {
+  Writer w;
+  w.u32(kMetaMagic);
+  w.key(key);
+  w.u64(payload_len);
+  w.u32(payload_crc);
+  w.u32(util::crc32(w.data()));
+  return w.data();
+}
+
+std::optional<MetaRecord> parse_meta(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kMetaBytes) return std::nullopt;
+  if (util::crc32(bytes.first(kMetaBytes - 4)) !=
+      Reader(bytes.subspan(kMetaBytes - 4)).u32())
+    return std::nullopt;
+  Reader r(bytes);
+  if (r.u32() != kMetaMagic) return std::nullopt;
+  MetaRecord rec;
+  rec.key = r.key();
+  rec.payload_len = r.u64();
+  rec.payload_crc = r.u32();
+  return rec;
+}
+
+[[noreturn]] void throw_errno(const char* what, const fs::path& p) {
+  throw std::system_error(errno, std::generic_category(),
+                          std::string(what) + " " + p.string());
+}
+
+/// Whole-file read; nullopt when the file cannot be opened.
+std::optional<std::vector<std::uint8_t>> read_file(const fs::path& p) {
+  int fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace
+
+std::string RecoveryReport::to_string() const {
+  std::ostringstream out;
+  out << "recovered " << recovered << " intact block(s), quarantined "
+      << quarantined_files << " file(s) in " << seconds << " s\n";
+  out << "  torn payloads:      " << torn_payloads << "\n";
+  out << "  crc mismatches:     " << crc_mismatches << "\n";
+  out << "  orphaned records:   " << orphaned_metas << "\n";
+  out << "  orphaned payloads:  " << orphaned_payloads << "\n";
+  out << "  duplicate files:    " << duplicates << "\n";
+  out << "  stale temp files:   " << stale_temps << "\n";
+  out << "  damaged keys:      ";
+  if (damaged.empty()) out << " none";
+  for (const BlockKey& k : damaged)
+    out << " " << k.file << "/" << k.stripe << "/" << k.index;
+  out << "\n";
+  return out.str();
+}
+
+std::string PersistentBlockStore::stem_of(const BlockKey& key) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "b%" PRIu32 "_%" PRIu32 "_%" PRIu32, key.file,
+                key.stripe, key.index);
+  return buf;
+}
+
+std::optional<BlockKey> PersistentBlockStore::parse_stem(
+    const std::string& stem) {
+  BlockKey key;
+  char trailing = 0;
+  if (std::sscanf(stem.c_str(), "b%" SCNu32 "_%" SCNu32 "_%" SCNu32 "%c",
+                  &key.file, &key.stripe, &key.index, &trailing) != 3)
+    return std::nullopt;
+  // Reject non-canonical spellings (leading zeros, signs, whitespace) so
+  // stem_of() and parse_stem() stay exact inverses.
+  if (stem_of(key) != stem) return std::nullopt;
+  return key;
+}
+
+PersistentBlockStore::PersistentBlockStore(fs::path dir)
+    : PersistentBlockStore(std::move(dir), Options{}) {}
+
+PersistentBlockStore::PersistentBlockStore(fs::path dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  fs::create_directories(dir_);
+  auto& reg =
+      options_.registry ? *options_.registry : obs::MetricsRegistry::global();
+  fsyncs_ = &reg.counter("carousel_persist_fsyncs_total");
+  commits_ = &reg.counter("carousel_persist_commits_total");
+  bytes_written_ = &reg.counter("carousel_persist_bytes_written_total");
+  recovered_total_ = &reg.counter("carousel_persist_recovered_blocks_total");
+  quarantined_total_ = &reg.counter("carousel_persist_quarantined_files_total");
+  recovery_seconds_ = &reg.histogram("carousel_persist_recovery_seconds");
+}
+
+void PersistentBlockStore::write_file(
+    const fs::path& path, std::span<const std::uint8_t> bytes) const {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,  // NOLINT(cppcoreguidelines-pro-type-vararg)
+                  0644);
+  if (fd < 0) throw_errno("open", path);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (w < 0) {
+      ::close(fd);
+      throw_errno("write", path);
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  if (::close(fd) != 0) throw_errno("close", path);
+}
+
+void PersistentBlockStore::flush_file(const fs::path& path) const {
+  if (!options_.fsync) return;
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) throw_errno("open for fsync", path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync", path);
+  }
+  ::close(fd);
+  fsyncs_->inc();
+}
+
+void PersistentBlockStore::flush_dir(const fs::path& path) const {
+  if (!options_.fsync) return;
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) throw_errno("open dir for fsync", path);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync dir", path);
+  }
+  ::close(fd);
+  fsyncs_->inc();
+}
+
+void PersistentBlockStore::publish(const fs::path& from,
+                                   const fs::path& to) const {
+  // The bytes must be on stable storage before the rename makes them
+  // reachable under their final name — otherwise a crash could publish a
+  // file whose content never hit the platter.  check_invariants.py rule 4
+  // lints that this fsync-before-rename order holds for every rename here.
+  flush_file(from);
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec)
+    throw fs::filesystem_error("rename", from, to, ec);
+}
+
+bool PersistentBlockStore::put(const BlockKey& key,
+                               std::span<const std::uint8_t> bytes,
+                               std::uint32_t crc, CrashPoint crash) {
+  const std::string stem = stem_of(key);
+  const fs::path blk = dir_ / (stem + ".blk");
+  const fs::path meta = dir_ / (stem + ".meta");
+  const fs::path blk_tmp = dir_ / (stem + ".blk.tmp");
+  const fs::path meta_tmp = dir_ / (stem + ".meta.tmp");
+
+  if (crash == CrashPoint::kBeforeFsync) {
+    // Power died mid-write: half the payload reached the page cache, no
+    // flush, no publication.  Only a stale temp file survives.
+    write_file(blk_tmp, bytes.first(bytes.size() / 2));
+    return false;
+  }
+  if (crash == CrashPoint::kBeforeRename) {
+    // The payload is durable in the temp file but was never published; the
+    // block as named never changed.  Recovery discards the temp.
+    write_file(blk_tmp, bytes);
+    flush_file(blk_tmp);
+    return false;
+  }
+  if (crash == CrashPoint::kTornWrite) {
+    // A truncated payload gets published together with a full-length commit
+    // record — what a disk that acknowledged unwritten sectors leaves
+    // behind.  Recovery must catch the length mismatch and quarantine.
+    write_file(blk_tmp, bytes.first(bytes.size() / 2));
+    publish(blk_tmp, blk);
+    write_file(meta_tmp, serialize_meta(key, bytes.size(), crc));
+    publish(meta_tmp, meta);
+    flush_dir(dir_);
+    return false;
+  }
+
+  // Payload first, commit record second: a crash between the two leaves an
+  // orphaned payload (quarantined, not trusted), never a record that
+  // promises bytes which were lost.
+  write_file(blk_tmp, bytes);
+  publish(blk_tmp, blk);
+  write_file(meta_tmp, serialize_meta(key, bytes.size(), crc));
+  publish(meta_tmp, meta);
+  flush_dir(dir_);
+  commits_->inc();
+  bytes_written_->inc(bytes.size());
+  return true;
+}
+
+bool PersistentBlockStore::erase(const BlockKey& key) {
+  const std::string stem = stem_of(key);
+  std::error_code ec;
+  // Commit record first: an erase interrupted between the two unlinks
+  // leaves an orphaned payload, which recovery quarantines — never a
+  // record claiming a block that is half-deleted.
+  const bool had_meta = fs::remove(dir_ / (stem + ".meta"), ec);
+  const bool had_blk = fs::remove(dir_ / (stem + ".blk"), ec);
+  if (had_meta || had_blk) flush_dir(dir_);
+  return had_meta || had_blk;
+}
+
+bool PersistentBlockStore::corrupt_at_rest(const BlockKey& key,
+                                           std::size_t offset) {
+  const fs::path blk = dir_ / (stem_of(key) + ".blk");
+  int fd = ::open(blk.c_str(), O_RDWR | O_CLOEXEC);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) return false;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size <= 0) {
+    ::close(fd);
+    return false;
+  }
+  const off_t pos =
+      static_cast<off_t>(offset % static_cast<std::size_t>(size));
+  std::uint8_t byte = 0;
+  bool ok = ::pread(fd, &byte, 1, pos) == 1;
+  byte ^= 0x01;
+  ok = ok && ::pwrite(fd, &byte, 1, pos) == 1;
+  ::close(fd);
+  return ok;
+}
+
+void PersistentBlockStore::quarantine(const fs::path& path,
+                                      RecoveryReport& report) {
+  fs::create_directories(quarantine_dir());
+  fs::path dst = quarantine_dir() / path.filename();
+  for (int i = 1; fs::exists(dst); ++i)
+    dst = quarantine_dir() / (path.filename().string() + "." +
+                              std::to_string(i));
+  // Moved, never deleted: a damaged file is evidence.  publish() flushes
+  // before the move, which is harmless here and keeps one rename path.
+  publish(path, dst);
+  ++report.quarantined_files;
+  quarantined_total_->inc();
+}
+
+RecoveryReport PersistentBlockStore::recover(std::vector<RecoveredBlock>* out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryReport report;
+
+  // Classify directory entries.  std::set iteration gives a deterministic
+  // (lexicographic) processing order, so duplicate claims on one key always
+  // resolve the same way: the first intact pair wins.
+  std::vector<fs::path> temps;
+  std::set<std::string> meta_stems;
+  std::set<std::string> blk_stems;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() == ".tmp")
+      temps.push_back(p);
+    else if (p.extension() == ".meta")
+      meta_stems.insert(p.stem().string());
+    else if (p.extension() == ".blk")
+      blk_stems.insert(p.stem().string());
+    // Anything else in the directory is not ours; leave it alone.
+  }
+
+  // A temp file is an uncommitted write by construction (the rename that
+  // would have published it never happened): always quarantine.  This
+  // covers both crash-before-fsync and crash-before-rename, including the
+  // zero-length temp an early crash leaves.
+  for (const fs::path& t : temps) {
+    quarantine(t, report);
+    ++report.stale_temps;
+  }
+
+  std::set<BlockKey> loaded;
+  auto mark_damaged = [&report](const std::optional<BlockKey>& key) {
+    if (key) report.damaged.push_back(*key);
+  };
+
+  for (const std::string& stem : meta_stems) {
+    const fs::path meta_p = dir_ / (stem + ".meta");
+    const fs::path blk_p = dir_ / (stem + ".blk");
+    const bool have_blk = blk_stems.erase(stem) > 0;
+
+    auto meta_bytes = read_file(meta_p);
+    const std::optional<MetaRecord> rec =
+        meta_bytes ? parse_meta(*meta_bytes) : std::nullopt;
+    if (!rec) {
+      // The commit record itself is torn or unreadable; without it the
+      // payload cannot be trusted either.
+      ++report.torn_payloads;
+      mark_damaged(parse_stem(stem));
+      quarantine(meta_p, report);
+      if (have_blk) quarantine(blk_p, report);
+      continue;
+    }
+    if (!have_blk) {
+      // A record naming a payload that is gone — the "manifest points at a
+      // deleted file" case.
+      ++report.orphaned_metas;
+      report.damaged.push_back(rec->key);
+      quarantine(meta_p, report);
+      continue;
+    }
+    auto payload = read_file(blk_p);
+    const bool intact = payload && payload->size() == rec->payload_len &&
+                        util::crc32(*payload) == rec->payload_crc;
+    if (!intact) {
+      if (payload && payload->size() != rec->payload_len)
+        ++report.torn_payloads;
+      else
+        ++report.crc_mismatches;
+      report.damaged.push_back(rec->key);
+      quarantine(blk_p, report);
+      quarantine(meta_p, report);
+      continue;
+    }
+    if (!loaded.insert(rec->key).second) {
+      // A second intact pair claiming an already-loaded key (a stray copy):
+      // the lexicographically first one won; move this one aside.
+      ++report.duplicates;
+      quarantine(blk_p, report);
+      quarantine(meta_p, report);
+      continue;
+    }
+    ++report.recovered;
+    if (out) out->push_back({rec->key, std::move(*payload), rec->payload_crc});
+  }
+
+  // Payloads without a commit record: the write never committed (or an
+  // erase was interrupted after the record was removed).  Untrusted.
+  for (const std::string& stem : blk_stems) {
+    ++report.orphaned_payloads;
+    mark_damaged(parse_stem(stem));
+    quarantine(dir_ / (stem + ".blk"), report);
+  }
+
+  if (report.quarantined_files > 0) flush_dir(dir_);
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  recovered_total_->inc(report.recovered);
+  recovery_seconds_->observe(report.seconds);
+  return report;
+}
+
+}  // namespace carousel::net

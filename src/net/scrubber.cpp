@@ -1,6 +1,7 @@
 #include "net/scrubber.h"
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carousel::net {
 
@@ -14,6 +15,7 @@ Scrubber::Scrubber(CarouselStore& store, Options options)
   repair_failures_total_ =
       &reg.counter("carousel_scrubber_repair_failures_total");
   repair_bytes_total_ = &reg.counter("carousel_scrubber_repair_bytes_total");
+  sweep_seconds_ = &reg.histogram("carousel_scrub_sweep_seconds");
   last_sweep_unhealthy_ = &reg.gauge("carousel_scrubber_last_sweep_unhealthy");
   last_sweep_repair_bytes_ =
       &reg.gauge("carousel_scrubber_last_sweep_repair_bytes");
@@ -57,6 +59,7 @@ void Scrubber::loop() {
 }
 
 Scrubber::Stats Scrubber::run_once() {
+  obs::ScopedTimer sweep_timer(*sweep_seconds_);
   Stats sweep;
   sweep.sweeps = 1;
   const std::size_t n = store_.code().n();

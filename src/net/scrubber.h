@@ -78,6 +78,7 @@ class Scrubber {
   obs::Counter* repairs_total_ = nullptr;
   obs::Counter* repair_failures_total_ = nullptr;
   obs::Counter* repair_bytes_total_ = nullptr;
+  obs::Histogram* sweep_seconds_ = nullptr;
   obs::Gauge* last_sweep_unhealthy_ = nullptr;
   obs::Gauge* last_sweep_repair_bytes_ = nullptr;
   mutable std::mutex mu_;

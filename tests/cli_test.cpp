@@ -7,7 +7,9 @@
 #include <fstream>
 
 #include "cli/cli.h"
+#include "net/persistence.h"
 #include "test_util.h"
+#include "util/crc32.h"
 
 namespace carousel::cli {
 namespace {
@@ -170,6 +172,37 @@ TEST_F(CliTest, RunDispatchesAndValidates) {
   EXPECT_EQ(slurp(dir_ / "out.bin"), slurp(input));
   EXPECT_EQ(run({"repair", (dir_ / "arc").string(), "2"}), 0);
   EXPECT_EQ(run({"decode", "/nonexistent/dir", "x"}), 1);
+}
+
+TEST_F(CliTest, RecoverCommandScansAndQuarantines) {
+  // Build a block-server data directory by hand: one intact block, one torn
+  // write (truncated payload under a full-length commit record).
+  namespace cnet = carousel::net;
+  fs::path store_dir = dir_ / "store";
+  {
+    cnet::PersistentBlockStore store(store_dir);
+    auto good = test::random_bytes(512, 3);
+    auto torn = test::random_bytes(512, 4);
+    ASSERT_TRUE(store.put(cnet::BlockKey{1, 0, 0}, good,
+                          carousel::util::crc32(good)));
+    ASSERT_FALSE(store.put(cnet::BlockKey{1, 0, 1}, torn,
+                           carousel::util::crc32(torn),
+                           cnet::CrashPoint::kTornWrite));
+  }
+  std::string report = recover_store(store_dir);
+  EXPECT_NE(report.find("recovered 1 intact block(s)"), std::string::npos);
+  EXPECT_NE(report.find("quarantined 2 file(s)"), std::string::npos);
+  EXPECT_NE(report.find("torn payloads:      1"), std::string::npos);
+
+  // The command is idempotent: a second scan finds a clean directory.
+  EXPECT_EQ(run({"recover", store_dir.string()}), 0);
+  std::string again = recover_store(store_dir);
+  EXPECT_NE(again.find("recovered 1 intact block(s)"), std::string::npos);
+  EXPECT_NE(again.find("quarantined 0 file(s)"), std::string::npos);
+
+  // Argument validation: both commands demand their operands.
+  EXPECT_EQ(run({"recover"}), 2);
+  EXPECT_EQ(run({"serve"}), 2);
 }
 
 }  // namespace

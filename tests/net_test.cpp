@@ -266,6 +266,28 @@ TEST(ClientResilience, ReconnectsAfterServerRestart) {
   EXPECT_EQ(*client.get(key), data);
 }
 
+TEST(ClientResilience, CanBeCreatedWhileServerIsDown) {
+  // client.h promises the connection is lazy: a client constructed while
+  // its server is down is fine, fails with a clean transport error until
+  // the server appears, and then just works — no reconstruction needed.
+  std::uint16_t port = 0;
+  {
+    BlockServer throwaway;  // grab an ephemeral port that is then free
+    port = throwaway.port();
+  }
+  Client client(port, RetryPolicy{.max_attempts = 1,
+                                  .io_timeout = std::chrono::milliseconds(250),
+                                  .op_deadline =
+                                      std::chrono::milliseconds(2000)});
+  EXPECT_THROW(client.ping(), TransportError);  // nobody listening yet
+  BlockServer server(port);
+  client.ping();  // the same client object, no intervention
+  BlockKey key{8, 0, 0};
+  auto data = random_bytes(128, 9);
+  client.put(key, data);
+  EXPECT_EQ(*client.get(key), data);
+}
+
 TEST(ProtocolRobustness, GarbageFramesDropConnectionNotServer) {
   BlockServer server;
   {
@@ -584,6 +606,36 @@ TEST_F(StoreTest, RepairDegradesWhenHelperDiesMidRepair) {
   EXPECT_EQ(store.read_file(25, file.size()), file);
 }
 
+TEST(Checksum, CorruptBlockWrapsOffsetAndRefusesEmptyBlocks) {
+  BlockServer server;
+  Client client(server.port(), fast_policy());
+  BlockKey key{6, 0, 0};
+  auto data = random_bytes(100, 32);
+  client.put(key, data);
+
+  // Any offset addresses a valid byte: 203 % 100 == 3.  Flipping the same
+  // byte again (via offset 3 directly) restores the block exactly.
+  ASSERT_TRUE(server.corrupt_block(key, 203));
+  EXPECT_EQ(client.verify(key), BlockHealth::kCorrupt);
+  ASSERT_TRUE(server.corrupt_block(key, 3));
+  EXPECT_EQ(client.verify(key), BlockHealth::kOk);
+  EXPECT_EQ(*client.get(key), data);
+
+  // offset == size is the same byte as offset 0 (the documented wrap).
+  ASSERT_TRUE(server.corrupt_block(key, data.size()));
+  ASSERT_TRUE(server.corrupt_block(key, 0));
+  EXPECT_EQ(client.verify(key), BlockHealth::kOk);
+
+  // Unknown keys and empty blocks have no byte to flip: false, never an
+  // out-of-range index, and the empty block stays healthy.
+  EXPECT_FALSE(server.corrupt_block(BlockKey{9, 9, 9}, 0));
+  BlockKey empty{6, 0, 1};
+  client.put(empty, std::vector<std::uint8_t>{});
+  EXPECT_FALSE(server.corrupt_block(empty, 0));
+  EXPECT_FALSE(server.corrupt_block(empty, 17));
+  EXPECT_EQ(client.verify(empty), BlockHealth::kOk);
+}
+
 TEST_F(StoreTest, ScrubberDetectsAndRepairsCorruption) {
   codes::Carousel code(12, 6, 10, 12);
   const std::size_t block = code.s() * 128;
@@ -628,6 +680,52 @@ TEST_F(StoreTest, BackgroundScrubberHealsWhileRunning) {
   EXPECT_GE(scrubber.stats().repairs, 1u);
   EXPECT_EQ(store.verify_block(29, 0, 6), BlockState::kOk);
   EXPECT_EQ(store.read_file(29, file.size()), file);
+}
+
+TEST_F(StoreTest, ScrubberRecordsSweepDuration) {
+  codes::Carousel code(12, 6, 10, 12);
+  obs::MetricsRegistry reg;
+  CarouselStore store(code, ports_, code.s() * 64,
+                      StoreOptions{fast_policy(), &reg});
+  auto file = random_bytes(code.k() * code.s() * 64, 47);
+  store.put_file(33, file);
+
+  Scrubber scrubber(store);
+  scrubber.run_once();
+  scrubber.run_once();
+  auto hist = reg.snapshot().histograms.at("carousel_scrub_sweep_seconds");
+  EXPECT_EQ(hist.count, 2u);  // one observation per sweep
+  EXPECT_GT(hist.sum, 0.0);   // wall time, not zero-cost
+}
+
+TEST_F(StoreTest, ScrubberRetriesUnreachableServerAfterItReturns) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 128;
+  CarouselStore store(code, ports_, block, StoreOptions{fast_policy()});
+  auto file = random_bytes(code.k() * block, 48);
+  store.put_file(35, file);
+
+  // Server 3 dies with its block.  The sweep records it unreachable and —
+  // deliberately — does not repair: a rebuilt block has nowhere to live.
+  servers_[3]->stop();
+  servers_[3].reset();
+  Scrubber scrubber(store);
+  auto sweep = scrubber.run_once();
+  EXPECT_EQ(sweep.unreachable, 1u);
+  EXPECT_EQ(sweep.repairs, 0u);
+  EXPECT_EQ(sweep.repair_bytes, 0u);
+
+  // The server returns (same port, empty store).  The next sweep sees a
+  // plain missing block and heals it at the optimal d/(d-k+1) = 2 blocks.
+  servers_[3] = std::make_unique<BlockServer>(ports_[3]);
+  auto next = scrubber.run_once();
+  EXPECT_EQ(next.unreachable, 0u);
+  EXPECT_EQ(next.missing_found, 1u);
+  EXPECT_EQ(next.repairs, 1u);
+  EXPECT_EQ(next.repair_failures, 0u);
+  EXPECT_EQ(next.repair_bytes, 2u * block);
+  EXPECT_EQ(store.verify_block(35, 0, 3), BlockState::kOk);
+  EXPECT_EQ(store.read_file(35, file.size()), file);
 }
 
 // The issue's acceptance scenario end to end: one server killed (not

@@ -22,6 +22,12 @@ Rules (see DESIGN.md "Correctness tooling"):
      CMakeLists.txt is documented in README.md, so no build knob ships
      undocumented.
 
+  4. fsync-before-rename — every rename in the persistence layer
+     (src/net/persistence.*) must be preceded, within a few lines, by a
+     flush of the file being renamed.  A rename without the flush can
+     publish a block file whose bytes never reached stable storage — the
+     exact torn-write window the crash-recovery tests exist to close.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -119,11 +125,35 @@ def check_cmake_options(problems: list[str]) -> None:
                 f"README.md")
 
 
+def check_fsync_before_rename(problems: list[str]) -> None:
+    """Rule 4: renames in the persistence layer flush the source first."""
+    rename = re.compile(r"\brename\s*\(")
+    flush = re.compile(r"\b(flush_file|fsync)\b")
+    window = 8  # lines above the rename that must contain the flush
+    for path in src_files(".h", ".cpp"):
+        if path.stem != "persistence":
+            continue
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            if not rename.search(line):
+                continue
+            preceding = lines[max(0, i - window):i]
+            # Comments don't flush anything: only code lines count.
+            code = [l for l in preceding
+                    if not l.lstrip().startswith(("//", "*", "/*"))]
+            if not any(flush.search(l) for l in code):
+                problems.append(
+                    f"{path.relative_to(REPO)}:{i + 1}: rename without an "
+                    f"fsync of the source within {window} lines — a crash "
+                    f"could publish unflushed bytes")
+
+
 def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
     check_metric_names(problems)
     check_cmake_options(problems)
+    check_fsync_before_rename(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

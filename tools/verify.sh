@@ -5,9 +5,10 @@
 #      >=10k mutated frames against a live server);
 #   2. static analysis — tools/lint.sh (clang-tidy when installed, plus the
 #      repo-specific invariant lints in tools/check_invariants.py);
-#   3. the networked fault-tolerance, observability and protocol-hardening
-#      tests again under AddressSanitizer (abrupt server death, connection
-#      churn, malformed frames — where lifetime bugs hide);
+#   3. the networked fault-tolerance, observability, protocol-hardening and
+#      crash-persistence tests again under AddressSanitizer (abrupt server
+#      death, connection churn, malformed frames, torn-write recovery —
+#      where lifetime bugs hide);
 #   4. the net + observability tests under ThreadSanitizer (client counters,
 #      registry instruments and trace rings are read while other threads
 #      mutate them);
@@ -27,11 +28,12 @@ sh tools/lint.sh build
 
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
 cmake --build build-asan -j --target net_test obs_test protocol_test \
-  protocol_fuzz_test
+  protocol_fuzz_test persistence_test
 ./build-asan/tests/net_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/protocol_test
 ./build-asan/tests/protocol_fuzz_test
+./build-asan/tests/persistence_test
 
 cmake -B build-tsan -S . -DCAROUSEL_SANITIZE=thread
 cmake --build build-tsan -j --target net_test obs_test
