@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <csignal>
@@ -263,6 +264,52 @@ std::string fetch_metrics(std::uint16_t port) {
   return client.metrics_text();
 }
 
+std::string cluster_status(const std::vector<std::uint16_t>& ports) {
+  net::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.io_timeout = std::chrono::milliseconds(500);
+  policy.op_deadline = std::chrono::milliseconds(1500);
+  std::ostringstream out;
+  out << "cluster of " << ports.size() << " server"
+      << (ports.size() == 1 ? "" : "s") << ":\n";
+  std::size_t alive = 0;
+  std::uint64_t total_blocks = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t min_blocks = 0;
+  std::uint64_t max_blocks = 0;
+  for (std::size_t id = 0; id < ports.size(); ++id) {
+    out << "  server " << id << "  port " << ports[id] << "  ";
+    try {
+      net::Client client(ports[id], policy);
+      const auto held = client.stats();
+      out << "alive  " << held.blocks << " blocks  " << held.bytes
+          << " bytes\n";
+      min_blocks = alive == 0 ? held.blocks
+                              : std::min<std::uint64_t>(min_blocks,
+                                                        held.blocks);
+      max_blocks = std::max<std::uint64_t>(max_blocks, held.blocks);
+      ++alive;
+      total_blocks += held.blocks;
+      total_bytes += held.bytes;
+    } catch (const net::Error&) {
+      out << "dead   (unreachable)\n";
+    }
+  }
+  out << "summary: " << alive << "/" << ports.size() << " alive, "
+      << total_blocks << " blocks / " << total_bytes
+      << " bytes on reachable servers\n";
+  if (alive > 0)
+    out << "placement: " << min_blocks << ".." << max_blocks
+        << " blocks per reachable server\n";
+  const std::size_t dead = ports.size() - alive;
+  if (dead > 0)
+    out << "pending re-placement: blocks of " << dead << " dead server"
+        << (dead == 1 ? "" : "s") << " await re-homing\n";
+  else
+    out << "pending re-placement: none\n";
+  return out.str();
+}
+
 std::string recover_store(const fs::path& dir) {
   net::PersistentBlockStore store(dir);
   const net::RecoveryReport report = store.recover();
@@ -307,6 +354,7 @@ int run(const std::vector<std::string>& args) {
         "  carouselctl repair  <dir> <block-index>\n"
         "  carouselctl info    <dir>\n"
         "  carouselctl metrics <port>\n"
+        "  carouselctl cluster <port...>\n"
         "  carouselctl recover <data-dir>\n"
         "  carouselctl serve   <port> [data-dir] [--no-fsync]\n"
         "environment:\n"
@@ -357,6 +405,18 @@ int run(const std::vector<std::string>& args) {
         throw std::invalid_argument("port must be in [1, 65535]");
       std::fputs(fetch_metrics(static_cast<std::uint16_t>(port)).c_str(),
                  stdout);
+      return 0;
+    }
+    if (cmd == "cluster") {
+      if (args.size() < 2) return usage();
+      std::vector<std::uint16_t> ports;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        unsigned long port = std::stoul(args[i]);
+        if (port == 0 || port > 65535)
+          throw std::invalid_argument("port must be in [1, 65535]");
+        ports.push_back(static_cast<std::uint16_t>(port));
+      }
+      std::fputs(cluster_status(ports).c_str(), stdout);
       return 0;
     }
     if (cmd == "recover") {

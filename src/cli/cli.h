@@ -59,6 +59,14 @@ std::string describe(const std::filesystem::path& dir);
 /// failure.
 std::string fetch_metrics(std::uint16_t port);
 
+/// Probes each server on 127.0.0.1 once (STATS op, short timeout) and
+/// renders a cluster health table (for `carouselctl cluster`): per-server
+/// alive/dead verdict with held blocks and bytes, a placement summary
+/// (block spread across the reachable servers), and how many servers'
+/// blocks are pending re-placement.  Never throws on a dead server — that
+/// is the interesting case; the verdict lands in the table instead.
+std::string cluster_status(const std::vector<std::uint16_t>& ports);
+
 /// Offline recovery scan of a persistent block-server data directory (for
 /// `carouselctl recover`): classifies and quarantines damaged files exactly
 /// as server startup would, and returns the human-readable report.  Safe to

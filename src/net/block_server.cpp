@@ -110,6 +110,27 @@ void BlockServer::stop() {
   sessions_.clear();
 }
 
+void BlockServer::drain() {
+  // Claims the same stopping_ flag as stop(), so the two are mutually
+  // idempotent: whichever runs first wins, the other no-ops.
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  listener_.close();  // no new connections; wakes the blocked accept()
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard lock(mu_);
+    // Half-close receive only: a worker blocked waiting for the *next*
+    // request wakes with EOF, but a response being sent still flushes.
+    for (auto& s : sessions_) s.conn.shutdown_read();
+  }
+  for (auto& s : sessions_)
+    if (s.worker.joinable()) s.worker.join();
+  std::lock_guard lock(mu_);
+  sessions_.clear();
+  // Final durability barrier: every acknowledged PUT is now on disk.
+  if (persist_) persist_->flush();
+}
+
 void BlockServer::set_fault_plan(std::shared_ptr<FaultPlan> plan) {
   std::lock_guard lock(mu_);
   faults_ = std::move(plan);

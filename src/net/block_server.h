@@ -68,6 +68,14 @@ class BlockServer {
   /// Stops accepting, closes the listener and joins all threads.  Idempotent.
   void stop();
 
+  /// Graceful shutdown: stops accepting, lets every in-flight request finish
+  /// and its response flush to the client (sessions are only half-closed, on
+  /// the receive side), then flushes the persistence directory so everything
+  /// acknowledged is on stable storage.  A request still being *received*
+  /// when drain begins is abandoned — nothing was acknowledged for it.
+  /// Idempotent, and stop()/~BlockServer afterwards are no-ops.
+  void drain();
+
   /// Installs (or clears, with nullptr) a fault-injection plan consulted on
   /// every request.  The plan may be shared with the test for inspection.
   void set_fault_plan(std::shared_ptr<FaultPlan> plan);

@@ -1,0 +1,198 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace carousel::net {
+
+const char* server_state_name(ServerState state) {
+  switch (state) {
+    case ServerState::kAlive:
+      return "alive";
+    case ServerState::kSuspect:
+      return "suspect";
+    case ServerState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(CarouselStore& store, Options options)
+    : store_(store), options_(options) {
+  options_.suspect_after = std::max<std::uint32_t>(1, options_.suspect_after);
+  options_.dead_after =
+      std::max(options_.dead_after, options_.suspect_after);
+  options_.revive_after = std::max<std::uint32_t>(1, options_.revive_after);
+  auto& reg = store.metrics();
+  probes_total_ = &reg.counter("carousel_cluster_probes_total");
+  probe_failures_total_ =
+      &reg.counter("carousel_cluster_probe_failures_total");
+  to_alive_total_ = &reg.counter(
+      obs::labeled("carousel_cluster_transitions_total", "to", "alive"));
+  to_suspect_total_ = &reg.counter(
+      obs::labeled("carousel_cluster_transitions_total", "to", "suspect"));
+  to_dead_total_ = &reg.counter(
+      obs::labeled("carousel_cluster_transitions_total", "to", "dead"));
+  servers_gauge_ = &reg.gauge("carousel_cluster_servers");
+  alive_gauge_ = &reg.gauge("carousel_cluster_servers_alive");
+  suspect_gauge_ = &reg.gauge("carousel_cluster_servers_suspect");
+  dead_gauge_ = &reg.gauge("carousel_cluster_servers_dead");
+}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::start() {
+  std::lock_guard lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthMonitor::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  running_ = false;
+}
+
+bool HealthMonitor::running() const {
+  std::lock_guard lock(mu_);
+  return running_;
+}
+
+void HealthMonitor::loop() {
+  for (;;) {
+    probe_once();
+    std::unique_lock lock(mu_);
+    if (cv_.wait_for(lock, options_.interval,
+                     [this] { return stop_requested_; }))
+      return;
+  }
+}
+
+void HealthMonitor::probe_once() {
+  // Serialize rounds: a background loop and a test calling probe_once()
+  // directly must not share the (single-threaded) probe clients.
+  std::lock_guard probe_lock(probe_serial_);
+
+  // Pick up servers registered since the last round; collect the probe
+  // clients outside mu_ so state_of()/statuses() never block behind a
+  // timing-out probe of a dead server.
+  std::vector<std::pair<std::size_t, Client*>> targets;
+  {
+    auto fleet = store_.servers();
+    std::lock_guard lock(mu_);
+    for (const auto& ep : fleet) {
+      auto [it, fresh] = tracked_.try_emplace(ep.id);
+      if (fresh) {
+        it->second.status.id = ep.id;
+        it->second.status.port = ep.port;
+        it->second.status.spare = ep.spare;
+        it->second.probe = std::make_unique<Client>(
+            ep.port, options_.probe_policy, &store_.metrics());
+      }
+      targets.emplace_back(ep.id, it->second.probe.get());
+    }
+  }
+
+  for (auto [id, probe] : targets) {
+    bool ok = false;
+    Client::Stats held{};
+    try {
+      held = probe->stats();  // liveness + inventory in one round-trip
+      ok = true;
+    } catch (const Error&) {
+      // Any failure class — refused, reset, timed out, protocol garbage —
+      // reads the same to the detector: the server did not answer.
+    }
+    std::lock_guard lock(mu_);
+    Tracked& t = tracked_[id];
+    ++t.status.probes;
+    probes_total_->inc();
+    if (ok) {
+      t.status.blocks = held.blocks;
+      t.status.bytes = held.bytes;
+      t.status.consecutive_failures = 0;
+      ++t.status.consecutive_successes;
+      if (t.status.state != ServerState::kAlive &&
+          t.status.consecutive_successes >= options_.revive_after)
+        transition_locked(t, ServerState::kAlive);
+    } else {
+      ++t.status.failures;
+      probe_failures_total_->inc();
+      t.status.consecutive_successes = 0;
+      ++t.status.consecutive_failures;
+      if (t.status.consecutive_failures >= options_.dead_after)
+        transition_locked(t, ServerState::kDead);
+      else if (t.status.consecutive_failures >= options_.suspect_after)
+        transition_locked(t, ServerState::kSuspect);
+    }
+  }
+
+  std::lock_guard lock(mu_);
+  export_gauges_locked();
+}
+
+void HealthMonitor::transition_locked(Tracked& t, ServerState to) {
+  if (t.status.state == to) return;
+  t.status.state = to;
+  ++t.status.transitions;
+  switch (to) {
+    case ServerState::kAlive:
+      to_alive_total_->inc();
+      break;
+    case ServerState::kSuspect:
+      to_suspect_total_->inc();
+      break;
+    case ServerState::kDead:
+      to_dead_total_->inc();
+      break;
+  }
+}
+
+void HealthMonitor::export_gauges_locked() {
+  std::size_t alive = 0;
+  std::size_t suspect = 0;
+  std::size_t dead = 0;
+  for (const auto& [id, t] : tracked_) {
+    switch (t.status.state) {
+      case ServerState::kAlive:
+        ++alive;
+        break;
+      case ServerState::kSuspect:
+        ++suspect;
+        break;
+      case ServerState::kDead:
+        ++dead;
+        break;
+    }
+  }
+  servers_gauge_->set(static_cast<double>(tracked_.size()));
+  alive_gauge_->set(static_cast<double>(alive));
+  suspect_gauge_->set(static_cast<double>(suspect));
+  dead_gauge_->set(static_cast<double>(dead));
+}
+
+ServerState HealthMonitor::state_of(std::size_t server_id) const {
+  std::lock_guard lock(mu_);
+  auto it = tracked_.find(server_id);
+  return it == tracked_.end() ? ServerState::kAlive : it->second.status.state;
+}
+
+std::vector<HealthMonitor::ServerStatus> HealthMonitor::statuses() const {
+  std::lock_guard lock(mu_);
+  std::vector<ServerStatus> out;
+  out.reserve(tracked_.size());
+  for (const auto& [id, t] : tracked_) out.push_back(t.status);
+  return out;
+}
+
+}  // namespace carousel::net

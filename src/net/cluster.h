@@ -1,0 +1,155 @@
+// Failure detection for a CarouselStore's server fleet.
+//
+// HealthMonitor probes every server the store knows about (including spares
+// registered after construction) on a fixed interval with the STATS op — a
+// cheap round-trip that doubles as an inventory report (block count, bytes
+// held).  Per-server health is a three-state threshold detector:
+//
+//     kAlive --f failures--> kSuspect --more failures--> kDead
+//       ^                                                  |
+//       +------- r consecutive *successes* (damping) ------+
+//
+// The thresholds (Options::suspect_after / dead_after) trade detection
+// latency against false positives, exactly the dial production detectors
+// (HDFS heartbeats, phi-accrual) expose; revive_after adds flap damping so
+// a server limping in and out of reachability cannot oscillate the cluster
+// into repeated re-placements — one flaky probe never undoes a kDead
+// verdict, only a sustained run of healthy answers does.
+//
+// The monitor only *observes*.  Acting on a kDead verdict — re-homing the
+// dead server's blocks onto spares via the store's MSR repair path — is the
+// Scrubber's job (Scrubber::Options::monitor) or the caller's
+// (store.rehome_server).  This split keeps the detector trivially testable
+// and means a wrong verdict costs extra repair traffic, never data.
+//
+// Thread model: the monitor owns its own Client per server (clients are not
+// thread-safe, and borrowing the store's would serialize probing behind
+// bulk reads).  probe_once() is safe to call concurrently with store ops;
+// start()/stop() run it on a background thread like the Scrubber.
+
+#ifndef CAROUSEL_NET_CLUSTER_H
+#define CAROUSEL_NET_CLUSTER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/store.h"
+
+namespace carousel::net {
+
+/// The detector's verdict on one server.
+enum class ServerState { kAlive, kSuspect, kDead };
+
+/// Human-readable name ("alive" / "suspect" / "dead") for logs, metrics
+/// labels and the CLI.
+const char* server_state_name(ServerState state);
+
+class HealthMonitor {
+ public:
+  struct Options {
+    /// Pause between background probe rounds.
+    std::chrono::milliseconds interval{200};
+    /// Consecutive probe failures before kAlive degrades to kSuspect.
+    std::uint32_t suspect_after = 1;
+    /// Consecutive probe failures before the server is declared kDead.
+    /// Must be >= suspect_after.
+    std::uint32_t dead_after = 3;
+    /// Flap damping: consecutive probe *successes* a kSuspect/kDead server
+    /// must string together before it is trusted as kAlive again.
+    std::uint32_t revive_after = 2;
+    /// Policy for the monitor's own probe connections.  Two attempts by
+    /// default: a server that restarted since the last round leaves a stale
+    /// connection behind, and the reconnect-and-retry must not read as a
+    /// health failure.
+    RetryPolicy probe_policy{.max_attempts = 2,
+                             .io_timeout = std::chrono::milliseconds(250),
+                             .base_backoff = std::chrono::milliseconds(2),
+                             .max_backoff = std::chrono::milliseconds(20),
+                             .op_deadline = std::chrono::milliseconds(1000)};
+  };
+
+  /// Everything the monitor knows about one server.
+  struct ServerStatus {
+    std::size_t id = 0;
+    std::uint16_t port = 0;
+    bool spare = false;
+    ServerState state = ServerState::kAlive;
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t consecutive_successes = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t transitions = 0;  // state changes over this server's life
+    // From the last successful STATS answer: what the server holds.
+    std::uint32_t blocks = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// The store must outlive the monitor.  Metrics go to store.metrics().
+  HealthMonitor(CarouselStore& store, Options options);
+  explicit HealthMonitor(CarouselStore& store)
+      : HealthMonitor(store, Options{}) {}
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Launches the background probe thread.  Idempotent.
+  void start();
+  /// Stops it and joins.  Idempotent; also called by the destructor.
+  void stop();
+  bool running() const;
+
+  /// One synchronous probe round over every server the store currently
+  /// knows (servers added since the last round are picked up here).
+  void probe_once();
+
+  /// Verdict for one server; optimistic kAlive for ids never probed.
+  ServerState state_of(std::size_t server_id) const;
+
+  /// Snapshot of every tracked server, id order.
+  std::vector<ServerStatus> statuses() const;
+
+ private:
+  struct Tracked {
+    ServerStatus status;
+    std::unique_ptr<Client> probe;  // monitor-owned; never the store's
+  };
+
+  void loop();
+  void transition_locked(Tracked& t, ServerState to);
+  void export_gauges_locked();
+
+  CarouselStore& store_;
+  Options options_;
+
+  // Registry mirrors (constructor-resolved from the store's registry).
+  obs::Counter* probes_total_ = nullptr;
+  obs::Counter* probe_failures_total_ = nullptr;
+  obs::Counter* to_alive_total_ = nullptr;
+  obs::Counter* to_suspect_total_ = nullptr;
+  obs::Counter* to_dead_total_ = nullptr;
+  obs::Gauge* servers_gauge_ = nullptr;
+  obs::Gauge* alive_gauge_ = nullptr;
+  obs::Gauge* suspect_gauge_ = nullptr;
+  obs::Gauge* dead_gauge_ = nullptr;
+
+  // Serializes probe rounds (a round's clients are single-threaded); held
+  // only by probe_once, never while answering state_of()/statuses().
+  std::mutex probe_serial_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::map<std::size_t, Tracked> tracked_;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_CLUSTER_H

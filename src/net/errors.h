@@ -73,6 +73,23 @@ struct DeadlineError : Error {
   using Error::Error;
 };
 
+/// A whole store operation (read_file / repair_block) exhausted its total
+/// time budget (StoreOptions::op_budget) while failing over across sick
+/// servers.  Distinct from DeadlineError (one client op's deadline): this is
+/// the coordinator refusing to multiply per-op timeouts across a long
+/// failover chain.
+struct StoreDeadlineError : Error {
+  using Error::Error;
+};
+
+/// A rebuilt block could not be placed anywhere: its home server is down
+/// and no registered spare (or other placement-eligible server) accepted
+/// the re-upload.  The stripe is left exactly as it was — the block is
+/// still an erasure, never a silent partial write.
+struct RehomeError : Error {
+  using Error::Error;
+};
+
 }  // namespace carousel::net
 
 #endif  // CAROUSEL_NET_ERRORS_H

@@ -124,6 +124,12 @@ class PersistentBlockStore {
   /// when the payload file is missing or empty.
   bool corrupt_at_rest(const BlockKey& key, std::size_t offset);
 
+  /// Fsyncs the data directory entry itself.  Every put() already flushed
+  /// its own files before publishing, so this is the final barrier a
+  /// graceful drain needs: after it returns, everything acknowledged is on
+  /// stable storage.  No-op when Options::fsync is off.
+  void flush() const { flush_dir(dir_); }
+
   const std::filesystem::path& dir() const { return dir_; }
   std::filesystem::path quarantine_dir() const { return dir_ / "quarantine"; }
 

@@ -1,5 +1,6 @@
 #include "net/scrubber.h"
 
+#include "net/cluster.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,10 +16,14 @@ Scrubber::Scrubber(CarouselStore& store, Options options)
   repair_failures_total_ =
       &reg.counter("carousel_scrubber_repair_failures_total");
   repair_bytes_total_ = &reg.counter("carousel_scrubber_repair_bytes_total");
+  rehomes_total_ = &reg.counter("carousel_scrubber_rehomes_total");
+  rehome_failures_total_ =
+      &reg.counter("carousel_scrubber_rehome_failures_total");
   sweep_seconds_ = &reg.histogram("carousel_scrub_sweep_seconds");
   last_sweep_unhealthy_ = &reg.gauge("carousel_scrubber_last_sweep_unhealthy");
   last_sweep_repair_bytes_ =
       &reg.gauge("carousel_scrubber_last_sweep_repair_bytes");
+  pending_rehomes_ = &reg.gauge("carousel_cluster_pending_rehomes");
 }
 
 Scrubber::~Scrubber() { stop(); }
@@ -80,10 +85,27 @@ Scrubber::Stats Scrubber::run_once() {
           case BlockState::kCorrupt:
             ++sweep.corrupt_found;
             break;
-          case BlockState::kUnreachable:
-            // The home server is down: a rebuilt block has nowhere to go.
-            ++sweep.unreachable;
+          case BlockState::kUnreachable: {
+            const std::size_t home =
+                store_.placement_of(file_id, stripe, index);
+            if (options_.monitor != nullptr &&
+                options_.monitor->state_of(home) == ServerState::kDead) {
+              // The detector has given up on the home: regenerate onto a
+              // placement-eligible spare (the newcomer loop).
+              try {
+                sweep.repair_bytes +=
+                    store_.rehome_block(file_id, stripe, index);
+                ++sweep.rehomes;
+              } catch (const std::exception&) {
+                ++sweep.rehome_failures;
+              }
+            } else {
+              // Down but not declared dead (no monitor, or still kSuspect):
+              // a rebuilt block has nowhere better to go — retry next sweep.
+              ++sweep.unreachable;
+            }
             continue;
+          }
         }
         try {
           sweep.repair_bytes += store_.repair_block(file_id, stripe, index);
@@ -99,9 +121,15 @@ Scrubber::Stats Scrubber::run_once() {
   repairs_total_->inc(sweep.repairs);
   repair_failures_total_->inc(sweep.repair_failures);
   repair_bytes_total_->inc(sweep.repair_bytes);
+  rehomes_total_->inc(sweep.rehomes);
+  rehome_failures_total_->inc(sweep.rehome_failures);
   last_sweep_unhealthy_->set(static_cast<double>(
       sweep.missing_found + sweep.corrupt_found + sweep.unreachable));
   last_sweep_repair_bytes_->set(static_cast<double>(sweep.repair_bytes));
+  // Blocks this sweep left on a bad home: skipped (home not declared dead
+  // yet) or attempted and failed.  Zero once the cluster has healed.
+  pending_rehomes_->set(
+      static_cast<double>(sweep.unreachable + sweep.rehome_failures));
 
   std::lock_guard lock(mu_);
   total_.sweeps += sweep.sweeps;
@@ -113,6 +141,8 @@ Scrubber::Stats Scrubber::run_once() {
   total_.repairs += sweep.repairs;
   total_.repair_failures += sweep.repair_failures;
   total_.repair_bytes += sweep.repair_bytes;
+  total_.rehomes += sweep.rehomes;
+  total_.rehome_failures += sweep.rehome_failures;
   return sweep;
 }
 

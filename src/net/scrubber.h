@@ -8,9 +8,16 @@
 // d/(d-k+1) block sizes to heal when d helpers survive, not k.
 //
 // Runs either synchronously (run_once, what the tests drive) or as a
-// background thread on a fixed interval (start/stop).  Unreachable servers
-// are recorded but not repaired — a rebuilt block could not be re-uploaded
-// to a dead home server anyway; the sweep retries once the server returns.
+// background thread on a fixed interval (start/stop).
+//
+// Unreachable blocks: without a HealthMonitor (Options::monitor), the sweep
+// records them and retries later — the home may just be rebooting, and a
+// rebuilt block could not be re-uploaded to a dead home anyway.  With a
+// monitor, the scrubber closes the self-healing loop: a block whose home
+// the monitor has declared kDead is re-homed onto a placement-eligible
+// spare via store.rehome_block (still the MSR-optimal d/(d-k+1) block
+// sizes of helper traffic).  kSuspect homes are left alone — acting on a
+// tentative verdict would churn placements for servers that come back.
 
 #ifndef CAROUSEL_NET_SCRUBBER_H
 #define CAROUSEL_NET_SCRUBBER_H
@@ -25,11 +32,17 @@
 
 namespace carousel::net {
 
+class HealthMonitor;
+
 class Scrubber {
  public:
   struct Options {
     /// Pause between background sweeps.
     std::chrono::milliseconds interval{1000};
+    /// When set, blocks whose home server the monitor has declared kDead
+    /// are re-homed onto spares instead of skipped.  The monitor must
+    /// outlive the scrubber.
+    HealthMonitor* monitor = nullptr;
   };
 
   struct Stats {
@@ -42,6 +55,8 @@ class Scrubber {
     std::uint64_t repairs = 0;
     std::uint64_t repair_failures = 0;
     std::uint64_t repair_bytes = 0;  // helper traffic spent healing
+    std::uint64_t rehomes = 0;            // blocks moved off dead homes
+    std::uint64_t rehome_failures = 0;    // rehome attempts that failed
   };
 
   /// The store must outlive the scrubber.
@@ -78,9 +93,12 @@ class Scrubber {
   obs::Counter* repairs_total_ = nullptr;
   obs::Counter* repair_failures_total_ = nullptr;
   obs::Counter* repair_bytes_total_ = nullptr;
+  obs::Counter* rehomes_total_ = nullptr;
+  obs::Counter* rehome_failures_total_ = nullptr;
   obs::Histogram* sweep_seconds_ = nullptr;
   obs::Gauge* last_sweep_unhealthy_ = nullptr;
   obs::Gauge* last_sweep_repair_bytes_ = nullptr;
+  obs::Gauge* pending_rehomes_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::thread thread_;

@@ -116,6 +116,10 @@ void TcpConn::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+void TcpConn::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
 TcpListener::TcpListener(TcpListener&& other) noexcept
     : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
 

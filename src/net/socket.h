@@ -58,6 +58,12 @@ class TcpConn {
   /// shutdown; the owner still calls close()/destructor afterwards.
   void shutdown_both();
 
+  /// Half-closes only the receive direction: a thread blocked in recv wakes
+  /// with EOF, but bytes already queued for send still flush to the peer.
+  /// Used by graceful drain — in-flight responses complete, no new requests
+  /// are read.
+  void shutdown_read();
+
   /// Bytes moved through this connection (both directions), for the
   /// traffic-accounting tests.
   std::uint64_t bytes_sent() const {

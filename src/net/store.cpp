@@ -1,6 +1,7 @@
 #include "net/store.h"
 
 #include <cstring>
+#include <set>
 #include <stdexcept>
 
 #include "obs/trace.h"
@@ -17,14 +18,18 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
     : code_(&code),
       block_bytes_(block_bytes),
       registry_(options.registry ? options.registry
-                                 : &obs::MetricsRegistry::global()) {
+                                 : &obs::MetricsRegistry::global()),
+      op_budget_(options.op_budget),
+      policy_(options.policy) {
   if (ports.empty()) throw std::invalid_argument("need at least one server");
   if (block_bytes == 0 || block_bytes % code.s() != 0)
     throw std::invalid_argument(
         "block_bytes must be a positive multiple of the subpacketization");
-  clients_.reserve(ports.size());
+  base_fleet_ = ports.size();
+  servers_.reserve(ports.size());
   for (std::uint16_t p : ports)
-    clients_.push_back(std::make_unique<Client>(p, options.policy, registry_));
+    servers_.push_back(Server{
+        p, false, std::make_unique<Client>(p, options.policy, registry_)});
   put_seconds_ = &registry_->histogram("carousel_store_put_seconds");
   read_seconds_ = &registry_->histogram("carousel_store_read_seconds");
   repair_seconds_ = &registry_->histogram("carousel_store_repair_seconds");
@@ -37,6 +42,120 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
       &registry_->counter("carousel_store_degraded_stripe_reads_total");
   decode_fallbacks_ =
       &registry_->counter("carousel_store_decode_fallback_stripes_total");
+  rehomes_ = &registry_->counter("carousel_cluster_rehomes_total");
+  rehome_failures_ =
+      &registry_->counter("carousel_cluster_rehome_failures_total");
+  rehome_bytes_read_ =
+      &registry_->counter("carousel_cluster_rehome_bytes_read_total");
+  budget_exhausted_ =
+      &registry_->counter("carousel_store_budget_exhausted_total");
+  spare_servers_ = &registry_->gauge("carousel_cluster_spare_servers");
+}
+
+std::chrono::steady_clock::time_point CarouselStore::budget_deadline() const {
+  return op_budget_.count() > 0
+             ? std::chrono::steady_clock::now() + op_budget_
+             : std::chrono::steady_clock::time_point::max();
+}
+
+namespace {
+
+/// Throws StoreDeadlineError once `deadline` has passed — called between
+/// failover steps, so a chain of sick servers costs at most the budget plus
+/// the one client op already in flight.
+void check_budget(std::chrono::steady_clock::time_point deadline,
+                  obs::Counter* exhausted, const char* what) {
+  if (std::chrono::steady_clock::now() < deadline) return;
+  exhausted->inc();
+  throw StoreDeadlineError(std::string(what) +
+                           ": whole-operation budget exhausted");
+}
+
+}  // namespace
+
+std::size_t CarouselStore::add_server(std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  servers_.push_back(
+      Server{port, true, std::make_unique<Client>(port, policy_, registry_)});
+  std::size_t spares = 0;
+  for (const auto& s : servers_) spares += s.spare;
+  spare_servers_->set(static_cast<double>(spares));
+  return servers_.size() - 1;
+}
+
+std::vector<CarouselStore::ServerEndpoint> CarouselStore::servers() const {
+  std::lock_guard lock(mu_);
+  std::vector<ServerEndpoint> out;
+  out.reserve(servers_.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i)
+    out.push_back(ServerEndpoint{i, servers_[i].port, servers_[i].spare});
+  return out;
+}
+
+std::size_t CarouselStore::server_count() const {
+  std::lock_guard lock(mu_);
+  return servers_.size();
+}
+
+std::size_t CarouselStore::home_of_locked(std::uint32_t file_id,
+                                          std::uint32_t stripe,
+                                          std::uint32_t index) const {
+  auto it = manifest_.find(file_id);
+  if (it != manifest_.end() && stripe < it->second.placement.size() &&
+      index < it->second.placement[stripe].size())
+    return it->second.placement[stripe][index];
+  return server_of(index);
+}
+
+std::size_t CarouselStore::placement_of(std::uint32_t file_id,
+                                        std::uint32_t stripe,
+                                        std::uint32_t index) const {
+  std::lock_guard lock(mu_);
+  return home_of_locked(file_id, stripe, index);
+}
+
+std::vector<CarouselStore::BlockRef> CarouselStore::blocks_on(
+    std::size_t server_id) const {
+  std::lock_guard lock(mu_);
+  std::vector<BlockRef> out;
+  for (const auto& [file_id, info] : manifest_)
+    for (std::size_t s = 0; s < info.stripes; ++s)
+      for (std::size_t i = 0; i < code_->n(); ++i)
+        if (home_of_locked(file_id, static_cast<std::uint32_t>(s),
+                           static_cast<std::uint32_t>(i)) == server_id)
+          out.push_back(BlockRef{file_id, static_cast<std::uint32_t>(s),
+                                 static_cast<std::uint32_t>(i)});
+  return out;
+}
+
+std::vector<std::size_t> CarouselStore::placement_candidates_locked(
+    std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const {
+  // A candidate must hold no block of this stripe (or MDS durability would
+  // concentrate two erasure domains on one box) and must not be the block's
+  // current home.  Spares first — that is what they were registered for.
+  std::set<std::size_t> used;
+  for (std::size_t i = 0; i < code_->n(); ++i)
+    used.insert(home_of_locked(file_id, stripe, static_cast<std::uint32_t>(i)));
+  used.insert(home_of_locked(file_id, stripe, index));
+  std::vector<std::size_t> out;
+  for (bool want_spare : {true, false})
+    for (std::size_t id = 0; id < servers_.size(); ++id)
+      if (servers_[id].spare == want_spare && !used.contains(id))
+        out.push_back(id);
+  return out;
+}
+
+void CarouselStore::set_placement_locked(std::uint32_t file_id,
+                                         std::uint32_t stripe,
+                                         std::uint32_t index,
+                                         std::size_t server_id) {
+  auto it = manifest_.find(file_id);
+  if (it == manifest_.end())
+    throw std::invalid_argument("placement update for unknown file");
+  auto& table = it->second.placement;
+  if (stripe >= table.size() || index >= table[stripe].size())
+    throw std::invalid_argument("placement update out of range");
+  table[stripe][index] = static_cast<std::uint32_t>(server_id);
 }
 
 std::size_t CarouselStore::put_file(std::uint32_t file_id,
@@ -45,12 +164,21 @@ std::size_t CarouselStore::put_file(std::uint32_t file_id,
   obs::ScopedTimer timer(*put_seconds_);
   put_bytes_->inc(bytes.size());
   storage::ErasureFile ef(*code_, bytes, block_bytes_);
+  // Seed the placement table with the paper's rule; re-homing rewrites
+  // individual entries later.
+  std::vector<std::vector<std::uint32_t>> placement(
+      ef.stripes(), std::vector<std::uint32_t>(code_->n()));
   for (std::size_t s = 0; s < ef.stripes(); ++s)
     for (std::size_t i = 0; i < code_->n(); ++i)
-      client_of(i).put(key(file_id, static_cast<std::uint32_t>(s),
-                           static_cast<std::uint32_t>(i)),
-                       ef.block(s, i));
-  manifest_[file_id] = FileInfo{bytes.size(), ef.stripes()};
+      placement[s][i] = static_cast<std::uint32_t>(server_of(i));
+  for (std::size_t s = 0; s < ef.stripes(); ++s)
+    for (std::size_t i = 0; i < code_->n(); ++i)
+      client_at(placement[s][i])
+          .put(key(file_id, static_cast<std::uint32_t>(s),
+                   static_cast<std::uint32_t>(i)),
+               ef.block(s, i));
+  manifest_[file_id] =
+      FileInfo{bytes.size(), ef.stripes(), std::move(placement)};
   return ef.stripes();
 }
 
@@ -59,6 +187,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
   std::lock_guard lock(mu_);
   obs::ScopedTimer timer(*read_seconds_);
   read_bytes_->inc(file_bytes);
+  const auto deadline = budget_deadline();
   const std::size_t ub = block_bytes_ / code_->s();
   const std::size_t K = code_->data_units_per_block();
   const std::size_t p = code_->p();
@@ -73,32 +202,38 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
   // exception: kBadRequest means *this* store composed a malformed frame.
   // That is a local bug, not a dead server; swallowing it would mask the bug
   // behind silently degraded reads, so it propagates.
-  auto try_get_range = [&](std::size_t i, const BlockKey& k, std::uint32_t off,
+  auto try_get_range = [&](std::uint32_t s32, std::size_t i,
+                           const BlockKey& k, std::uint32_t off,
                            std::uint32_t len)
       -> std::optional<std::vector<Byte>> {
+    check_budget(deadline, budget_exhausted_, "read_file");
     try {
-      return client_of(i).get_range(k, off, len);
+      return client_for(file_id, s32, static_cast<std::uint32_t>(i))
+          .get_range(k, off, len);
     } catch (const BadRequestError&) {
       throw;
     } catch (const Error&) {
       return std::nullopt;
     }
   };
-  auto try_project = [&](std::size_t i, const BlockKey& k, std::uint32_t u,
-                         const Client::Projection& proj)
+  auto try_project = [&](std::uint32_t s32, std::size_t i, const BlockKey& k,
+                         std::uint32_t u, const Client::Projection& proj)
       -> std::optional<std::vector<Byte>> {
+    check_budget(deadline, budget_exhausted_, "read_file");
     try {
-      return client_of(i).project(k, u, proj);
+      return client_for(file_id, s32, static_cast<std::uint32_t>(i))
+          .project(k, u, proj);
     } catch (const BadRequestError&) {
       throw;
     } catch (const Error&) {
       return std::nullopt;
     }
   };
-  auto try_get = [&](std::size_t i,
+  auto try_get = [&](std::uint32_t s32, std::size_t i,
                      const BlockKey& k) -> std::optional<std::vector<Byte>> {
+    check_budget(deadline, budget_exhausted_, "read_file");
     try {
-      return client_of(i).get(k);
+      return client_for(file_id, s32, static_cast<std::uint32_t>(i)).get(k);
     } catch (const BadRequestError&) {
       throw;
     } catch (const Error&) {
@@ -116,7 +251,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     std::vector<std::size_t> missing;
     for (std::size_t slot = 0; slot < p; ++slot) {
       extents[slot] =
-          try_get_range(slot, key(file_id, s32, static_cast<std::uint32_t>(slot)),
+          try_get_range(s32, slot,
+                        key(file_id, s32, static_cast<std::uint32_t>(slot)),
                         0, static_cast<std::uint32_t>(K * ub));
       if (!extents[slot]) missing.push_back(slot);
     }
@@ -138,7 +274,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
         for (std::size_t pos : code_->selection_pattern(slot))
           proj.push_back({{static_cast<std::uint32_t>(pos), Byte{1}}});
         auto resp = try_project(
-            candidate, key(file_id, s32, static_cast<std::uint32_t>(candidate)),
+            s32, candidate,
+            key(file_id, s32, static_cast<std::uint32_t>(candidate)),
             static_cast<std::uint32_t>(ub), proj);
         if (resp) {
           stand_ins.emplace_back(candidate++, std::move(*resp));
@@ -170,7 +307,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     std::vector<std::size_t> ids;
     std::vector<std::vector<Byte>> blocks;
     for (std::size_t i = 0; i < n && ids.size() < code_->k(); ++i) {
-      auto b = try_get(i, key(file_id, s32, static_cast<std::uint32_t>(i)));
+      auto b = try_get(s32, i, key(file_id, s32, static_cast<std::uint32_t>(i)));
       if (!b || b->size() != block_bytes_) continue;
       ids.push_back(i);
       blocks.push_back(std::move(*b));
@@ -188,7 +325,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
 bool CarouselStore::drop_block(std::uint32_t file_id, std::uint32_t stripe,
                                std::uint32_t index) {
   std::lock_guard lock(mu_);
-  return client_of(index).remove(key(file_id, stripe, index));
+  return client_for(file_id, stripe, index).remove(key(file_id, stripe, index));
 }
 
 BlockState CarouselStore::verify_block(std::uint32_t file_id,
@@ -196,7 +333,8 @@ BlockState CarouselStore::verify_block(std::uint32_t file_id,
                                        std::uint32_t index) {
   std::lock_guard lock(mu_);
   try {
-    switch (client_of(index).verify(key(file_id, stripe, index))) {
+    switch (client_for(file_id, stripe, index)
+                .verify(key(file_id, stripe, index))) {
       case BlockHealth::kOk:
         return BlockState::kOk;
       case BlockHealth::kMissing:
@@ -213,12 +351,67 @@ std::uint64_t CarouselStore::repair_block(std::uint32_t file_id,
                                           std::uint32_t stripe,
                                           std::uint32_t index) {
   std::lock_guard lock(mu_);
-  return repair_block_locked(file_id, stripe, index);
+  return repair_block_locked(file_id, stripe, index, std::nullopt,
+                             budget_deadline());
 }
 
-std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
+std::uint64_t CarouselStore::rehome_block(std::uint32_t file_id,
+                                          std::uint32_t stripe,
+                                          std::uint32_t index) {
+  std::lock_guard lock(mu_);
+  return rehome_block_locked(file_id, stripe, index);
+}
+
+std::uint64_t CarouselStore::rehome_block_locked(std::uint32_t file_id,
                                                  std::uint32_t stripe,
                                                  std::uint32_t index) {
+  auto candidates = placement_candidates_locked(file_id, stripe, index);
+  if (candidates.empty()) {
+    rehome_failures_->inc();
+    throw RehomeError(
+        "rehome impossible: no placement-eligible server (register a spare "
+        "with add_server)");
+  }
+  try {
+    std::uint64_t fetched = repair_block_locked(
+        file_id, stripe, index, candidates.front(), budget_deadline());
+    rehomes_->inc();
+    rehome_bytes_read_->inc(fetched);
+    return fetched;
+  } catch (const std::exception&) {
+    rehome_failures_->inc();
+    throw;
+  }
+}
+
+CarouselStore::RehomeReport CarouselStore::rehome_server(
+    std::size_t server_id) {
+  std::lock_guard lock(mu_);
+  RehomeReport report;
+  // Collect first: rehoming rewrites the placement rows being iterated.
+  std::vector<BlockRef> victims;
+  for (const auto& [file_id, info] : manifest_)
+    for (std::size_t s = 0; s < info.stripes; ++s)
+      for (std::size_t i = 0; i < code_->n(); ++i)
+        if (home_of_locked(file_id, static_cast<std::uint32_t>(s),
+                           static_cast<std::uint32_t>(i)) == server_id)
+          victims.push_back(BlockRef{file_id, static_cast<std::uint32_t>(s),
+                                     static_cast<std::uint32_t>(i)});
+  for (const BlockRef& b : victims) {
+    try {
+      report.bytes_read += rehome_block_locked(b.file, b.stripe, b.index);
+      ++report.rehomed;
+    } catch (const std::exception&) {
+      ++report.failed;
+    }
+  }
+  return report;
+}
+
+std::uint64_t CarouselStore::repair_block_locked(
+    std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index,
+    std::optional<std::size_t> target,
+    std::chrono::steady_clock::time_point deadline) {
   obs::ScopedTimer timer(*repair_seconds_);
   const std::size_t ub = block_bytes_ / code_->s();
   std::uint64_t fetched = 0;
@@ -229,9 +422,10 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
   std::vector<std::size_t> survivors;
   for (std::size_t h = 0; h < code_->n(); ++h) {
     if (h == index) continue;
+    check_budget(deadline, budget_exhausted_, "repair_block");
     try {
-      if (client_of(h).verify(key(file_id, stripe,
-                                  static_cast<std::uint32_t>(h))) ==
+      if (client_for(file_id, stripe, static_cast<std::uint32_t>(h))
+              .verify(key(file_id, stripe, static_cast<std::uint32_t>(h))) ==
           BlockHealth::kOk)
         survivors.push_back(h);
     } catch (const Error&) {
@@ -251,6 +445,7 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
     std::vector<std::vector<Byte>> chunk_store;
     bool complete = true;
     for (std::size_t h : helpers) {
+      check_budget(deadline, budget_exhausted_, "repair_block");
       auto proj = code_->repair_projection(h, index);
       Client::Projection wire;
       for (const auto& terms : proj) {
@@ -260,9 +455,9 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
       }
       std::optional<std::vector<Byte>> resp;
       try {
-        resp = client_of(h).project(
-            key(file_id, stripe, static_cast<std::uint32_t>(h)),
-            static_cast<std::uint32_t>(ub), wire);
+        resp = client_for(file_id, stripe, static_cast<std::uint32_t>(h))
+                   .project(key(file_id, stripe, static_cast<std::uint32_t>(h)),
+                            static_cast<std::uint32_t>(ub), wire);
       } catch (const BadRequestError&) {
         throw;  // locally composed malformed frame: a bug, not a dead helper
       } catch (const Error&) {
@@ -292,9 +487,11 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
     std::vector<std::vector<Byte>> blocks;
     for (std::size_t h = 0; h < code_->n() && ids.size() < code_->k(); ++h) {
       if (h == index) continue;
+      check_budget(deadline, budget_exhausted_, "repair_block");
       std::optional<std::vector<Byte>> b;
       try {
-        b = client_of(h).get(key(file_id, stripe, static_cast<std::uint32_t>(h)));
+        b = client_for(file_id, stripe, static_cast<std::uint32_t>(h))
+                .get(key(file_id, stripe, static_cast<std::uint32_t>(h)));
       } catch (const BadRequestError&) {
         throw;  // locally composed malformed frame: a bug, not a dead helper
       } catch (const Error&) {
@@ -314,16 +511,39 @@ std::uint64_t CarouselStore::repair_block_locked(std::uint32_t file_id,
   }
 
   // Re-upload and audit: PUT carries the block's CRC end to end, and VERIFY
-  // confirms the server now holds a copy matching what we rebuilt.
-  client_of(index).put(key(file_id, stripe, index), rebuilt);
-  std::uint32_t stored_crc = 0;
-  if (client_of(index).verify(key(file_id, stripe, index), &stored_crc) !=
-          BlockHealth::kOk ||
-      stored_crc != util::crc32(rebuilt))
-    throw Error("repaired block failed its post-repair audit");
-  repairs_->inc();
-  repair_bytes_read_->inc(fetched);
-  return fetched;
+  // confirms the server now holds a copy matching what we rebuilt.  The
+  // intended home goes first; if it is dead (or fails its audit), the block
+  // re-homes onto a placement-eligible candidate — the placement table only
+  // moves once a candidate passes the audit, so a failure here leaves the
+  // stripe exactly as it was (the block stays an erasure, never a silent
+  // partial write).
+  const std::size_t home = home_of_locked(file_id, stripe, index);
+  std::vector<std::size_t> uploads{target.value_or(home)};
+  for (std::size_t c : placement_candidates_locked(file_id, stripe, index))
+    if (c != uploads.front()) uploads.push_back(c);
+  const std::uint32_t want_crc = util::crc32(rebuilt);
+  for (std::size_t t : uploads) {
+    check_budget(deadline, budget_exhausted_, "repair_block");
+    try {
+      client_at(t).put(key(file_id, stripe, index), rebuilt);
+      std::uint32_t stored_crc = 0;
+      if (client_at(t).verify(key(file_id, stripe, index), &stored_crc) !=
+              BlockHealth::kOk ||
+          stored_crc != want_crc)
+        throw Error("repaired block failed its post-repair audit");
+    } catch (const BadRequestError&) {
+      throw;  // a malformed frame is a local bug on any target
+    } catch (const Error&) {
+      continue;  // this home is dead or lying: try the next candidate
+    }
+    if (t != home) set_placement_locked(file_id, stripe, index, t);
+    repairs_->inc();
+    repair_bytes_read_->inc(fetched);
+    return fetched;
+  }
+  throw RehomeError(
+      "rebuilt block has no reachable home: its server and every "
+      "placement-eligible candidate failed the re-upload or its audit");
 }
 
 std::map<std::uint32_t, CarouselStore::FileInfo> CarouselStore::files() const {
@@ -334,15 +554,15 @@ std::map<std::uint32_t, CarouselStore::FileInfo> CarouselStore::files() const {
 std::uint64_t CarouselStore::bytes_received() const {
   std::lock_guard lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& c : clients_) total += c->bytes_received();
+  for (const auto& s : servers_) total += s.client->bytes_received();
   return total;
 }
 
 Client::Counters CarouselStore::counters() const {
   std::lock_guard lock(mu_);
   Client::Counters total;
-  for (const auto& c : clients_) {
-    const auto& cc = c->counters();
+  for (const auto& s : servers_) {
+    const auto& cc = s.client->counters();
     total.retries += cc.retries;
     total.reconnects += cc.reconnects;
     total.timeouts += cc.timeouts;

@@ -1,8 +1,7 @@
 // CarouselStore: the coordinator of the networked prototype.
 //
-// Stripes files across a fleet of block servers with a Carousel code (block
-// index i of every stripe lives on server i mod fleet size), and implements
-// the paper's three data paths against real sockets:
+// Stripes files across a fleet of block servers with a Carousel code and
+// implements the paper's three data paths against real sockets:
 //   - parallel read: fetch each data-carrying block's original-data extent
 //     (one GET_RANGE per block, p concurrent sources);
 //   - degraded read (§VII): parity stand-ins serve the missing slots'
@@ -11,21 +10,39 @@
 //     the chunks travel, the newcomer combines and re-PUTs — so the bytes on
 //     the wire are exactly Fig. 7's d/(d-k+1) block sizes.
 //
+// Placement is explicit: every file's manifest entry carries a per-stripe
+// placement table mapping block index -> server id.  put_file seeds it with
+// the paper's rule (block i of every stripe on server i mod base fleet), but
+// the table is the truth from then on — add_server() registers spare
+// servers at runtime, and rehome_block()/rehome_server() drive the MSR
+// repair path with the rebuilt block re-uploaded to a *new* home (still
+// d/(d-k+1) block sizes of helper traffic) when a home server dies for
+// good.  This is the regenerate-onto-a-newcomer maintenance loop of
+// Dimakis et al.; the HealthMonitor (net/cluster.h) decides *when* a server
+// is dead, the Scrubber wires the two together.
+//
 // Failure model: a block that times out, arrives corrupt, or whose server is
 // down is an *erasure*, not an error.  read_file re-plans the stripe onto
 // the §VII pattern read or the any-k MDS decode and only throws when fewer
 // than k blocks of a stripe are reachable.  repair_block degrades from the
-// d-helper MSR path to the k-block decode when a helper dies mid-repair, and
-// audits the rebuilt block (VERIFY + CRC compare) before declaring success.
+// d-helper MSR path to the k-block decode when a helper dies mid-repair,
+// audits the rebuilt block (VERIFY + CRC compare) before declaring success,
+// and — when the re-upload target itself is dead — retries onto a
+// placement-eligible spare or throws RehomeError with the stripe untouched.
+// StoreOptions::op_budget bounds a whole read_file/repair_block call across
+// every failover step (StoreDeadlineError), so a read limping across many
+// sick servers fails fast instead of multiplying per-op timeouts.
 // All public methods are serialized by an internal mutex so a background
 // Scrubber can share the store with a foreground reader.
 
 #ifndef CAROUSEL_NET_STORE_H
 #define CAROUSEL_NET_STORE_H
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "codes/carousel.h"
@@ -43,10 +60,39 @@ struct StoreOptions {
   /// process-global registry when null.  Tests pass a fresh registry to make
   /// exact assertions on repair traffic.
   obs::MetricsRegistry* registry = nullptr;
+  /// Wall-clock budget for one whole read_file/repair_block/rehome call
+  /// across every failover step (zero = unbounded).  Exceeding it throws
+  /// StoreDeadlineError — the already-running client op still finishes, so
+  /// the worst case is budget + one per-op deadline, never a sum of them.
+  std::chrono::milliseconds op_budget{0};
 };
 
 class CarouselStore {
  public:
+  /// One server the store knows about.
+  struct ServerEndpoint {
+    std::size_t id = 0;
+    std::uint16_t port = 0;
+    /// Registered via add_server(): receives blocks only through re-homing,
+    /// never through put_file's initial placement.
+    bool spare = false;
+  };
+
+  /// Fully-qualified name of one block.
+  struct BlockRef {
+    std::uint32_t file = 0;
+    std::uint32_t stripe = 0;
+    std::uint32_t index = 0;
+  };
+
+  /// Outcome of rehome_server(): per-block successes and failures plus the
+  /// helper traffic the successful heals cost.
+  struct RehomeReport {
+    std::size_t rehomed = 0;
+    std::size_t failed = 0;
+    std::uint64_t bytes_read = 0;
+  };
+
   /// Remembers the given servers (connections are lazy).  The code must
   /// outlive the store.  Requires at least one server; one block per server
   /// when ports.size() >= n (the paper's placement), round-robin otherwise.
@@ -57,13 +103,33 @@ class CarouselStore {
   const codes::Carousel& code() const { return *code_; }
   std::size_t block_bytes() const { return block_bytes_; }
 
-  /// Which server hosts block `index` of any stripe.
+  /// The *initial* placement rule: which server put_file homes block
+  /// `index` of a new stripe on.  Re-homed blocks move away from this —
+  /// placement_of() is the per-block truth.
   std::size_t server_of(std::size_t index) const {
-    return index % clients_.size();
+    return index % base_fleet_;
   }
 
+  /// Registers a spare server at runtime and returns its id.  Spares take
+  /// no new writes; they become block homes through rehome_block().
+  std::size_t add_server(std::uint16_t port);
+
+  /// Every server this store knows, registration order (spares last).
+  std::vector<ServerEndpoint> servers() const;
+  std::size_t server_count() const;
+
+  /// Which server currently hosts block (stripe, index) of `file_id`,
+  /// according to the manifest's placement table.  Falls back to the
+  /// initial rule for files this store never uploaded.
+  std::size_t placement_of(std::uint32_t file_id, std::uint32_t stripe,
+                           std::uint32_t index) const;
+
+  /// Every block the placement table homes on `server_id`.
+  std::vector<BlockRef> blocks_on(std::size_t server_id) const;
+
   /// Encodes and uploads; returns the stripe count and records the file in
-  /// the manifest (what the scrubber sweeps).
+  /// the manifest (what the scrubber sweeps) together with its placement
+  /// table.
   std::size_t put_file(std::uint32_t file_id,
                        std::span<const codes::Byte> bytes);
 
@@ -79,22 +145,39 @@ class CarouselStore {
   bool drop_block(std::uint32_t file_id, std::uint32_t stripe,
                   std::uint32_t index);
 
-  /// Rebuilds a lost or corrupt block and re-uploads it, then audits the
-  /// stored copy (VERIFY) before returning.  Prefers the d-helper MSR path
-  /// (d/(d-k+1) block sizes on the wire); falls back to the k-block decode
-  /// when helpers are scarce or die mid-repair.  Returns bytes fetched from
-  /// helpers, including any wasted by an abandoned MSR attempt.
+  /// Rebuilds a lost or corrupt block and re-uploads it to its current
+  /// home, then audits the stored copy (VERIFY) before returning.  Prefers
+  /// the d-helper MSR path (d/(d-k+1) block sizes on the wire); falls back
+  /// to the k-block decode when helpers are scarce or die mid-repair.  When
+  /// the home server is unreachable the rebuilt block is re-homed onto a
+  /// placement-eligible spare instead (RehomeError when none accepts it).
+  /// Returns bytes fetched from helpers, including any wasted by an
+  /// abandoned MSR attempt.
   std::uint64_t repair_block(std::uint32_t file_id, std::uint32_t stripe,
                              std::uint32_t index);
+
+  /// Rebuilds one block and re-homes it onto a server that holds no other
+  /// block of its stripe (spares first) — the newcomer loop for a dead home
+  /// server.  Updates the placement table on success; throws RehomeError
+  /// (stripe untouched) when no candidate accepts the block.  Returns the
+  /// helper traffic, still d/(d-k+1) block sizes when d helpers survive.
+  std::uint64_t rehome_block(std::uint32_t file_id, std::uint32_t stripe,
+                             std::uint32_t index);
+
+  /// Re-homes every block currently placed on `server_id` (a server the
+  /// caller has declared dead).  Per-block failures are counted, not thrown.
+  RehomeReport rehome_server(std::size_t server_id);
 
   /// Audits one block without transferring it.
   BlockState verify_block(std::uint32_t file_id, std::uint32_t stripe,
                           std::uint32_t index);
 
-  /// Files this store has uploaded: id -> {bytes, stripes}.
+  /// Files this store has uploaded: id -> {bytes, stripes, placement}.
   struct FileInfo {
     std::size_t file_bytes = 0;
     std::size_t stripes = 0;
+    /// placement[stripe][index] == server id hosting that block.
+    std::vector<std::vector<std::uint32_t>> placement;
   };
   std::map<std::uint32_t, FileInfo> files() const;
 
@@ -109,19 +192,49 @@ class CarouselStore {
   obs::MetricsRegistry& metrics() const { return *registry_; }
 
  private:
-  Client& client_of(std::size_t index) { return *clients_[server_of(index)]; }
+  struct Server {
+    std::uint16_t port = 0;
+    bool spare = false;
+    std::unique_ptr<Client> client;
+  };
+
+  Client& client_at(std::size_t server_id) {
+    return *servers_[server_id].client;
+  }
+  std::size_t home_of_locked(std::uint32_t file_id, std::uint32_t stripe,
+                             std::uint32_t index) const;
+  Client& client_for(std::uint32_t file_id, std::uint32_t stripe,
+                     std::uint32_t index) {
+    return client_at(home_of_locked(file_id, stripe, index));
+  }
   BlockKey key(std::uint32_t file, std::uint32_t stripe,
                std::uint32_t index) const {
     return BlockKey{file, stripe, index};
   }
+  /// Candidate new homes for (file, stripe, index): servers hosting no
+  /// other block of that stripe, spares first, current home excluded.
+  std::vector<std::size_t> placement_candidates_locked(
+      std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const;
+  /// Records block (stripe, index) of file as now living on `server_id`.
+  void set_placement_locked(std::uint32_t file_id, std::uint32_t stripe,
+                            std::uint32_t index, std::size_t server_id);
   std::uint64_t repair_block_locked(std::uint32_t file_id,
+                                    std::uint32_t stripe, std::uint32_t index,
+                                    std::optional<std::size_t> target,
+                                    std::chrono::steady_clock::time_point
+                                        budget_deadline);
+  std::uint64_t rehome_block_locked(std::uint32_t file_id,
                                     std::uint32_t stripe,
                                     std::uint32_t index);
+  std::chrono::steady_clock::time_point budget_deadline() const;
 
   const codes::Carousel* code_;
   std::size_t block_bytes_;
   obs::MetricsRegistry* registry_ = nullptr;
-  std::vector<std::unique_ptr<Client>> clients_;
+  std::chrono::milliseconds op_budget_{0};
+  RetryPolicy policy_{};
+  std::size_t base_fleet_ = 0;  // servers present at construction
+  std::vector<Server> servers_;
   mutable std::mutex mu_;  // serializes public ops (scrubber vs. reader)
   std::map<std::uint32_t, FileInfo> manifest_;
 
@@ -135,6 +248,11 @@ class CarouselStore {
   obs::Counter* repair_bytes_read_ = nullptr;
   obs::Counter* degraded_reads_ = nullptr;
   obs::Counter* decode_fallbacks_ = nullptr;
+  obs::Counter* rehomes_ = nullptr;
+  obs::Counter* rehome_failures_ = nullptr;
+  obs::Counter* rehome_bytes_read_ = nullptr;
+  obs::Counter* budget_exhausted_ = nullptr;
+  obs::Gauge* spare_servers_ = nullptr;
 };
 
 }  // namespace carousel::net

@@ -1,0 +1,511 @@
+// Seeded chaos harness for the self-healing cluster.
+//
+// A deterministic schedule of fault events — server kills, restarts (with
+// crash-recovery scans), at-rest corruption, injected stalls, crash-injected
+// PUTs — runs against a live persistent multi-server store wired to a
+// HealthMonitor and a Scrubber.  Throughout, the harness asserts the three
+// invariants the paper's deployment story rests on:
+//
+//   1. Reads are bit-exact whenever every stripe still has >= k healthy
+//      blocks (the schedule's guards keep total erasures <= n-k, so in this
+//      harness that is *always*).
+//   2. No acknowledged PUT is ever lost: everything put_file returned
+//      successfully for must read back byte-for-byte, including after
+//      crash-injected PUTs whose first attempt died mid-write.
+//   3. Every heal moves exactly the paper's optimal traffic: d/(d-k+1)
+//      block sizes over the wire when d helpers survive, k block sizes on
+//      the whole-block fallback — asserted per explicit heal event AND for
+//      every scrubber sweep against an independent simulation of the sweep.
+//
+// The schedule is a pure function of its seed (ChaosSchedule test), so any
+// failure reproduces exactly:
+//   CAROUSEL_CHAOS_SEED=<seed> CAROUSEL_CHAOS_EVENTS=<n> ./chaos_test
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "codes/carousel.h"
+#include "net/block_server.h"
+#include "net/cluster.h"
+#include "net/errors.h"
+#include "net/fault.h"
+#include "net/scrubber.h"
+#include "net/store.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace carousel::net {
+namespace {
+
+namespace fs = std::filesystem;
+using codes::Byte;
+using test::random_bytes;
+
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+// ---- The schedule: a pure function of the seed ----------------------------
+
+enum class ChaosKind : std::uint8_t {
+  kKill,      // destroy a live base server
+  kRestart,   // recreate a down server on its old port + data dir
+  kCorrupt,   // flip a stored byte (in memory and at rest)
+  kStall,     // install a short kDelay fault plan on a live server
+  kCrashPut,  // PUT a new file through a crash-injected first attempt
+  kPut,       // PUT a new file
+  kHeal,      // repair one broken block, asserting exact wire traffic
+};
+
+struct ChaosEvent {
+  ChaosKind kind;
+  // Abstract draws; apply() maps them onto the current cluster state, so
+  // the schedule stays seed-pure while the run remains deterministic.
+  std::uint32_t a = 0, b = 0, c = 0;
+
+  bool operator==(const ChaosEvent&) const = default;
+};
+
+std::vector<ChaosEvent> make_schedule(std::uint64_t seed, std::size_t count) {
+  std::mt19937_64 rng(seed);
+  std::vector<ChaosEvent> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto roll = static_cast<std::uint32_t>(rng() % 100);
+    ChaosKind kind;
+    if (roll < 14) kind = ChaosKind::kKill;
+    else if (roll < 28) kind = ChaosKind::kRestart;
+    else if (roll < 48) kind = ChaosKind::kCorrupt;
+    else if (roll < 58) kind = ChaosKind::kStall;
+    else if (roll < 68) kind = ChaosKind::kCrashPut;
+    else if (roll < 82) kind = ChaosKind::kPut;
+    else kind = ChaosKind::kHeal;
+    out.push_back(ChaosEvent{kind, static_cast<std::uint32_t>(rng()),
+                             static_cast<std::uint32_t>(rng()),
+                             static_cast<std::uint32_t>(rng())});
+  }
+  return out;
+}
+
+TEST(ChaosSchedule, IsAPureFunctionOfTheSeed) {
+  auto a = make_schedule(42, 500);
+  auto b = make_schedule(42, 500);
+  EXPECT_EQ(a, b);
+  auto c = make_schedule(43, 500);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 500u);
+}
+
+// ---- The harness ----------------------------------------------------------
+
+using BlockId = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
+
+class ChaosHarness {
+ public:
+  static constexpr std::size_t kBase = 12;   // n servers, one block each
+  static constexpr std::size_t kSpares = 2;  // immortal re-homing targets
+  static constexpr std::size_t kMaxDown = 4;
+  static constexpr std::size_t kMaxBrokenPerStripe = 2;
+  // kMaxDown + kMaxBrokenPerStripe == n - k: every stripe always keeps at
+  // least k healthy blocks, so invariant 1 applies to every read check.
+
+  ChaosHarness()
+      : code_(12, 6, 10, 12), block_(code_.s() * 4) {
+    root_ = fs::temp_directory_path() /
+            ("carousel_chaos_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    popts_.fsync = false;  // keep the write path's shape, not its latency
+    for (std::size_t i = 0; i < kBase + kSpares; ++i) {
+      servers_.push_back(std::make_unique<BlockServer>(0, dir(i), popts_));
+      ports_.push_back(servers_.back()->port());
+    }
+    StoreOptions sopts;
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    policy.io_timeout = std::chrono::milliseconds(250);
+    policy.base_backoff = std::chrono::milliseconds(2);
+    policy.max_backoff = std::chrono::milliseconds(20);
+    policy.op_deadline = std::chrono::milliseconds(3000);
+    sopts.policy = policy;
+    sopts.registry = &registry_;
+    std::vector<std::uint16_t> base_ports(ports_.begin(),
+                                          ports_.begin() + kBase);
+    store_ = std::make_unique<CarouselStore>(code_, base_ports, block_, sopts);
+    for (std::size_t i = kBase; i < kBase + kSpares; ++i)
+      store_->add_server(ports_[i]);
+
+    HealthMonitor::Options mopts;
+    mopts.suspect_after = 1;
+    mopts.dead_after = 2;
+    mopts.revive_after = 2;
+    mopts.probe_policy = policy;
+    mopts.probe_policy.max_attempts = 2;
+    mopts.probe_policy.op_deadline = std::chrono::milliseconds(1000);
+    monitor_ = std::make_unique<HealthMonitor>(*store_, mopts);
+    Scrubber::Options scrub_opts;
+    scrub_opts.monitor = monitor_.get();
+    scrubber_ = std::make_unique<Scrubber>(*store_, scrub_opts);
+
+    // Two seed files so every event kind has something to chew on.
+    put_new_file(2);
+    put_new_file(1);
+  }
+
+  ~ChaosHarness() {
+    scrubber_.reset();
+    monitor_.reset();
+    store_.reset();
+    servers_.clear();
+    fs::remove_all(root_);
+  }
+
+  void apply(const ChaosEvent& e) {
+    switch (e.kind) {
+      case ChaosKind::kKill: {
+        std::vector<std::size_t> up;
+        for (std::size_t i = 0; i < kBase; ++i)
+          if (!down_.contains(i)) up.push_back(i);
+        if (up.empty() || down_.size() >= kMaxDown) return;
+        const std::size_t id = up[e.a % up.size()];
+        servers_[id].reset();
+        down_.insert(id);
+        return;
+      }
+      case ChaosKind::kRestart: {
+        if (down_.empty()) return;
+        auto it = down_.begin();
+        std::advance(it, e.a % down_.size());
+        const std::size_t id = *it;
+        // Restart runs the crash-recovery scan: at-rest rot the run
+        // injected earlier is quarantined, never silently served.
+        servers_[id] = std::make_unique<BlockServer>(ports_[id], dir(id),
+                                                     popts_);
+        down_.erase(id);
+        return;
+      }
+      case ChaosKind::kCorrupt: {
+        if (reference_.empty()) return;
+        const std::uint32_t fid = pick_file(e.a);
+        const auto stripes = stripes_of(fid);
+        const auto s = e.b % stripes;
+        const auto i = e.c % static_cast<std::uint32_t>(code_.n());
+        const std::size_t home = store_->placement_of(fid, s, i);
+        if (down_.contains(home)) return;
+        if (!broken_.contains({fid, s, i}) &&
+            stripe_broken(fid, s) >= kMaxBrokenPerStripe)
+          return;
+        if (servers_[home]->corrupt_block(BlockKey{fid, s, i}, e.c))
+          broken_.insert({fid, s, i});
+        return;
+      }
+      case ChaosKind::kStall: {
+        std::vector<std::size_t> up = up_servers();
+        if (up.empty()) return;
+        const std::size_t id = up[e.a % up.size()];
+        auto plan = std::make_shared<FaultPlan>(e.b);
+        FaultRule rule;
+        rule.action = FaultAction::kDelay;
+        rule.delay_ms = 10 + e.b % 40;  // well under the 250 ms io_timeout
+        rule.max_hits = 1 + e.b % 3;
+        plan->add(rule);
+        servers_[id]->set_fault_plan(plan);
+        return;
+      }
+      case ChaosKind::kCrashPut: {
+        std::vector<std::size_t> up;
+        for (std::size_t i = 0; i < kBase; ++i)
+          if (!down_.contains(i)) up.push_back(i);
+        if (up.empty()) return;
+        const std::size_t id = up[e.a % up.size()];
+        static constexpr FaultAction kCrashes[] = {
+            FaultAction::kCrashBeforeFsync, FaultAction::kCrashBeforeRename,
+            FaultAction::kTornWrite};
+        auto plan = std::make_shared<FaultPlan>(e.b);
+        FaultRule rule;
+        rule.op = Op::kPut;
+        rule.action = kCrashes[e.b % 3];
+        rule.max_hits = 1;  // the client's automatic retry must then land
+        plan->add(rule);
+        servers_[id]->set_fault_plan(plan);
+        put_new_file(1 + e.c % 2);
+        servers_[id]->set_fault_plan(nullptr);
+        return;
+      }
+      case ChaosKind::kPut:
+        put_new_file(1 + e.a % 2);
+        return;
+      case ChaosKind::kHeal: {
+        if (broken_.empty()) return;
+        auto it = broken_.begin();
+        std::advance(it, e.a % broken_.size());
+        const auto [fid, s, i] = *it;
+        if (down_.contains(store_->placement_of(fid, s, i))) return;
+        clear_fault_plans();  // a pending stall must not skew the audit
+        const std::uint64_t expected = expected_heal_traffic(fid, s, i);
+        const std::uint64_t traffic = store_->repair_block(fid, s, i);
+        EXPECT_EQ(traffic, expected)
+            << "heal of (" << fid << "," << s << "," << i
+            << ") missed the paper's optimum";
+        broken_.erase({fid, s, i});
+        return;
+      }
+    }
+  }
+
+  /// Invariants 1 and 2: every acknowledged file reads back bit-exact.
+  /// The schedule guards keep every stripe's erasures <= n-k, so this holds
+  /// unconditionally — a read that fails IS a violation.
+  void read_check() {
+    for (const auto& [fid, data] : reference_) {
+      auto got = store_->read_file(fid, data.size());
+      ASSERT_EQ(got == data, true)
+          << "acknowledged file " << fid << " did not read back bit-exact";
+    }
+  }
+
+  /// Invariant 3 for the background loop: convict the dead, sweep, and
+  /// check the sweep's heal traffic against an independent simulation.
+  void scrub_phase() {
+    clear_fault_plans();
+    monitor_->probe_once();
+    monitor_->probe_once();  // dead_after = revive_after = 2: converged
+    for (int round = 0; round < 2; ++round) {
+      const SweepSim sim = simulate_sweep();
+      const auto sweep = scrubber_->run_once();
+      EXPECT_EQ(sweep.repair_bytes, sim.bytes)
+          << "sweep heal traffic diverged from the paper's optimum";
+      EXPECT_EQ(sweep.rehomes, sim.rehomes);
+      EXPECT_EQ(sweep.repairs, sim.repairs);
+      EXPECT_EQ(sweep.rehome_failures, sim.rehome_failures);
+      for (const BlockId& healed : sim.healed) broken_.erase(healed);
+    }
+  }
+
+  /// Restart everything, let the detector and scrubber converge, then
+  /// demand a fully healthy cluster and bit-exact reads of every file.
+  void final_verify() {
+    clear_fault_plans();
+    for (std::size_t id : std::vector<std::size_t>(down_.begin(), down_.end())) {
+      servers_[id] =
+          std::make_unique<BlockServer>(ports_[id], dir(id), popts_);
+      down_.erase(id);
+    }
+    monitor_->probe_once();
+    monitor_->probe_once();
+    for (const auto& st : monitor_->statuses())
+      EXPECT_EQ(st.state, ServerState::kAlive) << "server " << st.id;
+    // Restarted servers quarantined their rotted blocks; sweeps heal them.
+    Scrubber::Stats sweep;
+    for (int round = 0; round < 4; ++round) {
+      const SweepSim sim = simulate_sweep();
+      sweep = scrubber_->run_once();
+      EXPECT_EQ(sweep.repair_bytes, sim.bytes);
+      for (const BlockId& healed : sim.healed) broken_.erase(healed);
+      if (sweep.ok == sweep.blocks_checked) break;
+    }
+    EXPECT_EQ(sweep.ok, sweep.blocks_checked)
+        << "cluster did not scrub clean after all servers returned";
+    EXPECT_TRUE(broken_.empty());
+    read_check();
+  }
+
+  std::size_t files() const { return reference_.size(); }
+
+ private:
+  fs::path dir(std::size_t i) const {
+    return root_ / ("srv" + std::to_string(i));
+  }
+
+  std::vector<std::size_t> up_servers() const {
+    std::vector<std::size_t> up;
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+      if (!down_.contains(i)) up.push_back(i);
+    return up;
+  }
+
+  void clear_fault_plans() {
+    for (std::size_t i = 0; i < servers_.size(); ++i)
+      if (!down_.contains(i)) servers_[i]->set_fault_plan(nullptr);
+  }
+
+  std::uint32_t pick_file(std::uint32_t draw) const {
+    auto it = reference_.begin();
+    std::advance(it, draw % reference_.size());
+    return it->first;
+  }
+
+  std::uint32_t stripes_of(std::uint32_t fid) const {
+    return static_cast<std::uint32_t>(store_->files().at(fid).stripes);
+  }
+
+  std::size_t stripe_broken(std::uint32_t fid, std::uint32_t s) const {
+    std::size_t count = 0;
+    for (std::uint32_t i = 0; i < code_.n(); ++i)
+      count += broken_.contains({fid, s, i});
+    return count;
+  }
+
+  void put_new_file(std::uint32_t stripes) {
+    if (reference_.size() >= 24) return;  // bound the sweep and read load
+    const std::uint32_t fid = next_file_id_++;
+    auto data = random_bytes(stripes * code_.k() * block_ - fid % 17,
+                             1000 + fid);
+    try {
+      store_->put_file(fid, data);
+    } catch (const Error&) {
+      return;  // a down server refused a block: the PUT was never acked
+    }
+    reference_[fid] = std::move(data);  // acked: must survive everything
+  }
+
+  /// Wire bytes one heal of (fid, s, i) must fetch right now: the MSR
+  /// optimum d/(d-k+1) blocks when d helpers are healthy, k blocks on the
+  /// whole-block fallback.  (d-k+1) divides block_ for every supported
+  /// code, so the division is exact.
+  std::uint64_t expected_heal_traffic(std::uint32_t fid, std::uint32_t s,
+                                      std::uint32_t i) const {
+    std::size_t survivors = 0;
+    for (std::uint32_t h = 0; h < code_.n(); ++h) {
+      if (h == i) continue;
+      if (down_.contains(store_->placement_of(fid, s, h))) continue;
+      if (broken_.contains({fid, s, h})) continue;
+      ++survivors;
+    }
+    if (!code_.params().trivial_repair() && survivors >= code_.d())
+      return std::uint64_t{code_.d()} * (block_ / (code_.d() - code_.k() + 1));
+    return std::uint64_t{code_.k()} * block_;
+  }
+
+  /// Independent model of one scrubber sweep over the current cluster:
+  /// which blocks it will heal, in manifest order, and exactly how many
+  /// helper bytes each heal moves.  Mirrors Scrubber::run_once + the
+  /// store's re-homing candidate order (spares first, ascending id).
+  struct SweepSim {
+    std::uint64_t bytes = 0;
+    std::uint64_t rehomes = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t rehome_failures = 0;
+    std::vector<BlockId> healed;
+  };
+
+  SweepSim simulate_sweep() const {
+    SweepSim sim;
+    auto manifest = store_->files();
+    // Mutable copies: each simulated heal changes the survivor set and the
+    // placement the *next* heal sees, exactly as the real sweep does.
+    std::set<BlockId> broken = broken_;
+    std::map<std::uint32_t, std::vector<std::vector<std::uint32_t>>> placement;
+    for (const auto& [fid, info] : manifest) placement[fid] = info.placement;
+
+    auto survivors_of = [&](std::uint32_t fid, std::uint32_t s,
+                            std::uint32_t i) {
+      std::size_t survivors = 0;
+      for (std::uint32_t h = 0; h < code_.n(); ++h) {
+        if (h == i) continue;
+        if (down_.contains(placement[fid][s][h])) continue;
+        if (broken.contains({fid, s, h})) continue;
+        ++survivors;
+      }
+      return survivors;
+    };
+    auto traffic_of = [&](std::size_t survivors) -> std::uint64_t {
+      if (!code_.params().trivial_repair() && survivors >= code_.d())
+        return std::uint64_t{code_.d()} *
+               (block_ / (code_.d() - code_.k() + 1));
+      return std::uint64_t{code_.k()} * block_;
+    };
+
+    for (const auto& [fid, info] : manifest) {
+      for (std::uint32_t s = 0; s < info.stripes; ++s) {
+        for (std::uint32_t i = 0; i < code_.n(); ++i) {
+          const std::size_t home = placement[fid][s][i];
+          if (down_.contains(home)) {
+            // The monitor has convicted the home (scrub_phase probed to
+            // convergence): the sweep re-homes.  Candidates are servers
+            // hosting no block of this stripe — spares first, then base
+            // servers, ascending — and the heal lands on the first one
+            // that is actually up.
+            std::set<std::size_t> used;
+            for (std::uint32_t h = 0; h < code_.n(); ++h)
+              used.insert(placement[fid][s][h]);
+            std::size_t target = servers_.size();
+            for (bool want_spare : {true, false})
+              for (std::size_t id = 0;
+                   id < servers_.size() && target == servers_.size(); ++id)
+                if ((id >= kBase) == want_spare && !used.contains(id) &&
+                    !down_.contains(id))
+                  target = id;
+            if (target == servers_.size()) {
+              // No *reachable* candidate.  With none at all the store
+              // throws before fetching; with only-down candidates it
+              // fetches, fails every re-upload, and counts no bytes.
+              ++sim.rehome_failures;
+            } else {
+              sim.bytes += traffic_of(survivors_of(fid, s, i));
+              ++sim.rehomes;
+              placement[fid][s][i] = static_cast<std::uint32_t>(target);
+              broken.erase({fid, s, i});
+              sim.healed.push_back({fid, s, i});
+            }
+          } else if (broken.contains({fid, s, i})) {
+            sim.bytes += traffic_of(survivors_of(fid, s, i));
+            ++sim.repairs;
+            broken.erase({fid, s, i});
+            sim.healed.push_back({fid, s, i});
+          }
+        }
+      }
+    }
+    return sim;
+  }
+
+  codes::Carousel code_;
+  std::size_t block_;
+  fs::path root_;
+  PersistentBlockStore::Options popts_;
+  obs::MetricsRegistry registry_;
+  std::vector<std::unique_ptr<BlockServer>> servers_;
+  std::vector<std::uint16_t> ports_;
+  std::unique_ptr<CarouselStore> store_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<Scrubber> scrubber_;
+  std::map<std::uint32_t, std::vector<Byte>> reference_;  // acked PUTs
+  std::set<std::size_t> down_;
+  std::set<BlockId> broken_;  // corrupted and not yet healed
+  std::uint32_t next_file_id_ = 1;
+};
+
+TEST(Chaos, SeededFaultScheduleKeepsEveryInvariant) {
+  const std::uint64_t seed = env_u64("CAROUSEL_CHAOS_SEED", 20260805);
+  const std::size_t events =
+      static_cast<std::size_t>(env_u64("CAROUSEL_CHAOS_EVENTS", 200));
+  ASSERT_GE(events, 1u);
+  auto schedule = make_schedule(seed, events);
+
+  ChaosHarness harness;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i) + " of seed " +
+                 std::to_string(seed));
+    harness.apply(schedule[i]);
+    if ((i + 1) % 5 == 0) harness.read_check();
+    if ((i + 1) % 25 == 0) harness.scrub_phase();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  harness.final_verify();
+  EXPECT_GE(harness.files(), 2u);
+}
+
+}  // namespace
+}  // namespace carousel::net

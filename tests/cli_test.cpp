@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "cli/cli.h"
+#include "net/block_server.h"
+#include "net/client.h"
 #include "net/persistence.h"
 #include "test_util.h"
 #include "util/crc32.h"
@@ -203,6 +205,49 @@ TEST_F(CliTest, RecoverCommandScansAndQuarantines) {
   // Argument validation: both commands demand their operands.
   EXPECT_EQ(run({"recover"}), 2);
   EXPECT_EQ(run({"serve"}), 2);
+}
+
+TEST_F(CliTest, ClusterCommandRendersAliveAndDeadServers) {
+  namespace cnet = carousel::net;
+  // Two live servers (one holding a block) and one freshly-freed port: the
+  // table must show both verdicts and count only reachable inventory.
+  cnet::BlockServer alive0;
+  cnet::BlockServer alive1;
+  std::uint16_t dead_port;
+  {
+    cnet::BlockServer ephemeral;
+    dead_port = ephemeral.port();
+  }
+  auto data = test::random_bytes(768, 21);
+  cnet::Client writer(alive0.port());
+  writer.put(cnet::BlockKey{9, 0, 0}, data);
+
+  std::string table =
+      cluster_status({alive0.port(), alive1.port(), dead_port});
+  EXPECT_NE(table.find("cluster of 3 servers:"), std::string::npos);
+  EXPECT_NE(table.find("alive  1 blocks  768 bytes"), std::string::npos);
+  EXPECT_NE(table.find("alive  0 blocks  0 bytes"), std::string::npos);
+  EXPECT_NE(table.find("dead   (unreachable)"), std::string::npos);
+  EXPECT_NE(table.find("summary: 2/3 alive, 1 blocks / 768 bytes"),
+            std::string::npos);
+  EXPECT_NE(table.find("placement: 0..1 blocks per reachable server"),
+            std::string::npos);
+  EXPECT_NE(table.find("pending re-placement: blocks of 1 dead server "
+                       "await re-homing"),
+            std::string::npos);
+
+  // A fully-reachable cluster reports nothing pending.
+  std::string healthy = cluster_status({alive0.port(), alive1.port()});
+  EXPECT_NE(healthy.find("summary: 2/2 alive"), std::string::npos);
+  EXPECT_NE(healthy.find("pending re-placement: none"), std::string::npos);
+
+  // run() dispatch: operands demanded, ports validated, happy path exits 0.
+  EXPECT_EQ(run({"cluster"}), 2);
+  EXPECT_EQ(run({"cluster", "0"}), 1);
+  EXPECT_EQ(run({"cluster", "70000"}), 1);
+  EXPECT_EQ(run({"cluster", std::to_string(alive0.port()),
+                 std::to_string(dead_port)}),
+            0);
 }
 
 }  // namespace

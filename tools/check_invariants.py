@@ -28,6 +28,12 @@ Rules (see DESIGN.md "Correctness tooling"):
      publish a block file whose bytes never reached stable storage — the
      exact torn-write window the crash-recovery tests exist to close.
 
+  5. metric subsystem registry — the <subsystem> segment of every
+     registered metric name must come from the known-subsystem list below.
+     A typo'd subsystem (carousel_clutser_...) silently forks a metric
+     family away from its dashboard; new subsystems are added here
+     deliberately, together with their dashboards and alerts.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -41,6 +47,13 @@ REPO = Path(__file__).resolve().parent.parent
 
 METRIC_NAME = re.compile(r"^carousel_[a-z0-9]+(_[a-z0-9]+)+$")
 LABEL_KEY = re.compile(r"^[a-z][a-z0-9_]*$")
+
+# Rule 5: the one list of metric subsystems that exist.  Growing it is a
+# deliberate act (new dashboards/alerts), not a side effect of a typo.
+KNOWN_SUBSYSTEMS = {
+    "client", "cluster", "codec", "gf", "persist", "scrub", "scrubber",
+    "server", "store", "threadpool",
+}
 
 
 def src_files(*suffixes: str):
@@ -105,6 +118,24 @@ def check_metric_names(problems: list[str]) -> None:
                     f"identifier")
 
 
+def check_metric_subsystems(problems: list[str]) -> None:
+    """Rule 5: every registered metric's subsystem is a known one."""
+    name_literal = re.compile(r"\"(carousel_[a-z0-9_]+)\"")
+    for path in src_files(".h", ".cpp"):
+        text = path.read_text()
+        for m in name_literal.finditer(text):
+            name = m.group(1)
+            if not METRIC_NAME.match(name):
+                continue  # rule 2 already reports the grammar violation
+            subsystem = name.split("_")[1]
+            if subsystem not in KNOWN_SUBSYSTEMS:
+                problems.append(
+                    f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                    f"metric '{name}' uses unknown subsystem '{subsystem}' — "
+                    f"typo, or add it to KNOWN_SUBSYSTEMS in "
+                    f"tools/check_invariants.py deliberately")
+
+
 def check_cmake_options(problems: list[str]) -> None:
     """Rule 3: every CAROUSEL_* CMake option is documented in README.md."""
     defined: dict[str, str] = {}
@@ -152,6 +183,7 @@ def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
     check_metric_names(problems)
+    check_metric_subsystems(problems)
     check_cmake_options(problems)
     check_fsync_before_rename(problems)
     if problems:

@@ -5,16 +5,21 @@
 #      >=10k mutated frames against a live server);
 #   2. static analysis — tools/lint.sh (clang-tidy when installed, plus the
 #      repo-specific invariant lints in tools/check_invariants.py);
-#   3. the networked fault-tolerance, observability, protocol-hardening and
-#      crash-persistence tests again under AddressSanitizer (abrupt server
-#      death, connection churn, malformed frames, torn-write recovery —
-#      where lifetime bugs hide);
+#   3. the networked fault-tolerance, observability, protocol-hardening,
+#      crash-persistence and self-healing-cluster tests again under
+#      AddressSanitizer (abrupt server death, connection churn, malformed
+#      frames, torn-write recovery, re-homing races — where lifetime bugs
+#      hide);
 #   4. the net + observability tests under ThreadSanitizer (client counters,
 #      registry instruments and trace rings are read while other threads
 #      mutate them);
 #   5. the full suite under UndefinedBehaviorSanitizer with recovery
 #      disabled (GF kernels, matrix pipeline, wire decode: where silent UB
-#      corrupts data without failing a test).
+#      corrupts data without failing a test);
+#   6. a bounded chaos smoke at a fixed seed (~30 s; the full suite already
+#      ran the same schedule once — this repeats it against the final build
+#      exactly as CI's chaos-smoke job does).  Longer schedules are opt-in:
+#      sh tools/chaos.sh <seed> <events>.
 #
 #   sh tools/verify.sh
 set -e
@@ -28,12 +33,13 @@ sh tools/lint.sh build
 
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
 cmake --build build-asan -j --target net_test obs_test protocol_test \
-  protocol_fuzz_test persistence_test
+  protocol_fuzz_test persistence_test cluster_test
 ./build-asan/tests/net_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/protocol_test
 ./build-asan/tests/protocol_fuzz_test
 ./build-asan/tests/persistence_test
+./build-asan/tests/cluster_test
 
 cmake -B build-tsan -S . -DCAROUSEL_SANITIZE=thread
 cmake --build build-tsan -j --target net_test obs_test
@@ -44,4 +50,8 @@ cmake -B build-ubsan -S . -DCAROUSEL_SANITIZE=undefined
 cmake --build build-ubsan -j
 ctest --test-dir build-ubsan --output-on-failure -j 8
 
-echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan)"
+CAROUSEL_CHAOS_SEED=20260805 CAROUSEL_CHAOS_EVENTS=200 \
+  ./build/tests/chaos_test --gtest_filter='Chaos.*'
+
+echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan" \
+     "+ bounded chaos smoke)"
