@@ -1,59 +1,122 @@
 // Recovery storm: a datanode dies and every block it hosted must be rebuilt
 // elsewhere.  This is the operational scenario behind the paper's repair-
-// traffic argument (§I, §VI): RS moves k whole blocks per lost block, LRC
-// moves its group, MSR/Carousel move the optimal d/(d-k+1) block sizes.
-// The discrete-event cluster turns those byte counts into recovery makespan
-// under real link contention (helpers serve many concurrent repairs).
+// traffic argument (§I, §VI): RS moves k whole blocks per lost block,
+// MSR/Carousel move the optimal d/(d-k+1) block sizes.
 //
-// Not a paper figure — an ablation of the deployment consequence of Fig. 7.
+// Two measurements of the same storm, sharing one config so their makespans
+// are directly comparable in the emitted JSON:
+//
+//   1. LIVE — a real 12+2 fleet of in-process block servers.  A server
+//      dies, the HealthMonitor convicts it, and a RepairScheduler drains
+//      the re-homing queue (budgeted, admission-controlled) while
+//      foreground reads keep running.  Measured: time-to-re-protect and
+//      the foreground p99 during the storm, which must stay inside the
+//      configured latency budget.
+//   2. SIM — the discrete-event cluster with the same node count, block
+//      size and file size, turning the same byte counts into makespan
+//      under ideal link contention, for RS and Carousel.
+//
+// Emits BENCH_recovery_storm.json (honors $CAROUSEL_BENCH_SNAPSHOT_DIR).
+// Exits non-zero when the live storm fails to re-protect or the foreground
+// p99 blows its budget — the CI bench-smoke gate.
+//
+// Knobs: CAROUSEL_STORM_STRIPES (6), CAROUSEL_STORM_BLOCK_UNITS (8192),
+//        CAROUSEL_STORM_P99_BUDGET_MS (250), CAROUSEL_STORM_DEADLINE_S (60).
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
-#include "codes/lrc.h"
+#include "bench_util.h"
+#include "codes/carousel.h"
 #include "codes/params.h"
 #include "hdfs/cluster.h"
 #include "hdfs/dfs.h"
+#include "net/block_server.h"
+#include "net/cluster.h"
+#include "net/repair_scheduler.h"
+#include "net/scrubber.h"
+#include "net/store.h"
+#include "obs/metrics.h"
 
 using namespace carousel;
 using hdfs::kMB;
 
 namespace {
 
-hdfs::ClusterConfig storm_cluster() {
-  hdfs::ClusterConfig c;
-  c.nodes = 30;
-  c.disk_read_bps = 200 * kMB;
-  c.node_egress_bps = hdfs::mbps(1000);
-  c.node_ingress_bps = hdfs::mbps(1000);
+std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+/// One storm config shared verbatim by the live fleet and the simulator, so
+/// the two makespans in the JSON describe the same cluster.
+struct StormConfig {
+  std::size_t base = 12;    // one block of every stripe per base server
+  std::size_t spares = 2;   // re-homing targets
+  codes::CodeParams carousel{12, 6, 10, 12};
+  codes::CodeParams rs{12, 6, 6, 6};
+  std::size_t block_units;  // block bytes = units * s
+  std::size_t stripes;
+  std::chrono::milliseconds p99_budget;
+  std::chrono::seconds deadline;
+  double sim_link_bps = hdfs::mbps(1000);
+  double sim_disk_bps = 200 * kMB;
+
+  std::size_t nodes() const { return base + spares; }
+};
+
+StormConfig load_config() {
+  StormConfig c;
+  c.block_units = static_cast<std::size_t>(
+      env_u64("CAROUSEL_STORM_BLOCK_UNITS", 8192));
+  c.stripes = static_cast<std::size_t>(env_u64("CAROUSEL_STORM_STRIPES", 6));
+  c.p99_budget = std::chrono::milliseconds(
+      env_u64("CAROUSEL_STORM_P99_BUDGET_MS", 250));
+  c.deadline = std::chrono::seconds(env_u64("CAROUSEL_STORM_DEADLINE_S", 60));
   return c;
 }
 
-struct StormResult {
+// ---- Simulator side (aligned with the live config) ------------------------
+
+struct SimResult {
+  std::string name;
   double makespan_s = 0;
-  double traffic_gb = 0;
+  double traffic_mib = 0;
   std::size_t lost_blocks = 0;
 };
 
-/// Rebuilds every block hosted on node 0.  Each lost block gets a newcomer
-/// node (round-robin over survivors); each of its `fanin` helpers ships
-/// `bytes_per_helper` through disk+egress into the newcomer's ingress.
-StormResult run_storm(double file_gb, double block_bytes,
-                      codes::CodeParams params, std::size_t fanin,
-                      double bytes_per_helper) {
-  hdfs::Cluster cluster(storm_cluster());
-  auto file =
-      hdfs::DfsFile::coded(cluster, params, file_gb * 1024 * kMB, block_bytes);
+/// Rebuilds every block hosted on node 0 of the simulated fleet: each lost
+/// block's `fanin` helpers ship `bytes_per_helper` through disk + egress
+/// into a round-robin newcomer's ingress.
+SimResult run_sim(const StormConfig& cfg, const char* name,
+                  codes::CodeParams params, std::size_t fanin,
+                  double bytes_per_helper, double block_bytes) {
+  hdfs::ClusterConfig cc;
+  cc.nodes = cfg.nodes();
+  cc.disk_read_bps = cfg.sim_disk_bps;
+  cc.node_egress_bps = cfg.sim_link_bps;
+  cc.node_ingress_bps = cfg.sim_link_bps;
+  hdfs::Cluster cluster(cc);
+  const double file_bytes =
+      static_cast<double>(cfg.stripes) * params.k * block_bytes;
+  auto file = hdfs::DfsFile::coded(cluster, params, file_bytes, block_bytes);
 
-  StormResult r;
+  SimResult r;
+  r.name = name;
   std::size_t newcomer_rr = 1;
   for (const auto& lost : file.blocks()) {
     if (lost.node != 0) continue;
     ++r.lost_blocks;
-    // Pick a newcomer that hosts nothing from this stripe.
     std::size_t newcomer = newcomer_rr;
     newcomer_rr = newcomer_rr % (cluster.nodes() - 1) + 1;
-    // Helpers: the first `fanin` surviving blocks of the same stripe.
     std::size_t sent = 0;
     for (const auto& helper : file.blocks()) {
       if (sent == fanin) break;
@@ -64,7 +127,7 @@ StormResult run_storm(double file_gb, double block_bytes,
           {cluster.disk(helper.node), cluster.egress(helper.node),
            cluster.ingress(newcomer)},
           nullptr);
-      r.traffic_gb += bytes_per_helper / (1024 * kMB);
+      r.traffic_mib += bytes_per_helper / bench::kMiB;
       ++sent;
     }
   }
@@ -72,42 +135,256 @@ StormResult run_storm(double file_gb, double block_bytes,
   return r;
 }
 
+// ---- Live side ------------------------------------------------------------
+
+struct LiveResult {
+  bool reprotected = false;
+  double makespan_s = 0;
+  std::size_t lost_blocks = 0;
+  std::uint64_t foreground_reads = 0;
+  std::uint64_t foreground_errors = 0;
+  double p99_s = 0;
+  bool p99_within_budget = false;
+  net::RepairScheduler::Stats sched;
+};
+
+LiveResult run_live(const StormConfig& cfg) {
+  const codes::Carousel code(cfg.carousel.n, cfg.carousel.k, cfg.carousel.d,
+                             cfg.carousel.p);
+  const std::size_t block = code.s() * cfg.block_units;
+
+  std::vector<std::unique_ptr<net::BlockServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < cfg.nodes(); ++i) {
+    servers.push_back(std::make_unique<net::BlockServer>());
+    ports.push_back(servers.back()->port());
+  }
+  net::StoreOptions sopts;  // global registry: the JSON snapshot sees it all
+  sopts.policy.max_attempts = 3;
+  sopts.policy.io_timeout = std::chrono::milliseconds(250);
+  sopts.policy.base_backoff = std::chrono::milliseconds(2);
+  sopts.policy.max_backoff = std::chrono::milliseconds(20);
+  sopts.policy.op_deadline = std::chrono::milliseconds(3000);
+  std::vector<std::uint16_t> base_ports(ports.begin(),
+                                        ports.begin() + cfg.base);
+  net::CarouselStore store(code, base_ports, block, sopts);
+  for (std::size_t i = cfg.base; i < cfg.nodes(); ++i)
+    store.add_server(ports[i]);
+
+  auto data = bench::random_bytes(cfg.stripes * code.k() * block, 2026);
+  store.put_file(1, data);
+
+  net::HealthMonitor::Options mopts;
+  mopts.suspect_after = 1;
+  mopts.dead_after = 2;
+  mopts.revive_after = 2;
+  mopts.probe_policy = sopts.policy;
+  mopts.probe_policy.max_attempts = 2;
+  mopts.probe_policy.op_deadline = std::chrono::milliseconds(1000);
+  net::HealthMonitor monitor(store, mopts);
+
+  net::RepairScheduler::Options ropts;
+  ropts.max_concurrent = 2;
+  ropts.workers = 2;
+  ropts.server_egress_budget = std::uint64_t{64} * block;
+  ropts.server_ingress_budget = std::uint64_t{64} * block;
+  ropts.budget_window = std::chrono::milliseconds(250);
+  ropts.p99_budget = cfg.p99_budget;  // admission control ON for the storm
+  ropts.admission_interval = std::chrono::milliseconds(100);
+  ropts.monitor = &monitor;
+  net::RepairScheduler sched(store, ropts);
+
+  net::Scrubber::Options scrub_opts;
+  scrub_opts.monitor = &monitor;
+  scrub_opts.scheduler = &sched;
+  net::Scrubber scrubber(store, scrub_opts);
+
+  // Foreground traffic with client-side latency sampling.
+  std::atomic<bool> stop_reads{false};
+  std::atomic<std::uint64_t> errors{0};
+  std::vector<double> latencies;
+  std::mutex lat_mu;
+  std::thread foreground([&] {
+    while (!stop_reads.load()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        auto got = store.read_file(1, data.size());
+        if (got != data) ++errors;
+      } catch (const std::exception&) {
+        ++errors;
+      }
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      std::lock_guard lock(lat_mu);
+      latencies.push_back(s);
+    }
+  });
+
+  LiveResult r;
+  // The storm: one base server dies; the monitor convicts it.
+  const std::size_t victim = 0;
+  r.lost_blocks = store.blocks_on(victim).size();
+  servers[victim].reset();
+  monitor.probe_once();
+  monitor.probe_once();
+
+  const auto storm_t0 = std::chrono::steady_clock::now();
+  sched.start();
+  const auto deadline = storm_t0 + cfg.deadline;
+  while (std::chrono::steady_clock::now() < deadline) {
+    scrubber.run_once();  // feeds the scheduler; heals nothing inline
+    sched.wait_idle(std::chrono::seconds(5));
+    if (store.blocks_on(victim).empty()) {
+      r.reprotected = true;
+      break;
+    }
+  }
+  r.makespan_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - storm_t0)
+          .count();
+  stop_reads = true;
+  foreground.join();
+  sched.stop();
+  r.sched = sched.stats();
+
+  std::vector<double> sorted;
+  {
+    std::lock_guard lock(lat_mu);
+    sorted = latencies;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  r.foreground_reads = sorted.size();
+  r.foreground_errors = errors.load();
+  if (!sorted.empty()) {
+    const std::size_t idx =
+        (sorted.size() * 99 + 99) / 100;  // ceil(.99 n), 1-based
+    r.p99_s = sorted[std::min(idx, sorted.size()) - 1];
+  }
+  r.p99_within_budget =
+      r.p99_s * 1000.0 <= static_cast<double>(cfg.p99_budget.count());
+  return r;
+}
+
+// ---- JSON -----------------------------------------------------------------
+
+std::string json_escape_free_output(const StormConfig& cfg,
+                                    const LiveResult& live,
+                                    const std::vector<SimResult>& sims,
+                                    std::size_t block) {
+  // All values are numbers/bools/fixed names: no escaping needed.
+  std::string out = "{\n  \"config\": {";
+  out += "\"base_servers\": " + std::to_string(cfg.base);
+  out += ", \"spares\": " + std::to_string(cfg.spares);
+  out += ", \"block_bytes\": " + std::to_string(block);
+  out += ", \"stripes\": " + std::to_string(cfg.stripes);
+  out += ", \"p99_budget_ms\": " + std::to_string(cfg.p99_budget.count());
+  out += ", \"sim_link_mbps\": 1000, \"sim_disk_mbps\": 200},\n";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"live\": {\"scheme\": \"Carousel (12,6,10,12)\", "
+      "\"reprotected\": %s, \"makespan_s\": %.6f, \"lost_blocks\": %zu, "
+      "\"bytes_moved\": %llu, \"repairs_completed\": %llu, "
+      "\"repairs_failed\": %llu, \"peak_running\": %zu,\n",
+      live.reprotected ? "true" : "false", live.makespan_s, live.lost_blocks,
+      static_cast<unsigned long long>(live.sched.bytes_moved),
+      static_cast<unsigned long long>(live.sched.completed),
+      static_cast<unsigned long long>(live.sched.failed),
+      live.sched.peak_running);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "    \"foreground\": {\"reads\": %llu, \"errors\": %llu, "
+      "\"p99_s\": %.6f, \"p99_budget_ms\": %lld, \"within_budget\": %s}},\n",
+      static_cast<unsigned long long>(live.foreground_reads),
+      static_cast<unsigned long long>(live.foreground_errors), live.p99_s,
+      static_cast<long long>(cfg.p99_budget.count()),
+      live.p99_within_budget ? "true" : "false");
+  out += buf;
+  out += "  \"sim\": [";
+  for (std::size_t i = 0; i < sims.size(); ++i) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"scheme\": \"%s\", \"makespan_s\": %.6f, "
+                  "\"traffic_mib\": %.3f, \"lost_blocks\": %zu}",
+                  i ? ", " : "", sims[i].name.c_str(), sims[i].makespan_s,
+                  sims[i].traffic_mib, sims[i].lost_blocks);
+    out += buf;
+  }
+  out += "],\n  \"metrics\": ";
+  out += obs::MetricsRegistry::global().render_json();
+  out += "\n}\n";
+  return out;
+}
+
 }  // namespace
 
 int main() {
-  const double block = 256 * kMB;
-  const double file_gb = 30.0;  // ~20 stripes of (12,6); node 0 hosts 8 blocks
+  const StormConfig cfg = load_config();
+  const codes::Carousel code(cfg.carousel.n, cfg.carousel.k, cfg.carousel.d,
+                             cfg.carousel.p);
+  const std::size_t block = code.s() * cfg.block_units;
+  const double alpha = static_cast<double>(cfg.carousel.alpha());
 
-  std::printf("=== Recovery storm — rebuild all blocks of a failed node, "
-              "30-node cluster, %.0f GB of data ===\n\n",
-              file_gb);
-  std::printf("%-24s %8s %10s %12s %10s\n", "layout", "lost", "fan-in",
-              "traffic", "makespan");
+  std::printf("=== Recovery storm — %zu+%zu fleet, %zu stripes of "
+              "(12,6,10,12), %.1f KiB blocks ===\n\n",
+              cfg.base, cfg.spares, cfg.stripes, block / 1024.0);
 
-  struct Scheme {
-    const char* name;
-    codes::CodeParams params;
-    std::size_t fanin;
-    double per_helper;  // bytes each helper ships per lost block
-  };
-  codes::LocalReconstructionCode lrc(6, 2, 2);
-  Scheme schemes[] = {
-      {"RS (12,6)", {12, 6, 6, 6}, 6, block},
-      {"LRC (6,2,2) n=10", {10, 6, 6, 6}, lrc.group_size(), block},
-      {"MSR (12,6,10)", {12, 6, 10, 6}, 10, block / 5},
-      {"Carousel (12,6,10,12)", {12, 6, 10, 12}, 10, block / 5},
-  };
-  double rs_makespan = 0;
-  for (const auto& s : schemes) {
-    auto r = run_storm(file_gb, block, s.params, s.fanin, s.per_helper);
-    if (rs_makespan == 0) rs_makespan = r.makespan_s;
-    std::printf("%-24s %8zu %10zu %10.1fGB %9.1fs  (%.2fx RS)\n", s.name,
-                r.lost_blocks, s.fanin, r.traffic_gb, r.makespan_s,
-                r.makespan_s / rs_makespan);
+  // Simulated storms with the live fleet's exact geometry.
+  std::vector<SimResult> sims;
+  sims.push_back(run_sim(cfg, "RS (12,6)", cfg.rs, cfg.rs.k,
+                         static_cast<double>(block), block));
+  sims.push_back(run_sim(cfg, "Carousel (12,6,10,12)", cfg.carousel,
+                         cfg.carousel.d, block / alpha, block));
+  std::printf("%-24s %8s %12s %10s\n", "sim scheme", "lost", "traffic",
+              "makespan");
+  for (const auto& s : sims)
+    std::printf("%-24s %8zu %10.2fMiB %9.4fs\n", s.name.c_str(),
+                s.lost_blocks, s.traffic_mib, s.makespan_s);
+
+  // The live storm.
+  const LiveResult live = run_live(cfg);
+  std::printf("\n%-24s %8zu %12s %9.3fs  (re-protected: %s)\n",
+              "live Carousel fleet", live.lost_blocks, "-", live.makespan_s,
+              live.reprotected ? "yes" : "NO");
+  std::printf("foreground during storm: %llu reads, %llu errors, "
+              "p99 %.1f ms (budget %lld ms: %s)\n",
+              static_cast<unsigned long long>(live.foreground_reads),
+              static_cast<unsigned long long>(live.foreground_errors),
+              live.p99_s * 1000.0,
+              static_cast<long long>(cfg.p99_budget.count()),
+              live.p99_within_budget ? "within" : "EXCEEDED");
+  std::printf("scheduler: %llu completed, %llu failed, peak %zu in flight, "
+              "%llu bytes moved\n",
+              static_cast<unsigned long long>(live.sched.completed),
+              static_cast<unsigned long long>(live.sched.failed),
+              live.sched.peak_running,
+              static_cast<unsigned long long>(live.sched.bytes_moved));
+
+  // Same shape as bench_util's write_metrics_snapshot, but with the storm
+  // results wrapped around the registry snapshot.
+  std::string path = "BENCH_recovery_storm.json";
+  if (const char* dir = std::getenv("CAROUSEL_BENCH_SNAPSHOT_DIR"))
+    path = std::string(dir) + "/" + path;
+  const std::string json = json_escape_free_output(cfg, live, sims, block);
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+    return 1;
   }
-  std::printf(
-      "\nshape: MSR/Carousel cut storm traffic by d/(d-k+1)/k = 3x vs RS and"
-      " finish proportionally faster;\nLRC sits between (group-local reads); "
-      "Carousel pays nothing for its extra data parallelism.\n");
+
+  if (!live.reprotected || live.foreground_errors > 0 ||
+      !live.p99_within_budget) {
+    std::fprintf(stderr,
+                 "storm FAILED its gate (reprotected=%d errors=%llu "
+                 "p99_within_budget=%d)\n",
+                 live.reprotected,
+                 static_cast<unsigned long long>(live.foreground_errors),
+                 live.p99_within_budget);
+    return 1;
+  }
   return 0;
 }

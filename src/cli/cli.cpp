@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -310,6 +311,31 @@ std::string cluster_status(const std::vector<std::uint16_t>& ports) {
   return out.str();
 }
 
+std::string repairs_status(std::uint16_t port) {
+  // Read-side prefix filter only; the names are minted inside the
+  // scheduler's repair_metric() helper (check_invariants rule 6).
+  static constexpr const char kPrefix[] = "carousel_repair_";
+  const std::string text = fetch_metrics(port);
+  std::ostringstream out;
+  out << "repair scheduler on port " << port << ":\n";
+  std::size_t found = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, sizeof kPrefix - 1, kPrefix) != 0) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    out << "  " << std::left << std::setw(44) << line.substr(0, space)
+        << ' ' << line.substr(space + 1) << '\n';
+    ++found;
+  }
+  if (found == 0)
+    out << "  (no carousel_repair_* series exported; "
+           "no RepairScheduler has run in this process)\n";
+  return out.str();
+}
+
 std::string recover_store(const fs::path& dir) {
   net::PersistentBlockStore store(dir);
   const net::RecoveryReport report = store.recover();
@@ -355,6 +381,7 @@ int run(const std::vector<std::string>& args) {
         "  carouselctl info    <dir>\n"
         "  carouselctl metrics <port>\n"
         "  carouselctl cluster <port...>\n"
+        "  carouselctl repairs <port>\n"
         "  carouselctl recover <data-dir>\n"
         "  carouselctl serve   <port> [data-dir] [--no-fsync]\n"
         "environment:\n"
@@ -417,6 +444,15 @@ int run(const std::vector<std::string>& args) {
         ports.push_back(static_cast<std::uint16_t>(port));
       }
       std::fputs(cluster_status(ports).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "repairs") {
+      if (args.size() != 2) return usage();
+      unsigned long port = std::stoul(args[1]);
+      if (port == 0 || port > 65535)
+        throw std::invalid_argument("port must be in [1, 65535]");
+      std::fputs(repairs_status(static_cast<std::uint16_t>(port)).c_str(),
+                 stdout);
       return 0;
     }
     if (cmd == "recover") {

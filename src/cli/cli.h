@@ -67,6 +67,12 @@ std::string fetch_metrics(std::uint16_t port);
 /// is the interesting case; the verdict lands in the table instead.
 std::string cluster_status(const std::vector<std::uint16_t>& ports);
 
+/// Fetches the metrics dump from 127.0.0.1:port and renders only the
+/// repair-scheduler series — carousel_repair_* counters and gauges — as a
+/// compact table (for `carouselctl repairs`).  Throws on connection
+/// failure; a server without a scheduler yields an explanatory line.
+std::string repairs_status(std::uint16_t port);
+
 /// Offline recovery scan of a persistent block-server data directory (for
 /// `carouselctl recover`): classifies and quarantines damaged files exactly
 /// as server startup would, and returns the human-readable report.  Safe to

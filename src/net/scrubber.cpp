@@ -1,6 +1,7 @@
 #include "net/scrubber.h"
 
 #include "net/cluster.h"
+#include "net/repair_scheduler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,6 +20,7 @@ Scrubber::Scrubber(CarouselStore& store, Options options)
   rehomes_total_ = &reg.counter("carousel_scrubber_rehomes_total");
   rehome_failures_total_ =
       &reg.counter("carousel_scrubber_rehome_failures_total");
+  enqueued_total_ = &reg.counter("carousel_scrubber_enqueued_total");
   sweep_seconds_ = &reg.histogram("carousel_scrub_sweep_seconds");
   last_sweep_unhealthy_ = &reg.gauge("carousel_scrubber_last_sweep_unhealthy");
   last_sweep_repair_bytes_ =
@@ -70,14 +72,29 @@ Scrubber::Stats Scrubber::run_once() {
   const std::size_t n = store_.code().n();
   for (const auto& [file_id, info] : store_.files()) {
     for (std::size_t s = 0; s < info.stripes; ++s) {
+      const auto stripe = static_cast<std::uint32_t>(s);
+      // Pass 1: verify the whole stripe before healing any of it, so every
+      // heal below knows the stripe's full erasure count (the scheduler's
+      // criticality).  Healing a block never changes a sibling's verify
+      // verdict, so splitting the passes leaves sweep stats unchanged.
+      std::vector<BlockState> states(n, BlockState::kOk);
+      std::uint32_t erasures = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        const auto stripe = static_cast<std::uint32_t>(s);
-        const auto index = static_cast<std::uint32_t>(i);
         ++sweep.blocks_checked;
-        BlockState state = store_.verify_block(file_id, stripe, index);
-        switch (state) {
+        states[i] =
+            store_.verify_block(file_id, stripe, static_cast<std::uint32_t>(i));
+        if (states[i] == BlockState::kOk)
+          ++sweep.ok;
+        else
+          ++erasures;
+      }
+      // Pass 2: act on each unhealthy block independently, in index order.
+      // Every block gets its own try/catch and its own counter — one
+      // block's failed heal (or rehome) never short-circuits its siblings.
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto index = static_cast<std::uint32_t>(i);
+        switch (states[i]) {
           case BlockState::kOk:
-            ++sweep.ok;
             continue;
           case BlockState::kMissing:
             ++sweep.missing_found;
@@ -92,6 +109,13 @@ Scrubber::Stats Scrubber::run_once() {
                 options_.monitor->state_of(home) == ServerState::kDead) {
               // The detector has given up on the home: regenerate onto a
               // placement-eligible spare (the newcomer loop).
+              if (options_.scheduler != nullptr) {
+                options_.scheduler->enqueue(
+                    CarouselStore::BlockRef{file_id, stripe, index},
+                    RepairScheduler::Kind::kRehome, erasures);
+                ++sweep.enqueued;
+                continue;
+              }
               try {
                 sweep.repair_bytes +=
                     store_.rehome_block(file_id, stripe, index);
@@ -106,6 +130,13 @@ Scrubber::Stats Scrubber::run_once() {
             }
             continue;
           }
+        }
+        if (options_.scheduler != nullptr) {
+          options_.scheduler->enqueue(
+              CarouselStore::BlockRef{file_id, stripe, index},
+              RepairScheduler::Kind::kRepair, erasures);
+          ++sweep.enqueued;
+          continue;
         }
         try {
           sweep.repair_bytes += store_.repair_block(file_id, stripe, index);
@@ -123,6 +154,7 @@ Scrubber::Stats Scrubber::run_once() {
   repair_bytes_total_->inc(sweep.repair_bytes);
   rehomes_total_->inc(sweep.rehomes);
   rehome_failures_total_->inc(sweep.rehome_failures);
+  enqueued_total_->inc(sweep.enqueued);
   last_sweep_unhealthy_->set(static_cast<double>(
       sweep.missing_found + sweep.corrupt_found + sweep.unreachable));
   last_sweep_repair_bytes_->set(static_cast<double>(sweep.repair_bytes));
@@ -143,6 +175,7 @@ Scrubber::Stats Scrubber::run_once() {
   total_.repair_bytes += sweep.repair_bytes;
   total_.rehomes += sweep.rehomes;
   total_.rehome_failures += sweep.rehome_failures;
+  total_.enqueued += sweep.enqueued;
   return sweep;
 }
 

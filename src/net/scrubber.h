@@ -18,6 +18,14 @@
 // spare via store.rehome_block (still the MSR-optimal d/(d-k+1) block
 // sizes of helper traffic).  kSuspect homes are left alone — acting on a
 // tentative verdict would churn placements for servers that come back.
+//
+// Each sweep verifies a whole stripe before healing any of it, and every
+// unhealthy block is then handled independently (its own try/catch, its own
+// counter) — one block's failed heal never short-circuits its siblings.
+// With Options::scheduler set the sweep stops healing inline altogether:
+// unhealthy blocks are enqueued as prioritized work items carrying the
+// stripe's erasure count as criticality, and the RepairScheduler's budgets
+// and admission control decide when they actually heal.
 
 #ifndef CAROUSEL_NET_SCRUBBER_H
 #define CAROUSEL_NET_SCRUBBER_H
@@ -33,6 +41,7 @@
 namespace carousel::net {
 
 class HealthMonitor;
+class RepairScheduler;
 
 class Scrubber {
  public:
@@ -43,6 +52,10 @@ class Scrubber {
     /// are re-homed onto spares instead of skipped.  The monitor must
     /// outlive the scrubber.
     HealthMonitor* monitor = nullptr;
+    /// When set, sweeps enqueue unhealthy blocks into the scheduler
+    /// (criticality = the stripe's erasure count) instead of healing them
+    /// inline.  The scheduler must outlive the scrubber.
+    RepairScheduler* scheduler = nullptr;
   };
 
   struct Stats {
@@ -57,6 +70,7 @@ class Scrubber {
     std::uint64_t repair_bytes = 0;  // helper traffic spent healing
     std::uint64_t rehomes = 0;            // blocks moved off dead homes
     std::uint64_t rehome_failures = 0;    // rehome attempts that failed
+    std::uint64_t enqueued = 0;  // handed to the RepairScheduler instead
   };
 
   /// The store must outlive the scrubber.
@@ -95,6 +109,7 @@ class Scrubber {
   obs::Counter* repair_bytes_total_ = nullptr;
   obs::Counter* rehomes_total_ = nullptr;
   obs::Counter* rehome_failures_total_ = nullptr;
+  obs::Counter* enqueued_total_ = nullptr;
   obs::Histogram* sweep_seconds_ = nullptr;
   obs::Gauge* last_sweep_unhealthy_ = nullptr;
   obs::Gauge* last_sweep_repair_bytes_ = nullptr;

@@ -4,6 +4,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "net/repair_scheduler.h"
 #include "obs/trace.h"
 #include "storage/erasure_file.h"
 #include "util/crc32.h"
@@ -397,6 +398,19 @@ CarouselStore::RehomeReport CarouselStore::rehome_server(
                            static_cast<std::uint32_t>(i)) == server_id)
           victims.push_back(BlockRef{file_id, static_cast<std::uint32_t>(s),
                                      static_cast<std::uint32_t>(i)});
+  if (scheduler_ != nullptr) {
+    // Healing becomes the scheduler's job: one kRehome item per victim,
+    // prioritized by how many blocks the stripe just lost on this server.
+    // enqueue() touches only scheduler state, so calling it under mu_
+    // respects the store -> scheduler lock order.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> losses;
+    for (const BlockRef& b : victims) ++losses[{b.file, b.stripe}];
+    for (const BlockRef& b : victims)
+      scheduler_->enqueue(b, RepairScheduler::Kind::kRehome,
+                          losses[{b.file, b.stripe}]);
+    report.enqueued = victims.size();
+    return report;
+  }
   for (const BlockRef& b : victims) {
     try {
       report.bytes_read += rehome_block_locked(b.file, b.stripe, b.index);
@@ -406,6 +420,47 @@ CarouselStore::RehomeReport CarouselStore::rehome_server(
     }
   }
   return report;
+}
+
+void CarouselStore::set_helper_policy(HelperPolicy policy) {
+  std::lock_guard lock(mu_);
+  helper_policy_ = std::move(policy);
+}
+
+void CarouselStore::set_traffic_observer(TrafficObserver observer) {
+  std::lock_guard lock(mu_);
+  traffic_observer_ = std::move(observer);
+}
+
+void CarouselStore::attach_scheduler(RepairScheduler* scheduler) {
+  std::lock_guard lock(mu_);
+  scheduler_ = scheduler;
+}
+
+std::vector<std::size_t> CarouselStore::choose_helpers_locked(
+    std::uint32_t file_id, std::uint32_t stripe,
+    const std::vector<std::size_t>& survivors, std::size_t want,
+    std::size_t bytes_per_helper) const {
+  want = std::min(want, survivors.size());
+  std::vector<std::size_t> first(survivors.begin(), survivors.begin() + want);
+  if (!helper_policy_) return first;
+  std::vector<HelperCandidate> candidates;
+  candidates.reserve(survivors.size());
+  for (std::size_t h : survivors)
+    candidates.push_back(
+        {h, home_of_locked(file_id, stripe, static_cast<std::uint32_t>(h))});
+  std::vector<std::size_t> picked;
+  try {
+    picked = helper_policy_(candidates, want, bytes_per_helper);
+  } catch (...) {
+    return first;  // a broken policy must not break repair
+  }
+  if (picked.size() != want) return first;
+  const std::set<std::size_t> allowed(survivors.begin(), survivors.end());
+  std::set<std::size_t> seen;
+  for (std::size_t h : picked)
+    if (!allowed.contains(h) || !seen.insert(h).second) return first;
+  return picked;
 }
 
 std::uint64_t CarouselStore::repair_block_locked(
@@ -439,9 +494,12 @@ std::uint64_t CarouselStore::repair_block_locked(
   if (!code_->params().trivial_repair() && survivors.size() >= code_->d()) {
     // Optimal-traffic repair: helpers project phi server-side.  A helper
     // dying mid-repair abandons this path (its traffic still counts) and
-    // drops through to the whole-block decode below.
-    std::vector<std::size_t> helpers(survivors.begin(),
-                                     survivors.begin() + code_->d());
+    // drops through to the whole-block decode below.  The helper policy
+    // (when a scheduler is attached) spreads this fan-in over the least-
+    // loaded survivors instead of always the first d.
+    std::vector<std::size_t> helpers = choose_helpers_locked(
+        file_id, stripe, survivors, code_->d(),
+        block_bytes_ / code_->params().alpha());
     std::vector<std::vector<Byte>> chunk_store;
     bool complete = true;
     for (std::size_t h : helpers) {
@@ -468,6 +526,10 @@ std::uint64_t CarouselStore::repair_block_locked(
         break;
       }
       fetched += resp->size();
+      if (traffic_observer_)
+        traffic_observer_(
+            home_of_locked(file_id, stripe, static_cast<std::uint32_t>(h)),
+            resp->size(), 0);
       chunk_store.push_back(std::move(*resp));
     }
     if (complete) {
@@ -485,8 +547,23 @@ std::uint64_t CarouselStore::repair_block_locked(
     std::vector<codes::UnitRef> sources;
     std::vector<std::size_t> ids;
     std::vector<std::vector<Byte>> blocks;
-    for (std::size_t h = 0; h < code_->n() && ids.size() < code_->k(); ++h) {
-      if (h == index) continue;
+    // Source order: with a helper policy the verified survivors come first
+    // in the policy's least-loaded order (so whole-block sources also spread
+    // over the fleet), then every other index ascending as a stale-probe
+    // hedge.  Without a policy this is the plain 0..n-1 walk.
+    std::vector<std::size_t> order;
+    if (helper_policy_) {
+      order = choose_helpers_locked(file_id, stripe, survivors, code_->k(),
+                                    block_bytes_);
+      const std::set<std::size_t> chosen(order.begin(), order.end());
+      for (std::size_t h = 0; h < code_->n(); ++h)
+        if (h != index && !chosen.contains(h)) order.push_back(h);
+    } else {
+      for (std::size_t h = 0; h < code_->n(); ++h)
+        if (h != index) order.push_back(h);
+    }
+    for (std::size_t h : order) {
+      if (ids.size() >= code_->k()) break;
       check_budget(deadline, budget_exhausted_, "repair_block");
       std::optional<std::vector<Byte>> b;
       try {
@@ -499,6 +576,10 @@ std::uint64_t CarouselStore::repair_block_locked(
       }
       if (!b || b->size() != block_bytes_) continue;
       fetched += b->size();
+      if (traffic_observer_)
+        traffic_observer_(
+            home_of_locked(file_id, stripe, static_cast<std::uint32_t>(h)),
+            b->size(), 0);
       ids.push_back(h);
       blocks.push_back(std::move(*b));
     }
@@ -537,6 +618,7 @@ std::uint64_t CarouselStore::repair_block_locked(
       continue;  // this home is dead or lying: try the next candidate
     }
     if (t != home) set_placement_locked(file_id, stripe, index, t);
+    if (traffic_observer_) traffic_observer_(t, 0, rebuilt.size());
     repairs_->inc();
     repair_bytes_read_->inc(fetched);
     return fetched;

@@ -39,6 +39,7 @@
 #define CAROUSEL_NET_STORE_H
 
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,8 @@
 #include "net/client.h"
 
 namespace carousel::net {
+
+class RepairScheduler;
 
 /// Store-level view of one block's condition.
 enum class BlockState { kOk, kMissing, kCorrupt, kUnreachable };
@@ -86,12 +89,35 @@ class CarouselStore {
   };
 
   /// Outcome of rehome_server(): per-block successes and failures plus the
-  /// helper traffic the successful heals cost.
+  /// helper traffic the successful heals cost.  With a RepairScheduler
+  /// attached nothing heals inline — the victims are enqueued instead and
+  /// only `enqueued` is set.
   struct RehomeReport {
     std::size_t rehomed = 0;
     std::size_t failed = 0;
     std::uint64_t bytes_read = 0;
+    std::size_t enqueued = 0;
   };
+
+  /// One eligible repair helper: a surviving block index and the server the
+  /// placement table currently homes it on.
+  struct HelperCandidate {
+    std::size_t index = 0;
+    std::size_t server = 0;
+  };
+
+  /// Picks which `want` of `candidates` a repair fans into, given the bytes
+  /// each chosen helper will ship.  Must return `want` distinct candidate
+  /// indices; anything else falls back to the first `want` survivors.
+  using HelperPolicy = std::function<std::vector<std::size_t>(
+      const std::vector<HelperCandidate>& candidates, std::size_t want,
+      std::size_t bytes_per_helper)>;
+
+  /// Observes actual repair wire traffic per server: helper egress at
+  /// PROJECT/GET time, newcomer ingress at re-upload time.
+  using TrafficObserver = std::function<void(std::size_t server,
+                                             std::uint64_t egress_bytes,
+                                             std::uint64_t ingress_bytes)>;
 
   /// Remembers the given servers (connections are lazy).  The code must
   /// outlive the store.  Requires at least one server; one block per server
@@ -191,6 +217,21 @@ class CarouselStore {
   /// reports into — StoreOptions::registry, or the process-global one.
   obs::MetricsRegistry& metrics() const { return *registry_; }
 
+  /// Overrides which survivors the repair path fans into (null restores the
+  /// first-d default).  The policy is invoked under the store's mutex and
+  /// must not call back into the store.
+  void set_helper_policy(HelperPolicy policy);
+
+  /// Observes every repair/rehome wire transfer (null detaches).  Invoked
+  /// under the store's mutex; must not call back into the store.
+  void set_traffic_observer(TrafficObserver observer);
+
+  /// Attaches a RepairScheduler: rehome_server() then enqueues one kRehome
+  /// item per victim block (criticality = per-stripe victim count) instead
+  /// of healing inline.  Pass nullptr to detach; the scheduler does both
+  /// automatically over its lifetime.
+  void attach_scheduler(RepairScheduler* scheduler);
+
  private:
   struct Server {
     std::uint16_t port = 0;
@@ -227,6 +268,13 @@ class CarouselStore {
                                     std::uint32_t stripe,
                                     std::uint32_t index);
   std::chrono::steady_clock::time_point budget_deadline() const;
+  /// Survivor ordering for the repair fan-in: the helper policy's choice
+  /// (validated: `want` distinct members of `survivors`) or the first
+  /// `want` survivors when no policy is set or its answer is unusable.
+  std::vector<std::size_t> choose_helpers_locked(
+      std::uint32_t file_id, std::uint32_t stripe,
+      const std::vector<std::size_t>& survivors, std::size_t want,
+      std::size_t bytes_per_helper) const;
 
   const codes::Carousel* code_;
   std::size_t block_bytes_;
@@ -237,6 +285,9 @@ class CarouselStore {
   std::vector<Server> servers_;
   mutable std::mutex mu_;  // serializes public ops (scrubber vs. reader)
   std::map<std::uint32_t, FileInfo> manifest_;
+  HelperPolicy helper_policy_;        // both hooks run under mu_ and touch
+  TrafficObserver traffic_observer_;  // only their owner's state
+  RepairScheduler* scheduler_ = nullptr;
 
   // Cached instruments (constructor-resolved from registry_).
   obs::Histogram* put_seconds_ = nullptr;

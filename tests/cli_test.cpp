@@ -5,11 +5,15 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
 #include "cli/cli.h"
+#include "codes/carousel.h"
 #include "net/block_server.h"
 #include "net/client.h"
 #include "net/persistence.h"
+#include "net/repair_scheduler.h"
+#include "net/store.h"
 #include "test_util.h"
 #include "util/crc32.h"
 
@@ -248,6 +252,44 @@ TEST_F(CliTest, ClusterCommandRendersAliveAndDeadServers) {
   EXPECT_EQ(run({"cluster", std::to_string(alive0.port()),
                  std::to_string(dead_port)}),
             0);
+}
+
+TEST_F(CliTest, RepairsCommandRendersSchedulerSeries) {
+  namespace cnet = carousel::net;
+  // The metrics endpoint of any in-process server also renders the global
+  // registry, which is where a scheduler without an explicit registry
+  // lands; before one exists the command says so instead of going quiet.
+  cnet::BlockServer observer;
+  std::string empty = repairs_status(observer.port());
+  EXPECT_NE(empty.find("no carousel_repair_* series"), std::string::npos);
+
+  codes::Carousel code(6, 4, 4, 6);
+  std::vector<std::unique_ptr<cnet::BlockServer>> fleet;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 6; ++i) {
+    fleet.push_back(std::make_unique<cnet::BlockServer>());
+    ports.push_back(fleet.back()->port());
+  }
+  cnet::CarouselStore store(code, ports, code.s() * 4);
+  auto data = test::random_bytes(4 * code.s() * 4, 31);
+  store.put_file(1, data);
+  cnet::RepairScheduler sched(store);
+  ASSERT_TRUE(store.drop_block(1, 0, 2));
+  sched.enqueue({1, 0, 2}, cnet::RepairScheduler::Kind::kRepair, 1);
+  EXPECT_EQ(sched.step(), cnet::RepairScheduler::StepResult::kDispatched);
+
+  std::string table = repairs_status(observer.port());
+  EXPECT_NE(table.find("repair scheduler on port"), std::string::npos);
+  EXPECT_NE(table.find("carousel_repair_enqueued_total"), std::string::npos);
+  EXPECT_NE(table.find("carousel_repair_completed_total"), std::string::npos);
+  EXPECT_NE(table.find("carousel_repair_allowed_concurrency"),
+            std::string::npos);
+  EXPECT_EQ(table.find("carousel_store_"), std::string::npos);
+
+  // run() dispatch: operand demanded, port validated, happy path exits 0.
+  EXPECT_EQ(run({"repairs"}), 2);
+  EXPECT_EQ(run({"repairs", "0"}), 1);
+  EXPECT_EQ(run({"repairs", std::to_string(observer.port())}), 0);
 }
 
 }  // namespace

@@ -374,6 +374,51 @@ TEST_F(ClusterTest, ScrubberHealsDeadServersBlocksOntoSpare) {
   EXPECT_EQ(store.read_file(2, file_b.size()), file_b);
 }
 
+TEST_F(ClusterTest, SweepHealsSiblingsAfterARehomeFailure) {
+  // Two dead homes with no spare to absorb them (both rehomes must fail)
+  // plus one corrupt block on a live server, all in the same stripe: each
+  // block's outcome is independent, so the two rehome failures never
+  // short-circuit the corrupt sibling's repair.
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 8;
+  CarouselStore store(code, ports_, block, opts());
+  HealthMonitor monitor(store, fast_monitor());
+  Scrubber::Options sopts;
+  sopts.monitor = &monitor;
+  Scrubber scrubber(store, sopts);
+
+  auto file = random_bytes(code.k() * block, 61);
+  store.put_file(4, file);
+  kill(2);
+  kill(3);
+  monitor.probe_once();
+  monitor.probe_once();
+  ASSERT_EQ(monitor.state_of(2), ServerState::kDead);
+  ASSERT_EQ(monitor.state_of(3), ServerState::kDead);
+  ASSERT_TRUE(servers_[5]->corrupt_block(BlockKey{4, 0, 5}, 7));
+
+  auto sweep = scrubber.run_once();
+  EXPECT_EQ(sweep.rehome_failures, 2u);  // blocks 2 and 3: nowhere to go
+  EXPECT_EQ(sweep.rehomes, 0u);
+  EXPECT_EQ(sweep.corrupt_found, 1u);
+  EXPECT_EQ(sweep.repairs, 1u);  // block 5 healed despite its siblings
+  EXPECT_EQ(sweep.repair_failures, 0u);
+  EXPECT_EQ(store.verify_block(4, 0, 5), BlockState::kOk);
+  EXPECT_EQ(store.read_file(4, file.size()), file);
+
+  // Spares arrive (one per victim: a server may host at most one block of
+  // a stripe): the next sweep finishes the job.
+  BlockServer spare_a;
+  BlockServer spare_b;
+  store.add_server(spare_a.port());
+  store.add_server(spare_b.port());
+  auto heal = scrubber.run_once();
+  EXPECT_EQ(heal.rehomes, 2u);
+  EXPECT_EQ(heal.rehome_failures, 0u);
+  EXPECT_EQ(store.blocks_on(2).size(), 0u);
+  EXPECT_EQ(store.blocks_on(3).size(), 0u);
+}
+
 TEST_F(ClusterTest, ScrubberWithoutMonitorKeepsWaitingForTheServer) {
   codes::Carousel code(12, 6, 10, 12);
   const std::size_t block = code.s() * 8;

@@ -34,6 +34,14 @@ Rules (see DESIGN.md "Correctness tooling"):
      family away from its dashboard; new subsystems are added here
      deliberately, together with their dashboards and alerts.
 
+  6. repair metric provenance — every carousel_repair_* series is minted
+     through the scheduler's repair_metric() helper: the quoted prefix
+     "carousel_repair_" appears exactly once in src/net/repair_scheduler.cpp
+     (inside that helper) and nowhere else in src/, except the read-side
+     prefix filter in src/cli/cli.cpp which registers nothing.  A literal
+     name registered elsewhere would fork the repair-dashboard family away
+     from the scheduler's single naming point.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -51,8 +59,8 @@ LABEL_KEY = re.compile(r"^[a-z][a-z0-9_]*$")
 # Rule 5: the one list of metric subsystems that exist.  Growing it is a
 # deliberate act (new dashboards/alerts), not a side effect of a typo.
 KNOWN_SUBSYSTEMS = {
-    "client", "cluster", "codec", "gf", "persist", "scrub", "scrubber",
-    "server", "store", "threadpool",
+    "client", "cluster", "codec", "gf", "persist", "repair", "scrub",
+    "scrubber", "server", "store", "threadpool",
 }
 
 
@@ -179,6 +187,33 @@ def check_fsync_before_rename(problems: list[str]) -> None:
                     f"could publish unflushed bytes")
 
 
+def check_repair_metric_provenance(problems: list[str]) -> None:
+    """Rule 6: carousel_repair_* names are minted only by repair_metric()."""
+    helper = REPO / "src" / "net" / "repair_scheduler.cpp"
+    # Read-side consumers that filter on the prefix but register nothing.
+    readers = {REPO / "src" / "cli" / "cli.cpp"}
+    literal = re.compile(r"\"[^\"\n]*carousel_repair_[^\"\n]*\"")
+    for path in src_files(".h", ".cpp"):
+        text = path.read_text()
+        hits = list(literal.finditer(text))
+        if path == helper:
+            if len(hits) != 1:
+                problems.append(
+                    f"{path.relative_to(REPO)}: expected exactly one quoted "
+                    f"\"carousel_repair_\" (the repair_metric() helper), "
+                    f"found {len(hits)} — route every series through the "
+                    f"helper")
+            continue
+        if path in readers:
+            continue
+        for m in hits:
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"carousel_repair_* literal outside repair_metric() — mint "
+                f"repair series through the helper in "
+                f"src/net/repair_scheduler.cpp")
+
+
 def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
@@ -186,6 +221,7 @@ def main() -> int:
     check_metric_subsystems(problems)
     check_cmake_options(problems)
     check_fsync_before_rename(problems)
+    check_repair_metric_provenance(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

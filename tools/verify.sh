@@ -19,7 +19,10 @@
 #   6. a bounded chaos smoke at a fixed seed (~30 s; the full suite already
 #      ran the same schedule once — this repeats it against the final build
 #      exactly as CI's chaos-smoke job does).  Longer schedules are opt-in:
-#      sh tools/chaos.sh <seed> <events>.
+#      sh tools/chaos.sh <seed> <events>;
+#   7. a bounded recovery-storm bench against the live 12+2 fleet, exactly
+#      as CI's bench-smoke job runs it: the binary exits non-zero when the
+#      storm fails to re-protect or the foreground p99 blows its budget.
 #
 #   sh tools/verify.sh
 set -e
@@ -33,13 +36,14 @@ sh tools/lint.sh build
 
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
 cmake --build build-asan -j --target net_test obs_test protocol_test \
-  protocol_fuzz_test persistence_test cluster_test
+  protocol_fuzz_test persistence_test cluster_test repair_scheduler_test
 ./build-asan/tests/net_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/protocol_test
 ./build-asan/tests/protocol_fuzz_test
 ./build-asan/tests/persistence_test
 ./build-asan/tests/cluster_test
+./build-asan/tests/repair_scheduler_test
 
 cmake -B build-tsan -S . -DCAROUSEL_SANITIZE=thread
 cmake --build build-tsan -j --target net_test obs_test
@@ -53,5 +57,11 @@ ctest --test-dir build-ubsan --output-on-failure -j 8
 CAROUSEL_CHAOS_SEED=20260805 CAROUSEL_CHAOS_EVENTS=200 \
   ./build/tests/chaos_test --gtest_filter='Chaos.*'
 
+cmake --build build -j --target bench_recovery_storm
+(cd build/bench && \
+  CAROUSEL_STORM_STRIPES=4 CAROUSEL_STORM_BLOCK_UNITS=4096 \
+  CAROUSEL_STORM_P99_BUDGET_MS=500 CAROUSEL_STORM_DEADLINE_S=120 \
+  ./bench_recovery_storm)
+
 echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan" \
-     "+ bounded chaos smoke)"
+     "+ bounded chaos smoke + recovery-storm bench smoke)"
