@@ -336,6 +336,31 @@ std::string repairs_status(std::uint16_t port) {
   return out.str();
 }
 
+std::string reads_status(std::uint16_t port) {
+  // Read-side prefix filter only; the hedge counter pair is minted inside
+  // the store's hedge_metric() helper (check_invariants rule 7).
+  static constexpr const char kPrefix[] = "carousel_store_";
+  const std::string text = fetch_metrics(port);
+  std::ostringstream out;
+  out << "store read path on port " << port << ":\n";
+  std::size_t found = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.compare(0, sizeof kPrefix - 1, kPrefix) != 0) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    out << "  " << std::left << std::setw(44) << line.substr(0, space)
+        << ' ' << line.substr(space + 1) << '\n';
+    ++found;
+  }
+  if (found == 0)
+    out << "  (no carousel_store_* series exported; "
+           "no CarouselStore has run in this process)\n";
+  return out.str();
+}
+
 std::string recover_store(const fs::path& dir) {
   net::PersistentBlockStore store(dir);
   const net::RecoveryReport report = store.recover();
@@ -382,6 +407,7 @@ int run(const std::vector<std::string>& args) {
         "  carouselctl metrics <port>\n"
         "  carouselctl cluster <port...>\n"
         "  carouselctl repairs <port>\n"
+        "  carouselctl reads   <port>\n"
         "  carouselctl recover <data-dir>\n"
         "  carouselctl serve   <port> [data-dir] [--no-fsync]\n"
         "environment:\n"
@@ -452,6 +478,15 @@ int run(const std::vector<std::string>& args) {
       if (port == 0 || port > 65535)
         throw std::invalid_argument("port must be in [1, 65535]");
       std::fputs(repairs_status(static_cast<std::uint16_t>(port)).c_str(),
+                 stdout);
+      return 0;
+    }
+    if (cmd == "reads") {
+      if (args.size() != 2) return usage();
+      unsigned long port = std::stoul(args[1]);
+      if (port == 0 || port > 65535)
+        throw std::invalid_argument("port must be in [1, 65535]");
+      std::fputs(reads_status(static_cast<std::uint16_t>(port)).c_str(),
                  stdout);
       return 0;
     }

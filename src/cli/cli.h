@@ -73,6 +73,13 @@ std::string cluster_status(const std::vector<std::uint16_t>& ports);
 /// failure; a server without a scheduler yields an explanatory line.
 std::string repairs_status(std::uint16_t port);
 
+/// Fetches the metrics dump from 127.0.0.1:port and renders only the
+/// store's read-path series — carousel_store_* counters, gauges and
+/// histogram counts, including the hedged-read pair — as a compact table
+/// (for `carouselctl reads`).  Throws on connection failure; a server whose
+/// process never ran a CarouselStore yields an explanatory line.
+std::string reads_status(std::uint16_t port);
+
 /// Offline recovery scan of a persistent block-server data directory (for
 /// `carouselctl recover`): classifies and quarantines damaged files exactly
 /// as server startup would, and returns the human-readable report.  Safe to

@@ -1,6 +1,9 @@
 #include "net/store.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <future>
 #include <set>
 #include <stdexcept>
 
@@ -8,10 +11,48 @@
 #include "obs/trace.h"
 #include "storage/erasure_file.h"
 #include "util/crc32.h"
+#include "util/thread_pool.h"
 
 namespace carousel::net {
 
 using codes::Byte;
+
+CarouselStore::Lease::Lease(Server& server, const RetryPolicy& policy,
+                            obs::MetricsRegistry* registry)
+    : server_(&server) {
+  {
+    std::lock_guard lock(server.pool_mu);
+    if (!server.idle.empty()) {
+      client_ = std::move(server.idle.back());
+      server.idle.pop_back();
+    }
+  }
+  if (!client_)
+    client_ = std::make_unique<Client>(server.port, policy, registry);
+}
+
+CarouselStore::Lease::~Lease() {
+  // Cap the pool so a burst of hedges does not pin file descriptors forever;
+  // an over-cap client folds its telemetry into the server's retired totals
+  // so bytes_received()/counters() stay exact.
+  static constexpr std::size_t kMaxIdleClients = 8;
+  std::unique_ptr<Client> discard;
+  {
+    std::lock_guard lock(server_->pool_mu);
+    if (server_->idle.size() < kMaxIdleClients) {
+      server_->idle.push_back(std::move(client_));
+    } else {
+      const auto cc = client_->counters();
+      server_->retired.retries += cc.retries;
+      server_->retired.reconnects += cc.reconnects;
+      server_->retired.timeouts += cc.timeouts;
+      server_->retired.wire_corruptions += cc.wire_corruptions;
+      server_->retired.corrupt_blocks += cc.corrupt_blocks;
+      server_->retired_bytes += client_->bytes_received();
+      discard = std::move(client_);  // socket closes outside the lock
+    }
+  }
+}
 
 CarouselStore::CarouselStore(const codes::Carousel& code,
                              const std::vector<std::uint16_t>& ports,
@@ -21,21 +62,29 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
       registry_(options.registry ? options.registry
                                  : &obs::MetricsRegistry::global()),
       op_budget_(options.op_budget),
-      policy_(options.policy) {
+      policy_(options.policy),
+      hedge_(options.hedge) {
   if (ports.empty()) throw std::invalid_argument("need at least one server");
   if (block_bytes == 0 || block_bytes % code.s() != 0)
     throw std::invalid_argument(
         "block_bytes must be a positive multiple of the subpacketization");
   base_fleet_ = ports.size();
   servers_.reserve(ports.size());
-  for (std::uint16_t p : ports)
-    servers_.push_back(Server{
-        p, false, std::make_unique<Client>(p, options.policy, registry_)});
+  for (std::uint16_t p : ports) {
+    auto server = std::make_unique<Server>();
+    server->port = p;
+    servers_.push_back(std::move(server));
+  }
   put_seconds_ = &registry_->histogram("carousel_store_put_seconds");
   read_seconds_ = &registry_->histogram("carousel_store_read_seconds");
+  range_get_seconds_ =
+      &registry_->histogram("carousel_store_range_get_seconds");
   repair_seconds_ = &registry_->histogram("carousel_store_repair_seconds");
   put_bytes_ = &registry_->counter("carousel_store_put_bytes_total");
   read_bytes_ = &registry_->counter("carousel_store_read_bytes_total");
+  range_gets_ = &registry_->counter("carousel_store_range_gets_total");
+  hedged_reads_ = &hedge_metric("d_reads_total");
+  hedge_wins_ = &hedge_metric("_wins_total");
   repairs_ = &registry_->counter("carousel_store_repairs_total");
   repair_bytes_read_ =
       &registry_->counter("carousel_store_repair_bytes_read_total");
@@ -51,6 +100,20 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
   budget_exhausted_ =
       &registry_->counter("carousel_store_budget_exhausted_total");
   spare_servers_ = &registry_->gauge("carousel_cluster_spare_servers");
+  const std::size_t threads =
+      options.read_threads != 0
+          ? options.read_threads
+          : std::max<std::size_t>(8, 2 * code.n());
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+// Defined here, where ThreadPool is complete.  pool_ is the last member, so
+// its destructor runs first and joins every still-draining hedge loser while
+// servers_ and the cached instruments are alive.
+CarouselStore::~CarouselStore() = default;
+
+obs::Counter& CarouselStore::hedge_metric(const char* suffix) {
+  return registry_->counter(std::string("carousel_store_hedge") + suffix);
 }
 
 std::chrono::steady_clock::time_point CarouselStore::budget_deadline() const {
@@ -74,12 +137,23 @@ void check_budget(std::chrono::steady_clock::time_point deadline,
 
 }  // namespace
 
+CarouselStore::Server& CarouselStore::server_at(std::size_t server_id) const {
+  std::lock_guard lock(mu_);
+  return *servers_[server_id];
+}
+
+CarouselStore::Lease CarouselStore::lease(std::size_t server_id) const {
+  return Lease(server_at(server_id), policy_, registry_);
+}
+
 std::size_t CarouselStore::add_server(std::uint16_t port) {
   std::lock_guard lock(mu_);
-  servers_.push_back(
-      Server{port, true, std::make_unique<Client>(port, policy_, registry_)});
+  auto server = std::make_unique<Server>();
+  server->port = port;
+  server->spare = true;
+  servers_.push_back(std::move(server));
   std::size_t spares = 0;
-  for (const auto& s : servers_) spares += s.spare;
+  for (const auto& s : servers_) spares += s->spare;
   spare_servers_->set(static_cast<double>(spares));
   return servers_.size() - 1;
 }
@@ -89,7 +163,7 @@ std::vector<CarouselStore::ServerEndpoint> CarouselStore::servers() const {
   std::vector<ServerEndpoint> out;
   out.reserve(servers_.size());
   for (std::size_t i = 0; i < servers_.size(); ++i)
-    out.push_back(ServerEndpoint{i, servers_[i].port, servers_[i].spare});
+    out.push_back(ServerEndpoint{i, servers_[i]->port, servers_[i]->spare});
   return out;
 }
 
@@ -108,11 +182,16 @@ std::size_t CarouselStore::home_of_locked(std::uint32_t file_id,
   return server_of(index);
 }
 
+std::size_t CarouselStore::home_of(std::uint32_t file_id, std::uint32_t stripe,
+                                   std::uint32_t index) const {
+  std::lock_guard lock(mu_);
+  return home_of_locked(file_id, stripe, index);
+}
+
 std::size_t CarouselStore::placement_of(std::uint32_t file_id,
                                         std::uint32_t stripe,
                                         std::uint32_t index) const {
-  std::lock_guard lock(mu_);
-  return home_of_locked(file_id, stripe, index);
+  return home_of(file_id, stripe, index);
 }
 
 std::vector<CarouselStore::BlockRef> CarouselStore::blocks_on(
@@ -141,9 +220,15 @@ std::vector<std::size_t> CarouselStore::placement_candidates_locked(
   std::vector<std::size_t> out;
   for (bool want_spare : {true, false})
     for (std::size_t id = 0; id < servers_.size(); ++id)
-      if (servers_[id].spare == want_spare && !used.contains(id))
+      if (servers_[id]->spare == want_spare && !used.contains(id))
         out.push_back(id);
   return out;
+}
+
+std::vector<std::size_t> CarouselStore::placement_candidates(
+    std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const {
+  std::lock_guard lock(mu_);
+  return placement_candidates_locked(file_id, stripe, index);
 }
 
 void CarouselStore::set_placement_locked(std::uint32_t file_id,
@@ -159,33 +244,94 @@ void CarouselStore::set_placement_locked(std::uint32_t file_id,
   table[stripe][index] = static_cast<std::uint32_t>(server_id);
 }
 
+void CarouselStore::set_placement(std::uint32_t file_id, std::uint32_t stripe,
+                                  std::uint32_t index, std::size_t server_id) {
+  std::lock_guard lock(mu_);
+  set_placement_locked(file_id, stripe, index, server_id);
+}
+
+void CarouselStore::observe_traffic(std::size_t server, std::uint64_t egress,
+                                    std::uint64_t ingress) {
+  std::lock_guard lock(mu_);
+  if (traffic_observer_) traffic_observer_(server, egress, ingress);
+}
+
+void CarouselStore::set_hedge_policy(HedgePolicy policy) {
+  std::lock_guard lock(mu_);
+  hedge_ = policy;
+}
+
+HedgePolicy CarouselStore::hedge_policy() const {
+  std::lock_guard lock(mu_);
+  return hedge_;
+}
+
+std::chrono::milliseconds CarouselStore::hedge_budget(
+    const HedgePolicy& policy) const {
+  const obs::Histogram& h = *range_get_seconds_;
+  if (h.count() < policy.min_samples)
+    return std::max(policy.floor, policy.initial);
+  // Walk the cumulative histogram to the bucket holding the requested
+  // quantile and budget its *upper* bound — hedging should fire past the
+  // quantile, never inside it.  The +inf bucket has no bound; use 10x the
+  // ladder top (anything there is a straggler by definition).
+  const auto& bounds = h.bounds();
+  std::vector<std::uint64_t> buckets(bounds.size() + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] = h.bucket(i);
+    total += buckets[i];
+  }
+  if (total == 0) return std::max(policy.floor, policy.initial);
+  const double target = policy.percentile * static_cast<double>(total);
+  const std::uint64_t need = std::min<std::uint64_t>(
+      total, std::max<std::uint64_t>(
+                 1, static_cast<std::uint64_t>(std::ceil(target))));
+  double budget_s = bounds.empty() ? 0.0 : bounds.back() * 10.0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (cum >= need) {
+      budget_s = i < bounds.size() ? bounds[i] : bounds.back() * 10.0;
+      break;
+    }
+  }
+  const auto ms = std::chrono::milliseconds(
+      static_cast<std::int64_t>(std::ceil(budget_s * 1000.0)));
+  return std::max(policy.floor, ms);
+}
+
 std::size_t CarouselStore::put_file(std::uint32_t file_id,
                                     std::span<const Byte> bytes) {
-  std::lock_guard lock(mu_);
   obs::ScopedTimer timer(*put_seconds_);
   put_bytes_->inc(bytes.size());
   storage::ErasureFile ef(*code_, bytes, block_bytes_);
   // Seed the placement table with the paper's rule; re-homing rewrites
-  // individual entries later.
+  // individual entries later.  base_fleet_ is set once in the constructor,
+  // so the rule needs no lock; uploads run on leased connections and the
+  // manifest commits last, after every block is stored.
   std::vector<std::vector<std::uint32_t>> placement(
       ef.stripes(), std::vector<std::uint32_t>(code_->n()));
   for (std::size_t s = 0; s < ef.stripes(); ++s)
     for (std::size_t i = 0; i < code_->n(); ++i)
       placement[s][i] = static_cast<std::uint32_t>(server_of(i));
   for (std::size_t s = 0; s < ef.stripes(); ++s)
-    for (std::size_t i = 0; i < code_->n(); ++i)
-      client_at(placement[s][i])
-          .put(key(file_id, static_cast<std::uint32_t>(s),
-                   static_cast<std::uint32_t>(i)),
-               ef.block(s, i));
-  manifest_[file_id] =
-      FileInfo{bytes.size(), ef.stripes(), std::move(placement)};
+    for (std::size_t i = 0; i < code_->n(); ++i) {
+      Lease c = lease(placement[s][i]);
+      c->put(key(file_id, static_cast<std::uint32_t>(s),
+                 static_cast<std::uint32_t>(i)),
+             ef.block(s, i));
+    }
+  {
+    std::lock_guard lock(mu_);
+    manifest_[file_id] =
+        FileInfo{bytes.size(), ef.stripes(), std::move(placement)};
+  }
   return ef.stripes();
 }
 
 std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
                                            std::size_t file_bytes) {
-  std::lock_guard lock(mu_);
   obs::ScopedTimer timer(*read_seconds_);
   read_bytes_->inc(file_bytes);
   const auto deadline = budget_deadline();
@@ -197,103 +343,263 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
   const std::size_t stripes =
       std::max<std::size_t>(1, (file_bytes + stripe_data - 1) / stripe_data);
 
-  // Any way a block can fail to arrive healthy — server down (transport /
-  // timeout / deadline), bad at rest (kCorrupt), or a server-side refusal —
-  // is an erasure: the stripe re-plans onto the next path down.  One
-  // exception: kBadRequest means *this* store composed a malformed frame.
-  // That is a local bug, not a dead server; swallowing it would mask the bug
-  // behind silently degraded reads, so it propagates.
-  auto try_get_range = [&](std::uint32_t s32, std::size_t i,
-                           const BlockKey& k, std::uint32_t off,
-                           std::uint32_t len)
-      -> std::optional<std::vector<Byte>> {
-    check_budget(deadline, budget_exhausted_, "read_file");
-    try {
-      return client_for(file_id, s32, static_cast<std::uint32_t>(i))
-          .get_range(k, off, len);
-    } catch (const BadRequestError&) {
-      throw;
-    } catch (const Error&) {
-      return std::nullopt;
+  HedgePolicy hedge;
+  {
+    std::lock_guard lock(mu_);
+    hedge = hedge_;
+  }
+  // A hedge needs a parity block to stand in for the slot; with p == n
+  // every block carries data and there is no candidate to race.
+  const bool hedging = hedge.enabled && p < n;
+  const std::chrono::milliseconds hedge_after =
+      hedging ? hedge_budget(hedge) : std::chrono::milliseconds(0);
+
+  // One slot's resolution: the verbatim extent (primary range-GET) or a
+  // §VII parity stand-in (hedge), whichever answered first.
+  struct SlotOutcome {
+    std::vector<Byte> bytes;
+    std::size_t stand_in_from = 0;  // parity block index when a stand-in won
+    bool ok = false;
+    bool from_hedge = false;
+  };
+  // First-wins cell shared by a primary and at most one hedge.  A healthy
+  // answer resolves immediately; a failed attempt resolves only when it is
+  // the last one still out, so a slow-but-healthy sibling is never
+  // pre-empted by a quick failure.  BadRequestError resolves immediately:
+  // it means *this* store composed a malformed frame — a local bug that
+  // must not hide behind the race.  The loser's complete()/fail() lands on
+  // a resolved cell and is dropped: drained, never double-decoded.
+  struct SlotCell {
+    std::mutex mu;
+    std::promise<SlotOutcome> result;
+    int outstanding = 1;
+    bool resolved = false;
+
+    bool arm_hedge() {
+      std::lock_guard lock(mu);
+      if (resolved) return false;
+      ++outstanding;
+      return true;
+    }
+    void complete(SlotOutcome out) {
+      std::lock_guard lock(mu);
+      --outstanding;
+      if (resolved) return;
+      if (out.ok || outstanding == 0) {
+        resolved = true;
+        result.set_value(std::move(out));
+      }
+    }
+    void fail(std::exception_ptr e) {
+      std::lock_guard lock(mu);
+      --outstanding;
+      if (resolved) return;
+      resolved = true;
+      result.set_exception(std::move(e));
     }
   };
-  auto try_project = [&](std::uint32_t s32, std::size_t i, const BlockKey& k,
-                         std::uint32_t u, const Client::Projection& proj)
-      -> std::optional<std::vector<Byte>> {
-    check_budget(deadline, budget_exhausted_, "read_file");
+
+  // Pool tasks capture everything by value (or reach members of the store,
+  // which outlives the pool by destruction order): a hedge loser keeps
+  // running after this call took the winner and moved on, so it must not
+  // reference this frame's locals.
+  auto fetch_extent = [this, deadline](Server* srv, BlockKey bk,
+                                       std::uint32_t len,
+                                       std::shared_ptr<SlotCell> cell) {
+    SlotOutcome out;
     try {
-      return client_for(file_id, s32, static_cast<std::uint32_t>(i))
-          .project(k, u, proj);
+      // Deadline pre-check only: the coordinator owns budget reporting.
+      if (std::chrono::steady_clock::now() >= deadline) {
+        cell->complete(std::move(out));
+        return;
+      }
+      Lease c(*srv, policy_, registry_);
+      const auto start = std::chrono::steady_clock::now();
+      auto resp = c->get_range(bk, 0, len);
+      range_get_seconds_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+      if (resp && resp->size() == len) {
+        out.bytes = std::move(*resp);
+        out.ok = true;
+      }
+      cell->complete(std::move(out));
     } catch (const BadRequestError&) {
-      throw;
+      cell->fail(std::current_exception());
     } catch (const Error&) {
-      return std::nullopt;
+      cell->complete(std::move(out));  // an erasure, not an error
     }
   };
-  auto try_get = [&](std::uint32_t s32, std::size_t i,
-                     const BlockKey& k) -> std::optional<std::vector<Byte>> {
-    check_budget(deadline, budget_exhausted_, "read_file");
+  auto fetch_stand_in = [this, deadline](Server* srv, BlockKey bk,
+                                         std::size_t cand, std::size_t slot,
+                                         std::size_t unit_bytes,
+                                         bool from_hedge) -> SlotOutcome {
+    SlotOutcome out;
+    out.stand_in_from = cand;
+    out.from_hedge = from_hedge;
+    if (std::chrono::steady_clock::now() >= deadline) return out;
+    Client::Projection proj;
+    for (std::size_t pos : code_->selection_pattern(slot))
+      proj.push_back({{static_cast<std::uint32_t>(pos), Byte{1}}});
+    const std::size_t want = proj.size() * unit_bytes;
     try {
-      return client_for(file_id, s32, static_cast<std::uint32_t>(i)).get(k);
+      Lease c(*srv, policy_, registry_);
+      auto resp = c->project(bk, static_cast<std::uint32_t>(unit_bytes), proj);
+      if (resp && resp->size() == want) {
+        out.bytes = std::move(*resp);
+        out.ok = true;
+      }
     } catch (const BadRequestError&) {
-      throw;
+      throw;  // a malformed frame is a local bug, not a dead server
     } catch (const Error&) {
-      return std::nullopt;
     }
+    return out;
   };
 
   std::vector<Byte> out(stripes * stripe_data);
   for (std::size_t s = 0; s < stripes; ++s) {
+    check_budget(deadline, budget_exhausted_, "read_file");
     std::span<Byte> dst(out.data() + s * stripe_data, stripe_data);
     const std::uint32_t s32 = static_cast<std::uint32_t>(s);
 
-    // Parallel read: one original-data extent per data-carrying block.
-    std::vector<std::optional<std::vector<Byte>>> extents(p);
-    std::vector<std::size_t> missing;
-    for (std::size_t slot = 0; slot < p; ++slot) {
-      extents[slot] =
-          try_get_range(s32, slot,
-                        key(file_id, s32, static_cast<std::uint32_t>(slot)),
-                        0, static_cast<std::uint32_t>(K * ub));
-      if (!extents[slot]) missing.push_back(slot);
+    // Snapshot the slots' homes under mu_, then fan out with no lock held.
+    // The snapshot may go stale mid-read (a concurrent re-home): that slot
+    // surfaces as an erasure and fails over like any other.
+    std::vector<Server*> homes(p);
+    {
+      std::lock_guard lock(mu_);
+      for (std::size_t slot = 0; slot < p; ++slot)
+        homes[slot] = servers_[home_of_locked(
+                                   file_id, s32,
+                                   static_cast<std::uint32_t>(slot))]
+                          .get();
     }
-    if (missing.empty()) {
+
+    // Parallel read: all p range-GETs in flight at once, one original-data
+    // extent per data-carrying block.
+    std::vector<std::shared_ptr<SlotCell>> cells(p);
+    std::vector<std::future<SlotOutcome>> pending(p);
+    for (std::size_t slot = 0; slot < p; ++slot) {
+      cells[slot] = std::make_shared<SlotCell>();
+      pending[slot] = cells[slot]->result.get_future();
+    }
+    for (std::size_t slot = 0; slot < p; ++slot) {
+      range_gets_->inc();
+      pool_->submit([fetch_extent, srv = homes[slot],
+                     bk = key(file_id, s32, static_cast<std::uint32_t>(slot)),
+                     len = static_cast<std::uint32_t>(K * ub),
+                     cell = cells[slot]] { fetch_extent(srv, bk, len, cell); });
+    }
+
+    // Parity candidates for stand-ins, consumed at most once per stripe so
+    // the decode never sees two unit sets from the same block.
+    std::vector<std::size_t> candidates;
+    for (std::size_t c = p; c < n; ++c) candidates.push_back(c);
+
+    // Hedge stage: every primary still unanswered past the budget races a
+    // speculative stand-in; the first answer wins and the loser drains on
+    // its own pooled connection.  One absolute deadline for all slots —
+    // the primaries launched together.
+    if (hedging) {
+      const auto hedge_deadline =
+          std::min(std::chrono::steady_clock::now() + hedge_after, deadline);
+      for (std::size_t slot = 0; slot < p && !candidates.empty(); ++slot) {
+        if (pending[slot].wait_until(hedge_deadline) ==
+            std::future_status::ready)
+          continue;
+        if (!cells[slot]->arm_hedge()) continue;
+        const std::size_t cand = candidates.front();
+        candidates.erase(candidates.begin());
+        hedged_reads_->inc();
+        Server* csrv = &server_at(
+            home_of(file_id, s32, static_cast<std::uint32_t>(cand)));
+        pool_->submit(
+            [fetch_stand_in, csrv,
+             bk = key(file_id, s32, static_cast<std::uint32_t>(cand)), cand,
+             slot, ub, cell = cells[slot]] {
+              try {
+                cell->complete(
+                    fetch_stand_in(csrv, bk, cand, slot, ub, true));
+              } catch (const BadRequestError&) {
+                cell->fail(std::current_exception());
+              }
+            });
+      }
+    }
+
+    std::vector<std::optional<std::vector<Byte>>> extents(p);
+    std::vector<std::optional<std::pair<std::size_t, std::vector<Byte>>>>
+        stand_in(p);
+    std::vector<std::size_t> failed;
+    bool any_stand_in = false;
+    for (std::size_t slot = 0; slot < p; ++slot) {
+      SlotOutcome o = pending[slot].get();  // rethrows BadRequestError
+      if (!o.ok) {
+        failed.push_back(slot);
+      } else if (o.from_hedge) {
+        hedge_wins_->inc();
+        any_stand_in = true;
+        stand_in[slot] = {o.stand_in_from, std::move(o.bytes)};
+      } else {
+        extents[slot] = std::move(o.bytes);
+      }
+    }
+
+    if (failed.empty() && !any_stand_in) {
       for (std::size_t slot = 0; slot < p; ++slot)
         std::memcpy(dst.data() + slot * K * ub, extents[slot]->data(),
                     K * ub);
       continue;
     }
 
-    // §VII degraded read: parity blocks stand in for missing slots, each
-    // serving that slot's selection pattern (k/p of a block over the wire).
+    // §VII degraded read: parity blocks stand in for unreadable slots, each
+    // serving that slot's selection pattern (k/p of a block over the wire),
+    // all remaining slots dispatched concurrently per round.
     degraded_reads_->inc();
-    std::vector<std::pair<std::size_t, std::vector<Byte>>> stand_ins;
-    std::size_t candidate = p;
-    for (std::size_t slot : missing) {
-      for (; candidate < n; ++candidate) {
-        Client::Projection proj;
-        for (std::size_t pos : code_->selection_pattern(slot))
-          proj.push_back({{static_cast<std::uint32_t>(pos), Byte{1}}});
-        auto resp = try_project(
-            s32, candidate,
-            key(file_id, s32, static_cast<std::uint32_t>(candidate)),
-            static_cast<std::uint32_t>(ub), proj);
-        if (resp) {
-          stand_ins.emplace_back(candidate++, std::move(*resp));
-          break;
+    while (!failed.empty() && !candidates.empty()) {
+      check_budget(deadline, budget_exhausted_, "read_file");
+      const std::size_t launch = std::min(failed.size(), candidates.size());
+      std::vector<std::future<SlotOutcome>> round;
+      round.reserve(launch);
+      for (std::size_t j = 0; j < launch; ++j) {
+        const std::size_t slot = failed[j];
+        const std::size_t cand = candidates[j];
+        Server* csrv = &server_at(
+            home_of(file_id, s32, static_cast<std::uint32_t>(cand)));
+        round.push_back(pool_->submit_task(
+            [fetch_stand_in, csrv,
+             bk = key(file_id, s32, static_cast<std::uint32_t>(cand)), cand,
+             slot, ub] {
+              return fetch_stand_in(csrv, bk, cand, slot, ub, false);
+            }));
+      }
+      candidates.erase(candidates.begin(),
+                       candidates.begin() + static_cast<std::ptrdiff_t>(launch));
+      std::vector<std::size_t> still;
+      for (std::size_t j = 0; j < launch; ++j) {
+        SlotOutcome o = round[j].get();  // rethrows BadRequestError
+        if (o.ok) {
+          any_stand_in = true;
+          stand_in[failed[j]] = {o.stand_in_from, std::move(o.bytes)};
+        } else {
+          still.push_back(failed[j]);
         }
       }
+      for (std::size_t j = launch; j < failed.size(); ++j)
+        still.push_back(failed[j]);
+      failed = std::move(still);
     }
-    if (stand_ins.size() == missing.size()) {
+
+    if (failed.empty()) {
       std::vector<codes::UnitRef> units;
       units.reserve(code_->message_units());
-      std::size_t si = 0;
       for (std::size_t slot = 0; slot < p; ++slot) {
         if (extents[slot]) {
           for (std::size_t t = 0; t < K; ++t)
             units.push_back({slot, t, extents[slot]->data() + t * ub});
         } else {
-          auto& [cand, bytes] = stand_ins[si++];
+          auto& [cand, bytes] = *stand_in[slot];
           auto pattern = code_->selection_pattern(slot);
           for (std::size_t j = 0; j < pattern.size(); ++j)
             units.push_back({cand, pattern[j], bytes.data() + j * ub});
@@ -308,7 +614,16 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     std::vector<std::size_t> ids;
     std::vector<std::vector<Byte>> blocks;
     for (std::size_t i = 0; i < n && ids.size() < code_->k(); ++i) {
-      auto b = try_get(s32, i, key(file_id, s32, static_cast<std::uint32_t>(i)));
+      check_budget(deadline, budget_exhausted_, "read_file");
+      std::optional<std::vector<Byte>> b;
+      try {
+        Lease c = lease_for(file_id, s32, static_cast<std::uint32_t>(i));
+        b = c->get(key(file_id, s32, static_cast<std::uint32_t>(i)));
+      } catch (const BadRequestError&) {
+        throw;
+      } catch (const Error&) {
+        b = std::nullopt;
+      }
       if (!b || b->size() != block_bytes_) continue;
       ids.push_back(i);
       blocks.push_back(std::move(*b));
@@ -325,17 +640,16 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
 
 bool CarouselStore::drop_block(std::uint32_t file_id, std::uint32_t stripe,
                                std::uint32_t index) {
-  std::lock_guard lock(mu_);
-  return client_for(file_id, stripe, index).remove(key(file_id, stripe, index));
+  Lease c = lease_for(file_id, stripe, index);
+  return c->remove(key(file_id, stripe, index));
 }
 
 BlockState CarouselStore::verify_block(std::uint32_t file_id,
                                        std::uint32_t stripe,
                                        std::uint32_t index) {
-  std::lock_guard lock(mu_);
   try {
-    switch (client_for(file_id, stripe, index)
-                .verify(key(file_id, stripe, index))) {
+    Lease c = lease_for(file_id, stripe, index);
+    switch (c->verify(key(file_id, stripe, index))) {
       case BlockHealth::kOk:
         return BlockState::kOk;
       case BlockHealth::kMissing:
@@ -351,22 +665,20 @@ BlockState CarouselStore::verify_block(std::uint32_t file_id,
 std::uint64_t CarouselStore::repair_block(std::uint32_t file_id,
                                           std::uint32_t stripe,
                                           std::uint32_t index) {
-  std::lock_guard lock(mu_);
-  return repair_block_locked(file_id, stripe, index, std::nullopt,
-                             budget_deadline());
+  return repair_block_impl(file_id, stripe, index, std::nullopt,
+                           budget_deadline());
 }
 
 std::uint64_t CarouselStore::rehome_block(std::uint32_t file_id,
                                           std::uint32_t stripe,
                                           std::uint32_t index) {
-  std::lock_guard lock(mu_);
-  return rehome_block_locked(file_id, stripe, index);
+  return rehome_block_impl(file_id, stripe, index);
 }
 
-std::uint64_t CarouselStore::rehome_block_locked(std::uint32_t file_id,
-                                                 std::uint32_t stripe,
-                                                 std::uint32_t index) {
-  auto candidates = placement_candidates_locked(file_id, stripe, index);
+std::uint64_t CarouselStore::rehome_block_impl(std::uint32_t file_id,
+                                               std::uint32_t stripe,
+                                               std::uint32_t index) {
+  auto candidates = placement_candidates(file_id, stripe, index);
   if (candidates.empty()) {
     rehome_failures_->inc();
     throw RehomeError(
@@ -374,7 +686,7 @@ std::uint64_t CarouselStore::rehome_block_locked(std::uint32_t file_id,
         "with add_server)");
   }
   try {
-    std::uint64_t fetched = repair_block_locked(
+    std::uint64_t fetched = repair_block_impl(
         file_id, stripe, index, candidates.front(), budget_deadline());
     rehomes_->inc();
     rehome_bytes_read_->inc(fetched);
@@ -387,33 +699,36 @@ std::uint64_t CarouselStore::rehome_block_locked(std::uint32_t file_id,
 
 CarouselStore::RehomeReport CarouselStore::rehome_server(
     std::size_t server_id) {
-  std::lock_guard lock(mu_);
   RehomeReport report;
-  // Collect first: rehoming rewrites the placement rows being iterated.
   std::vector<BlockRef> victims;
-  for (const auto& [file_id, info] : manifest_)
-    for (std::size_t s = 0; s < info.stripes; ++s)
-      for (std::size_t i = 0; i < code_->n(); ++i)
-        if (home_of_locked(file_id, static_cast<std::uint32_t>(s),
-                           static_cast<std::uint32_t>(i)) == server_id)
-          victims.push_back(BlockRef{file_id, static_cast<std::uint32_t>(s),
-                                     static_cast<std::uint32_t>(i)});
-  if (scheduler_ != nullptr) {
-    // Healing becomes the scheduler's job: one kRehome item per victim,
-    // prioritized by how many blocks the stripe just lost on this server.
-    // enqueue() touches only scheduler state, so calling it under mu_
-    // respects the store -> scheduler lock order.
-    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> losses;
-    for (const BlockRef& b : victims) ++losses[{b.file, b.stripe}];
-    for (const BlockRef& b : victims)
-      scheduler_->enqueue(b, RepairScheduler::Kind::kRehome,
-                          losses[{b.file, b.stripe}]);
-    report.enqueued = victims.size();
-    return report;
+  {
+    std::lock_guard lock(mu_);
+    // Collect first: rehoming rewrites the placement rows being iterated.
+    for (const auto& [file_id, info] : manifest_)
+      for (std::size_t s = 0; s < info.stripes; ++s)
+        for (std::size_t i = 0; i < code_->n(); ++i)
+          if (home_of_locked(file_id, static_cast<std::uint32_t>(s),
+                             static_cast<std::uint32_t>(i)) == server_id)
+            victims.push_back(BlockRef{file_id, static_cast<std::uint32_t>(s),
+                                       static_cast<std::uint32_t>(i)});
+    if (scheduler_ != nullptr) {
+      // Healing becomes the scheduler's job: one kRehome item per victim,
+      // prioritized by how many blocks the stripe just lost on this server.
+      // enqueue() touches only scheduler state, so calling it under mu_
+      // respects the store -> scheduler lock order.
+      std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> losses;
+      for (const BlockRef& b : victims) ++losses[{b.file, b.stripe}];
+      for (const BlockRef& b : victims)
+        scheduler_->enqueue(b, RepairScheduler::Kind::kRehome,
+                            losses[{b.file, b.stripe}]);
+      report.enqueued = victims.size();
+      return report;
+    }
   }
+  // Inline heals run with no store lock held, like any other repair.
   for (const BlockRef& b : victims) {
     try {
-      report.bytes_read += rehome_block_locked(b.file, b.stripe, b.index);
+      report.bytes_read += rehome_block_impl(b.file, b.stripe, b.index);
       ++report.rehomed;
     } catch (const std::exception&) {
       ++report.failed;
@@ -437,12 +752,15 @@ void CarouselStore::attach_scheduler(RepairScheduler* scheduler) {
   scheduler_ = scheduler;
 }
 
-std::vector<std::size_t> CarouselStore::choose_helpers_locked(
+std::vector<std::size_t> CarouselStore::choose_helpers(
     std::uint32_t file_id, std::uint32_t stripe,
     const std::vector<std::size_t>& survivors, std::size_t want,
     std::size_t bytes_per_helper) const {
+  std::lock_guard lock(mu_);
   want = std::min(want, survivors.size());
-  std::vector<std::size_t> first(survivors.begin(), survivors.begin() + want);
+  std::vector<std::size_t> first(
+      survivors.begin(),
+      survivors.begin() + static_cast<std::ptrdiff_t>(want));
   if (!helper_policy_) return first;
   std::vector<HelperCandidate> candidates;
   candidates.reserve(survivors.size());
@@ -463,7 +781,7 @@ std::vector<std::size_t> CarouselStore::choose_helpers_locked(
   return picked;
 }
 
-std::uint64_t CarouselStore::repair_block_locked(
+std::uint64_t CarouselStore::repair_block_impl(
     std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index,
     std::optional<std::size_t> target,
     std::chrono::steady_clock::time_point deadline) {
@@ -479,8 +797,8 @@ std::uint64_t CarouselStore::repair_block_locked(
     if (h == index) continue;
     check_budget(deadline, budget_exhausted_, "repair_block");
     try {
-      if (client_for(file_id, stripe, static_cast<std::uint32_t>(h))
-              .verify(key(file_id, stripe, static_cast<std::uint32_t>(h))) ==
+      Lease c = lease_for(file_id, stripe, static_cast<std::uint32_t>(h));
+      if (c->verify(key(file_id, stripe, static_cast<std::uint32_t>(h))) ==
           BlockHealth::kOk)
         survivors.push_back(h);
     } catch (const Error&) {
@@ -497,7 +815,7 @@ std::uint64_t CarouselStore::repair_block_locked(
     // drops through to the whole-block decode below.  The helper policy
     // (when a scheduler is attached) spreads this fan-in over the least-
     // loaded survivors instead of always the first d.
-    std::vector<std::size_t> helpers = choose_helpers_locked(
+    std::vector<std::size_t> helpers = choose_helpers(
         file_id, stripe, survivors, code_->d(),
         block_bytes_ / code_->params().alpha());
     std::vector<std::vector<Byte>> chunk_store;
@@ -513,9 +831,9 @@ std::uint64_t CarouselStore::repair_block_locked(
       }
       std::optional<std::vector<Byte>> resp;
       try {
-        resp = client_for(file_id, stripe, static_cast<std::uint32_t>(h))
-                   .project(key(file_id, stripe, static_cast<std::uint32_t>(h)),
-                            static_cast<std::uint32_t>(ub), wire);
+        Lease c = lease_for(file_id, stripe, static_cast<std::uint32_t>(h));
+        resp = c->project(key(file_id, stripe, static_cast<std::uint32_t>(h)),
+                          static_cast<std::uint32_t>(ub), wire);
       } catch (const BadRequestError&) {
         throw;  // locally composed malformed frame: a bug, not a dead helper
       } catch (const Error&) {
@@ -526,10 +844,8 @@ std::uint64_t CarouselStore::repair_block_locked(
         break;
       }
       fetched += resp->size();
-      if (traffic_observer_)
-        traffic_observer_(
-            home_of_locked(file_id, stripe, static_cast<std::uint32_t>(h)),
-            resp->size(), 0);
+      observe_traffic(home_of(file_id, stripe, static_cast<std::uint32_t>(h)),
+                      resp->size(), 0);
       chunk_store.push_back(std::move(*resp));
     }
     if (complete) {
@@ -551,10 +867,15 @@ std::uint64_t CarouselStore::repair_block_locked(
     // in the policy's least-loaded order (so whole-block sources also spread
     // over the fleet), then every other index ascending as a stale-probe
     // hedge.  Without a policy this is the plain 0..n-1 walk.
+    bool policied;
+    {
+      std::lock_guard lock(mu_);
+      policied = static_cast<bool>(helper_policy_);
+    }
     std::vector<std::size_t> order;
-    if (helper_policy_) {
-      order = choose_helpers_locked(file_id, stripe, survivors, code_->k(),
-                                    block_bytes_);
+    if (policied) {
+      order = choose_helpers(file_id, stripe, survivors, code_->k(),
+                             block_bytes_);
       const std::set<std::size_t> chosen(order.begin(), order.end());
       for (std::size_t h = 0; h < code_->n(); ++h)
         if (h != index && !chosen.contains(h)) order.push_back(h);
@@ -567,8 +888,8 @@ std::uint64_t CarouselStore::repair_block_locked(
       check_budget(deadline, budget_exhausted_, "repair_block");
       std::optional<std::vector<Byte>> b;
       try {
-        b = client_for(file_id, stripe, static_cast<std::uint32_t>(h))
-                .get(key(file_id, stripe, static_cast<std::uint32_t>(h)));
+        Lease c = lease_for(file_id, stripe, static_cast<std::uint32_t>(h));
+        b = c->get(key(file_id, stripe, static_cast<std::uint32_t>(h)));
       } catch (const BadRequestError&) {
         throw;  // locally composed malformed frame: a bug, not a dead helper
       } catch (const Error&) {
@@ -576,10 +897,8 @@ std::uint64_t CarouselStore::repair_block_locked(
       }
       if (!b || b->size() != block_bytes_) continue;
       fetched += b->size();
-      if (traffic_observer_)
-        traffic_observer_(
-            home_of_locked(file_id, stripe, static_cast<std::uint32_t>(h)),
-            b->size(), 0);
+      observe_traffic(home_of(file_id, stripe, static_cast<std::uint32_t>(h)),
+                      b->size(), 0);
       ids.push_back(h);
       blocks.push_back(std::move(*b));
     }
@@ -597,18 +916,20 @@ std::uint64_t CarouselStore::repair_block_locked(
   // re-homes onto a placement-eligible candidate — the placement table only
   // moves once a candidate passes the audit, so a failure here leaves the
   // stripe exactly as it was (the block stays an erasure, never a silent
-  // partial write).
-  const std::size_t home = home_of_locked(file_id, stripe, index);
+  // partial write).  PUT and the audit share one lease so the VERIFY sees
+  // the same connection's view.
+  const std::size_t home = home_of(file_id, stripe, index);
   std::vector<std::size_t> uploads{target.value_or(home)};
-  for (std::size_t c : placement_candidates_locked(file_id, stripe, index))
+  for (std::size_t c : placement_candidates(file_id, stripe, index))
     if (c != uploads.front()) uploads.push_back(c);
   const std::uint32_t want_crc = util::crc32(rebuilt);
   for (std::size_t t : uploads) {
     check_budget(deadline, budget_exhausted_, "repair_block");
     try {
-      client_at(t).put(key(file_id, stripe, index), rebuilt);
+      Lease c = lease(t);
+      c->put(key(file_id, stripe, index), rebuilt);
       std::uint32_t stored_crc = 0;
-      if (client_at(t).verify(key(file_id, stripe, index), &stored_crc) !=
+      if (c->verify(key(file_id, stripe, index), &stored_crc) !=
               BlockHealth::kOk ||
           stored_crc != want_crc)
         throw Error("repaired block failed its post-repair audit");
@@ -617,8 +938,8 @@ std::uint64_t CarouselStore::repair_block_locked(
     } catch (const Error&) {
       continue;  // this home is dead or lying: try the next candidate
     }
-    if (t != home) set_placement_locked(file_id, stripe, index, t);
-    if (traffic_observer_) traffic_observer_(t, 0, rebuilt.size());
+    if (t != home) set_placement(file_id, stripe, index, t);
+    observe_traffic(t, 0, rebuilt.size());
     repairs_->inc();
     repair_bytes_read_->inc(fetched);
     return fetched;
@@ -636,20 +957,28 @@ std::map<std::uint32_t, CarouselStore::FileInfo> CarouselStore::files() const {
 std::uint64_t CarouselStore::bytes_received() const {
   std::lock_guard lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& s : servers_) total += s.client->bytes_received();
+  for (const auto& s : servers_) {
+    std::lock_guard pool_lock(s->pool_mu);
+    total += s->retired_bytes;
+    for (const auto& c : s->idle) total += c->bytes_received();
+  }
   return total;
 }
 
 Client::Counters CarouselStore::counters() const {
   std::lock_guard lock(mu_);
   Client::Counters total;
-  for (const auto& s : servers_) {
-    const auto& cc = s.client->counters();
+  auto fold = [&total](const Client::Counters& cc) {
     total.retries += cc.retries;
     total.reconnects += cc.reconnects;
     total.timeouts += cc.timeouts;
     total.wire_corruptions += cc.wire_corruptions;
     total.corrupt_blocks += cc.corrupt_blocks;
+  };
+  for (const auto& s : servers_) {
+    std::lock_guard pool_lock(s->pool_mu);
+    fold(s->retired);
+    for (const auto& c : s->idle) fold(c->counters());
   }
   return total;
 }

@@ -2,13 +2,37 @@
 //
 // Stripes files across a fleet of block servers with a Carousel code and
 // implements the paper's three data paths against real sockets:
-//   - parallel read: fetch each data-carrying block's original-data extent
-//     (one GET_RANGE per block, p concurrent sources);
+//   - parallel read: all p original-data extents of a stripe are fetched
+//     concurrently (one GET_RANGE per data-carrying block, fanned out over a
+//     store-owned thread pool) and the results collected via futures;
 //   - degraded read (§VII): parity stand-ins serve the missing slots'
-//     selection patterns via PROJECT, k/p of a block each;
+//     selection patterns via PROJECT, k/p of a block each, dispatched
+//     concurrently for every failed slot;
 //   - repair: helpers run their phi-projections server-side (PROJECT), only
 //     the chunks travel, the newcomer combines and re-PUTs — so the bytes on
 //     the wire are exactly Fig. 7's d/(d-k+1) block sizes.
+//
+// Hedged reads: with StoreOptions::hedge enabled, a slot whose range-GET has
+// not answered within a latency budget (a quantile of the store's own
+// carousel_store_range_get_seconds histogram, floored by HedgePolicy::floor)
+// gets a speculative §VII stand-in racing its primary.  Whichever answers
+// first wins; the loser finishes on its own pooled connection — its response
+// is fully read and then discarded, never double-decoded and never left
+// half-parsed on a socket another request could pick up.  The race is
+// counted by carousel_store_hedged_reads_total / carousel_store_hedge_wins_
+// total (minted through one helper; check_invariants rule 7).
+//
+// Locking discipline: mu_ guards only in-memory lookups and mutations — the
+// manifest/placement tables, the servers_ vector, and the policy/observer/
+// scheduler hooks.  It is NEVER held across network I/O.  Every wire
+// operation leases a connection from a per-server client pool (Server::idle,
+// guarded by the per-server pool_mu) and runs lock-free, so concurrent
+// read_file calls — and a background Scrubber or RepairScheduler healing
+// while a foreground reader streams — proceed in parallel.  Lock order is
+// mu_ -> pool_mu, both leaf-held for pointer swaps only; read-path pool
+// tasks take pool_mu alone.  The placement snapshot a read takes under mu_
+// may go stale mid-read (a concurrent re-home): the affected block simply
+// surfaces as an erasure and fails over like any other.
 //
 // Placement is explicit: every file's manifest entry carries a per-stripe
 // placement table mapping block index -> server id.  put_file seeds it with
@@ -32,8 +56,6 @@
 // StoreOptions::op_budget bounds a whole read_file/repair_block call across
 // every failover step (StoreDeadlineError), so a read limping across many
 // sick servers fails fast instead of multiplying per-op timeouts.
-// All public methods are serialized by an internal mutex so a background
-// Scrubber can share the store with a foreground reader.
 
 #ifndef CAROUSEL_NET_STORE_H
 #define CAROUSEL_NET_STORE_H
@@ -49,12 +71,33 @@
 #include "codes/carousel.h"
 #include "net/client.h"
 
+namespace carousel::util {
+class ThreadPool;
+}  // namespace carousel::util
+
 namespace carousel::net {
 
 class RepairScheduler;
 
 /// Store-level view of one block's condition.
 enum class BlockState { kOk, kMissing, kCorrupt, kUnreachable };
+
+/// When and how read_file hedges a straggling range-GET with a speculative
+/// §VII stand-in.  Disabled by default: hedging trades extra wire traffic
+/// for tail latency, so it is an explicit opt-in.
+struct HedgePolicy {
+  bool enabled = false;
+  /// The latency budget is this quantile of the store's own range-GET
+  /// latency histogram (carousel_store_range_get_seconds).
+  double percentile = 0.95;
+  /// The budget never drops below this, however fast the histogram says the
+  /// fleet is — guards against hedging every read on a quiet loopback.
+  std::chrono::milliseconds floor{5};
+  /// Budget used until the histogram holds min_samples observations (a cold
+  /// store has no quantile worth trusting).
+  std::chrono::milliseconds initial{50};
+  std::uint64_t min_samples = 32;
+};
 
 struct StoreOptions {
   /// Applied to every server connection the store owns.
@@ -68,6 +111,13 @@ struct StoreOptions {
   /// StoreDeadlineError — the already-running client op still finishes, so
   /// the worst case is budget + one per-op deadline, never a sum of them.
   std::chrono::milliseconds op_budget{0};
+  /// Hedged-read policy; see HedgePolicy.  Runtime-adjustable via
+  /// set_hedge_policy().
+  HedgePolicy hedge{};
+  /// Workers in the store-owned pool the read path fans out over
+  /// (0 = max(8, 2n), sized so one stripe's fan-out plus a second
+  /// concurrent reader never queues behind itself).
+  std::size_t read_threads = 0;
 };
 
 class CarouselStore {
@@ -125,6 +175,7 @@ class CarouselStore {
   CarouselStore(const codes::Carousel& code,
                 const std::vector<std::uint16_t>& ports,
                 std::size_t block_bytes, StoreOptions options = {});
+  ~CarouselStore();
 
   const codes::Carousel& code() const { return *code_; }
   std::size_t block_bytes() const { return block_bytes_; }
@@ -162,7 +213,9 @@ class CarouselStore {
   /// Downloads and reassembles the file (size from put_file's input).
   /// Chooses per stripe: parallel extents, §VII pattern reads, or whole-
   /// block MDS decode, depending on which blocks are healthy — dead servers,
-  /// timeouts and corrupt blocks all count as erasures.
+  /// timeouts and corrupt blocks all count as erasures.  Thread-safe and
+  /// genuinely concurrent: two calls overlap on the wire, and within one
+  /// call all p extents of a stripe are in flight at once.
   std::vector<codes::Byte> read_file(std::uint32_t file_id,
                                      std::size_t file_bytes);
 
@@ -207,15 +260,23 @@ class CarouselStore {
   };
   std::map<std::uint32_t, FileInfo> files() const;
 
-  /// Total bytes received from all servers (traffic accounting).
+  /// Total bytes received from all servers (traffic accounting).  Counts
+  /// idle pooled connections plus everything folded in from retired ones;
+  /// a connection leased by an op in flight is counted once it returns.
   std::uint64_t bytes_received() const;
 
-  /// Aggregated failure-handling telemetry across every server connection.
+  /// Aggregated failure-handling telemetry across every server connection
+  /// (same in-flight caveat as bytes_received()).
   Client::Counters counters() const;
 
   /// The registry this store (and its clients, and any Scrubber sweeping it)
   /// reports into — StoreOptions::registry, or the process-global one.
   obs::MetricsRegistry& metrics() const { return *registry_; }
+
+  /// Replaces the hedged-read policy at runtime (benches toggle hedging on
+  /// one fleet to measure its tail-latency win in isolation).
+  void set_hedge_policy(HedgePolicy policy);
+  HedgePolicy hedge_policy() const;
 
   /// Overrides which survivors the repair path fans into (null restores the
   /// first-d default).  The policy is invoked under the store's mutex and
@@ -233,45 +294,90 @@ class CarouselStore {
   void attach_scheduler(RepairScheduler* scheduler);
 
  private:
+  /// One server plus its client pool.  Server objects are heap-allocated
+  /// and live as long as the store, so a read task may hold a Server*
+  /// without mu_ — add_server() only ever appends to servers_.
   struct Server {
     std::uint16_t port = 0;
     bool spare = false;
-    std::unique_ptr<Client> client;
+    std::mutex pool_mu;  // guards idle/retired; never held across I/O
+    std::vector<std::unique_ptr<Client>> idle;
+    Client::Counters retired{};       // telemetry of discarded clients
+    std::uint64_t retired_bytes = 0;  // bytes_received of discarded clients
   };
 
-  Client& client_at(std::size_t server_id) {
-    return *servers_[server_id].client;
-  }
-  std::size_t home_of_locked(std::uint32_t file_id, std::uint32_t stripe,
-                             std::uint32_t index) const;
-  Client& client_for(std::uint32_t file_id, std::uint32_t stripe,
-                     std::uint32_t index) {
-    return client_at(home_of_locked(file_id, stripe, index));
+  /// Exclusive use of one connection to a server for one operation.  A
+  /// Client is a single framed TCP stream and is not safe for interleaved
+  /// requests, so every wire op takes a pooled client (or opens a fresh one
+  /// when all are busy) — that is what lets two reads, or a hedge loser
+  /// still draining its response, talk to the same server concurrently.
+  /// Release returns the client to the pool only after its blocking call
+  /// finished, so a pooled connection is never mid-frame.
+  class Lease {
+   public:
+    Lease(Server& server, const RetryPolicy& policy,
+          obs::MetricsRegistry* registry);
+    ~Lease();
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Client* operator->() { return client_.get(); }
+
+   private:
+    Server* server_;
+    std::unique_ptr<Client> client_;
+  };
+
+  Server& server_at(std::size_t server_id) const;  // takes mu_ briefly
+  Lease lease(std::size_t server_id) const;
+  std::size_t home_of(std::uint32_t file_id, std::uint32_t stripe,
+                      std::uint32_t index) const;  // takes mu_ briefly
+  Lease lease_for(std::uint32_t file_id, std::uint32_t stripe,
+                  std::uint32_t index) const {
+    return lease(home_of(file_id, stripe, index));
   }
   BlockKey key(std::uint32_t file, std::uint32_t stripe,
                std::uint32_t index) const {
     return BlockKey{file, stripe, index};
   }
+  /// The one mint point for every carousel_store_hedge* series
+  /// (check_invariants rule 7).
+  obs::Counter& hedge_metric(const char* suffix);
+  /// Current hedge latency budget: the policy quantile of the range-GET
+  /// histogram, floored, or `initial` while samples are scarce.
+  std::chrono::milliseconds hedge_budget(const HedgePolicy& policy) const;
+  /// Invokes the traffic observer under mu_ (its documented contract).
+  void observe_traffic(std::size_t server, std::uint64_t egress,
+                       std::uint64_t ingress);
+  std::size_t home_of_locked(std::uint32_t file_id, std::uint32_t stripe,
+                             std::uint32_t index) const;
   /// Candidate new homes for (file, stripe, index): servers hosting no
   /// other block of that stripe, spares first, current home excluded.
   std::vector<std::size_t> placement_candidates_locked(
       std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const;
+  std::vector<std::size_t> placement_candidates(std::uint32_t file_id,
+                                                std::uint32_t stripe,
+                                                std::uint32_t index) const;
   /// Records block (stripe, index) of file as now living on `server_id`.
   void set_placement_locked(std::uint32_t file_id, std::uint32_t stripe,
                             std::uint32_t index, std::size_t server_id);
-  std::uint64_t repair_block_locked(std::uint32_t file_id,
-                                    std::uint32_t stripe, std::uint32_t index,
-                                    std::optional<std::size_t> target,
-                                    std::chrono::steady_clock::time_point
-                                        budget_deadline);
-  std::uint64_t rehome_block_locked(std::uint32_t file_id,
-                                    std::uint32_t stripe,
-                                    std::uint32_t index);
+  void set_placement(std::uint32_t file_id, std::uint32_t stripe,
+                     std::uint32_t index, std::size_t server_id);
+  /// The repair engine.  Takes mu_ only for lookups and the final placement
+  /// update — all probes, projections and uploads run on leased connections
+  /// with no store lock held.
+  std::uint64_t repair_block_impl(std::uint32_t file_id, std::uint32_t stripe,
+                                  std::uint32_t index,
+                                  std::optional<std::size_t> target,
+                                  std::chrono::steady_clock::time_point
+                                      budget_deadline);
+  std::uint64_t rehome_block_impl(std::uint32_t file_id, std::uint32_t stripe,
+                                  std::uint32_t index);
   std::chrono::steady_clock::time_point budget_deadline() const;
   /// Survivor ordering for the repair fan-in: the helper policy's choice
   /// (validated: `want` distinct members of `survivors`) or the first
   /// `want` survivors when no policy is set or its answer is unusable.
-  std::vector<std::size_t> choose_helpers_locked(
+  /// Takes mu_ internally (the policy hook's contract).
+  std::vector<std::size_t> choose_helpers(
       std::uint32_t file_id, std::uint32_t stripe,
       const std::vector<std::size_t>& survivors, std::size_t want,
       std::size_t bytes_per_helper) const;
@@ -282,9 +388,10 @@ class CarouselStore {
   std::chrono::milliseconds op_budget_{0};
   RetryPolicy policy_{};
   std::size_t base_fleet_ = 0;  // servers present at construction
-  std::vector<Server> servers_;
-  mutable std::mutex mu_;  // serializes public ops (scrubber vs. reader)
+  std::vector<std::unique_ptr<Server>> servers_;
+  mutable std::mutex mu_;  // lookups/mutations only; never held across I/O
   std::map<std::uint32_t, FileInfo> manifest_;
+  HedgePolicy hedge_;                 // guarded by mu_; snapshotted per read
   HelperPolicy helper_policy_;        // both hooks run under mu_ and touch
   TrafficObserver traffic_observer_;  // only their owner's state
   RepairScheduler* scheduler_ = nullptr;
@@ -292,9 +399,13 @@ class CarouselStore {
   // Cached instruments (constructor-resolved from registry_).
   obs::Histogram* put_seconds_ = nullptr;
   obs::Histogram* read_seconds_ = nullptr;
+  obs::Histogram* range_get_seconds_ = nullptr;
   obs::Histogram* repair_seconds_ = nullptr;
   obs::Counter* put_bytes_ = nullptr;
   obs::Counter* read_bytes_ = nullptr;
+  obs::Counter* range_gets_ = nullptr;
+  obs::Counter* hedged_reads_ = nullptr;
+  obs::Counter* hedge_wins_ = nullptr;
   obs::Counter* repairs_ = nullptr;
   obs::Counter* repair_bytes_read_ = nullptr;
   obs::Counter* degraded_reads_ = nullptr;
@@ -304,6 +415,12 @@ class CarouselStore {
   obs::Counter* rehome_bytes_read_ = nullptr;
   obs::Counter* budget_exhausted_ = nullptr;
   obs::Gauge* spare_servers_ = nullptr;
+
+  /// Fan-out workers for the read path.  Declared last on purpose: members
+  /// destroy in reverse order, so the pool's destructor joins any
+  /// still-draining hedge losers while servers_ and the instruments their
+  /// tasks touch are still alive.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace carousel::net

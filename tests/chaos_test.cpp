@@ -127,8 +127,10 @@ class ChaosHarness {
   // kMaxDown + kMaxBrokenPerStripe == n - k: every stripe always keeps at
   // least k healthy blocks, so invariant 1 applies to every read check.
 
+  // p = 10 < n leaves blocks 10 and 11 as parity, so hedged reads have
+  // stand-in candidates; heal-traffic expectations depend only on d and k.
   ChaosHarness()
-      : code_(12, 6, 10, 12), block_(code_.s() * 4) {
+      : code_(12, 6, 10, 10), block_(code_.s() * 4) {
     root_ = fs::temp_directory_path() /
             ("carousel_chaos_" + std::to_string(::getpid()));
     fs::remove_all(root_);
@@ -146,6 +148,11 @@ class ChaosHarness {
     policy.op_deadline = std::chrono::milliseconds(3000);
     sopts.policy = policy;
     sopts.registry = &registry_;
+    // Hedging on throughout: kills and stalls push slot latencies past the
+    // budget, so the storm exercises the speculative parity path for real.
+    sopts.hedge.enabled = true;
+    sopts.hedge.floor = std::chrono::milliseconds(5);
+    sopts.hedge.initial = std::chrono::milliseconds(15);
     std::vector<std::uint16_t> base_ports(ports_.begin(),
                                           ports_.begin() + kBase);
     store_ = std::make_unique<CarouselStore>(code_, base_ports, block_, sopts);
@@ -343,6 +350,15 @@ class ChaosHarness {
   }
 
   std::size_t files() const { return reference_.size(); }
+
+  CarouselStore& store() { return *store_; }
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Copy of the acked files at call time.  The storm's foreground reader
+  /// works from its own snapshot so it never races put_new_file's inserts.
+  std::map<std::uint32_t, std::vector<Byte>> reference_snapshot() const {
+    return reference_;
+  }
 
  private:
   fs::path dir(std::size_t i) const {
@@ -654,16 +670,56 @@ TEST(Chaos, SeededFaultScheduleKeepsEveryInvariant) {
   auto schedule = make_schedule(seed, events);
 
   ChaosHarness harness;
+
+  // Foreground hedged reader: pounds read_file on the seed files for the
+  // whole storm.  gtest assertions are not thread-safe off the main
+  // thread, so the reader only counts; the main thread asserts after join.
+  const auto pinned = harness.reference_snapshot();
+  ASSERT_GE(pinned.size(), 2u);
+  std::atomic<bool> stop_reads{false};
+  std::atomic<std::uint64_t> reads{0}, mismatches{0};
+  std::thread foreground([&] {
+    while (!stop_reads.load()) {
+      for (const auto& [fid, data] : pinned) {
+        try {
+          if (harness.store().read_file(fid, data.size()) != data)
+            ++mismatches;
+        } catch (const std::exception&) {
+          ++mismatches;
+        }
+        ++reads;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     SCOPED_TRACE("event " + std::to_string(i) + " of seed " +
                  std::to_string(seed));
     harness.apply(schedule[i]);
     if ((i + 1) % 5 == 0) harness.read_check();
     if ((i + 1) % 25 == 0) harness.scrub_phase();
-    if (::testing::Test::HasFatalFailure()) return;
+    if (::testing::Test::HasFatalFailure()) break;
   }
+  stop_reads = true;
+  foreground.join();
+  if (::testing::Test::HasFatalFailure()) return;
   harness.final_verify();
   EXPECT_GE(harness.files(), 2u);
+
+  // The reader ran hot through every kill, stall, corruption, and heal and
+  // never saw a wrong byte; the hedge telemetry obeys its accounting
+  // identity (a win is a hedge, a hedge rides a primary range-GET).
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "foreground hedged reads diverged from acked bytes";
+  const auto snap = harness.registry().snapshot();
+  const double hedged = snap.counters.at("carousel_store_hedged_reads_total");
+  const double wins = snap.counters.at("carousel_store_hedge_wins_total");
+  const double range_gets =
+      snap.counters.at("carousel_store_range_gets_total");
+  EXPECT_LE(wins, hedged);
+  EXPECT_LE(hedged, range_gets);
 }
 
 }  // namespace

@@ -254,6 +254,40 @@ TEST_F(CliTest, ClusterCommandRendersAliveAndDeadServers) {
             0);
 }
 
+TEST_F(CliTest, ReadsCommandRendersStoreSeries) {
+  namespace cnet = carousel::net;
+  // Before any CarouselStore runs in this process the global registry holds
+  // no store series; the command says so instead of going quiet.
+  cnet::BlockServer observer;
+  std::string empty = reads_status(observer.port());
+  EXPECT_NE(empty.find("no carousel_store_* series"), std::string::npos);
+
+  codes::Carousel code(6, 4, 4, 6);
+  std::vector<std::unique_ptr<cnet::BlockServer>> fleet;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 6; ++i) {
+    fleet.push_back(std::make_unique<cnet::BlockServer>());
+    ports.push_back(fleet.back()->port());
+  }
+  cnet::CarouselStore store(code, ports, code.s() * 4);
+  auto data = test::random_bytes(4 * code.s() * 4, 32);
+  store.put_file(1, data);
+  EXPECT_EQ(store.read_file(1, data.size()), data);
+
+  std::string table = reads_status(observer.port());
+  EXPECT_NE(table.find("store read path on port"), std::string::npos);
+  EXPECT_NE(table.find("carousel_store_range_gets_total"), std::string::npos);
+  EXPECT_NE(table.find("carousel_store_hedged_reads_total"),
+            std::string::npos);
+  EXPECT_NE(table.find("carousel_store_hedge_wins_total"), std::string::npos);
+  EXPECT_EQ(table.find("carousel_repair_"), std::string::npos);
+
+  // run() dispatch: operand demanded, port validated, happy path exits 0.
+  EXPECT_EQ(run({"reads"}), 2);
+  EXPECT_EQ(run({"reads", "0"}), 1);
+  EXPECT_EQ(run({"reads", std::to_string(observer.port())}), 0);
+}
+
 TEST_F(CliTest, RepairsCommandRendersSchedulerSeries) {
   namespace cnet = carousel::net;
   // The metrics endpoint of any in-process server also renders the global

@@ -469,7 +469,10 @@ TEST_F(ClusterTest, ReadFileStopsAtItsBudgetAcrossStalledServers) {
   auto o = opts();
   o.op_budget = std::chrono::milliseconds(250);
   CarouselStore store(code, ports_, block, o);
-  auto file = random_bytes(code.k() * block, 43);
+  // Several stripes: the fan-out fetches one stripe's extents in parallel,
+  // so a single stalled stripe costs ~one delay, not p of them — the budget
+  // has to bite on the serial stripe-to-stripe walk.
+  auto file = random_bytes(6 * code.k() * block, 43);
   store.put_file(9, file);
 
   // Every server stalls every data op well under the per-op timeout, so no

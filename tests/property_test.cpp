@@ -11,14 +11,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <random>
 #include <set>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "codes/carousel.h"
+#include "net/block_server.h"
+#include "net/client.h"
+#include "net/store.h"
 #include "obs/metrics.h"
 #include "test_util.h"
 
@@ -231,6 +236,81 @@ TEST(PropertyGrid, ParallelReadServesFromAnyPBlocks) {
     EXPECT_EQ(stats.bytes_read, e.k * e.block_bytes)
         << "(" << e.n << "," << e.k << "," << e.d << "," << e.p << ")";
     EXPECT_EQ(stats.sources, e.p);
+  }
+}
+
+TEST(PropertyGrid, StoreReadFileMatchesSequentialOracle) {
+  // The concurrent, hedged store read path against a single-threaded
+  // oracle, on live loopback servers: for every grid config and every
+  // erasure count 1..n-k (data-carrying slots lost first, forcing §VII
+  // stand-ins), read_file — including two calls racing each other — must
+  // be bit-exact with a plain raw-client any-k decode.
+  std::vector<std::unique_ptr<net::BlockServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 12; ++i) {
+    servers.push_back(std::make_unique<net::BlockServer>());
+    ports.push_back(servers.back()->port());
+  }
+  std::uint32_t file_id = 500;
+  std::uint32_t seed = 5000;
+  for (const auto& e : grid()) {
+    ASSERT_LE(e.n, ports.size());
+    const std::vector<std::uint16_t> fleet(ports.begin(),
+                                           ports.begin() + e.n);
+    net::StoreOptions o;
+    o.hedge.enabled = true;  // hedges may fire; results must not change
+    o.hedge.floor = std::chrono::milliseconds(5);
+    o.hedge.initial = std::chrono::milliseconds(10);
+    net::CarouselStore store(*e.code, fleet, e.block_bytes, o);
+    const auto file = random_bytes(e.k * e.block_bytes, seed++);
+    store.put_file(file_id, file);
+
+    // The oracle never touches the store: raw whole blocks from the first
+    // k healthy servers, decoded by the codec on this thread.
+    auto reference = [&] {
+      std::vector<std::size_t> ids;
+      std::vector<std::vector<std::uint8_t>> blocks;
+      for (std::size_t i = 0; i < e.n && ids.size() < e.k; ++i) {
+        net::Client c(fleet[i]);
+        auto b =
+            c.get(net::BlockKey{file_id, 0, static_cast<std::uint32_t>(i)});
+        if (!b || b->size() != e.block_bytes) continue;
+        ids.push_back(i);
+        blocks.push_back(std::move(*b));
+      }
+      std::vector<std::span<const std::uint8_t>> views;
+      for (const auto& b : blocks) views.emplace_back(b);
+      std::vector<std::uint8_t> out(file.size());
+      e.code->decode(ids, views, out);
+      return out;
+    };
+
+    EXPECT_EQ(store.read_file(file_id, file.size()), file)
+        << "healthy (" << e.n << "," << e.k << "," << e.d << "," << e.p
+        << ")";
+    for (std::size_t erasures = 1; erasures <= e.n - e.k; ++erasures) {
+      for (std::size_t i = 0; i < erasures; ++i)
+        store.drop_block(file_id, 0, static_cast<std::uint32_t>(i));
+      const auto oracle = reference();
+      ASSERT_EQ(oracle, file)
+          << erasures << " erasures of (" << e.n << "," << e.k << "," << e.d
+          << "," << e.p << ")";
+      // Two concurrent read_file calls race each other through the same
+      // degraded stripe; workers only record, the main thread asserts.
+      std::vector<std::uint8_t> got_a, got_b;
+      std::thread ta([&] { got_a = store.read_file(file_id, file.size()); });
+      std::thread tb([&] { got_b = store.read_file(file_id, file.size()); });
+      ta.join();
+      tb.join();
+      EXPECT_EQ(got_a, oracle)
+          << erasures << " erasures of (" << e.n << "," << e.k << "," << e.d
+          << "," << e.p << ")";
+      EXPECT_EQ(got_b, oracle)
+          << erasures << " erasures of (" << e.n << "," << e.k << "," << e.d
+          << "," << e.p << ")";
+      store.put_file(file_id, file);  // restore for the next erasure count
+    }
+    ++file_id;
   }
 }
 

@@ -42,6 +42,16 @@ Rules (see DESIGN.md "Correctness tooling"):
      name registered elsewhere would fork the repair-dashboard family away
      from the scheduler's single naming point.
 
+  7. hedge metric provenance — the hedged-read counter pair
+     (carousel_store_hedged_reads_total / carousel_store_hedge_wins_total)
+     is minted through the store's hedge_metric() helper: the quoted
+     fragment "carousel_store_hedge" appears exactly once in
+     src/net/store.cpp (inside that helper) and nowhere else in src/,
+     except read-side prefix filters in src/cli/cli.cpp which register
+     nothing.  The pair only makes sense together (wins <= hedged); two
+     independently spelled literals drifting apart would split it across
+     dashboards.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -214,6 +224,33 @@ def check_repair_metric_provenance(problems: list[str]) -> None:
                 f"src/net/repair_scheduler.cpp")
 
 
+def check_hedge_metric_provenance(problems: list[str]) -> None:
+    """Rule 7: carousel_store_hedge* names are minted only by hedge_metric()."""
+    helper = REPO / "src" / "net" / "store.cpp"
+    # Read-side consumers that filter on the prefix but register nothing.
+    readers = {REPO / "src" / "cli" / "cli.cpp"}
+    literal = re.compile(r"\"[^\"\n]*carousel_store_hedge[^\"\n]*\"")
+    for path in src_files(".h", ".cpp"):
+        text = path.read_text()
+        hits = list(literal.finditer(text))
+        if path == helper:
+            if len(hits) != 1:
+                problems.append(
+                    f"{path.relative_to(REPO)}: expected exactly one quoted "
+                    f"\"carousel_store_hedge\" (the hedge_metric() helper), "
+                    f"found {len(hits)} — mint both hedge counters through "
+                    f"the helper")
+            continue
+        if path in readers:
+            continue
+        for m in hits:
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"carousel_store_hedge* literal outside hedge_metric() — "
+                f"mint the hedge counter pair through the helper in "
+                f"src/net/store.cpp")
+
+
 def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
@@ -222,6 +259,7 @@ def main() -> int:
     check_cmake_options(problems)
     check_fsync_before_rename(problems)
     check_repair_metric_provenance(problems)
+    check_hedge_metric_provenance(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

@@ -10,9 +10,12 @@
 #      AddressSanitizer (abrupt server death, connection churn, malformed
 #      frames, torn-write recovery, re-homing races — where lifetime bugs
 #      hide);
-#   4. the net + observability tests under ThreadSanitizer (client counters,
-#      registry instruments and trace rings are read while other threads
-#      mutate them);
+#   4. the net + observability + property tests under ThreadSanitizer
+#      (client counters, registry instruments and trace rings are read while
+#      other threads mutate them; the parallel read fan-out, hedge races and
+#      concurrent read_file overlap live here), plus a short chaos schedule
+#      under TSan — the foreground hedged reader races kills, restarts and
+#      heals;
 #   5. the full suite under UndefinedBehaviorSanitizer with recovery
 #      disabled (GF kernels, matrix pipeline, wire decode: where silent UB
 #      corrupts data without failing a test);
@@ -22,7 +25,11 @@
 #      sh tools/chaos.sh <seed> <events>;
 #   7. a bounded recovery-storm bench against the live 12+2 fleet, exactly
 #      as CI's bench-smoke job runs it: the binary exits non-zero when the
-#      storm fails to re-protect or the foreground p99 blows its budget.
+#      storm fails to re-protect or the foreground p99 blows its budget;
+#   8. a bounded tail-latency bench against a live 12-server fleet with one
+#      injected straggler, also as CI's bench-smoke job runs it: the binary
+#      exits non-zero unless the hedged p99 beats the unhedged p99 with at
+#      least one hedge win (and writes BENCH_tail_latency.json).
 #
 #   sh tools/verify.sh
 set -e
@@ -36,7 +43,8 @@ sh tools/lint.sh build
 
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
 cmake --build build-asan -j --target net_test obs_test protocol_test \
-  protocol_fuzz_test persistence_test cluster_test repair_scheduler_test
+  protocol_fuzz_test persistence_test cluster_test repair_scheduler_test \
+  property_test
 ./build-asan/tests/net_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/protocol_test
@@ -44,11 +52,17 @@ cmake --build build-asan -j --target net_test obs_test protocol_test \
 ./build-asan/tests/persistence_test
 ./build-asan/tests/cluster_test
 ./build-asan/tests/repair_scheduler_test
+./build-asan/tests/property_test
 
 cmake -B build-tsan -S . -DCAROUSEL_SANITIZE=thread
-cmake --build build-tsan -j --target net_test obs_test
+cmake --build build-tsan -j --target net_test obs_test property_test \
+  chaos_test
 ./build-tsan/tests/net_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/property_test
+CAROUSEL_CHAOS_SEED=20260805 CAROUSEL_CHAOS_EVENTS=60 \
+  ./build-tsan/tests/chaos_test \
+  --gtest_filter='Chaos.SeededFaultScheduleKeepsEveryInvariant'
 
 cmake -B build-ubsan -S . -DCAROUSEL_SANITIZE=undefined
 cmake --build build-ubsan -j
@@ -63,5 +77,10 @@ cmake --build build -j --target bench_recovery_storm
   CAROUSEL_STORM_P99_BUDGET_MS=500 CAROUSEL_STORM_DEADLINE_S=120 \
   ./bench_recovery_storm)
 
+cmake --build build -j --target bench_tail_latency
+(cd build/bench && \
+  CAROUSEL_TAIL_STRIPES=2 CAROUSEL_TAIL_READS=100 \
+  CAROUSEL_TAIL_STALL_MS=40 ./bench_tail_latency)
+
 echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan" \
-     "+ bounded chaos smoke + recovery-storm bench smoke)"
+     "+ bounded chaos smoke + recovery-storm and tail-latency bench smokes)"
