@@ -98,15 +98,20 @@ void BlockServer::stop() {
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   listener_.close();  // wakes the blocked accept()
   if (acceptor_.joinable()) acceptor_.join();
+  // Collect the sessions under the lock (std::list: stable addresses), then
+  // join without it — workers may still need mu_ to finish their last
+  // request.  The acceptor is gone, so nobody grows the list anymore.
+  std::vector<Session*> to_join;
   {
-    std::lock_guard lock(mu_);
-    for (auto& s : sessions_) s.conn.shutdown_both();  // wake blocked workers
+    util::MutexLock lock(mu_);
+    for (auto& s : sessions_) {
+      s.conn.shutdown_both();  // wake blocked workers
+      to_join.push_back(&s);
+    }
   }
-  // The acceptor is gone, so nobody mutates the list anymore; join without
-  // the lock (workers may still need mu_ to finish their last request).
-  for (auto& s : sessions_)
-    if (s.worker.joinable()) s.worker.join();
-  std::lock_guard lock(mu_);
+  for (Session* s : to_join)
+    if (s->worker.joinable()) s->worker.join();
+  util::MutexLock lock(mu_);
   sessions_.clear();
 }
 
@@ -117,27 +122,33 @@ void BlockServer::drain() {
   if (!stopping_.compare_exchange_strong(expected, true)) return;
   listener_.close();  // no new connections; wakes the blocked accept()
   if (acceptor_.joinable()) acceptor_.join();
+  std::vector<Session*> to_join;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     // Half-close receive only: a worker blocked waiting for the *next*
     // request wakes with EOF, but a response being sent still flushes.
-    for (auto& s : sessions_) s.conn.shutdown_read();
+    for (auto& s : sessions_) {
+      s.conn.shutdown_read();
+      to_join.push_back(&s);
+    }
   }
-  for (auto& s : sessions_)
-    if (s.worker.joinable()) s.worker.join();
-  std::lock_guard lock(mu_);
-  sessions_.clear();
+  for (Session* s : to_join)
+    if (s->worker.joinable()) s->worker.join();
+  {
+    util::MutexLock lock(mu_);
+    sessions_.clear();
+  }
   // Final durability barrier: every acknowledged PUT is now on disk.
   if (persist_) persist_->flush();
 }
 
 void BlockServer::set_fault_plan(std::shared_ptr<FaultPlan> plan) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   faults_ = std::move(plan);
 }
 
 bool BlockServer::corrupt_block(const BlockKey& key, std::size_t offset) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = blocks_.find(key);
   // An empty block has no byte to flip: refuse rather than divide by zero.
   if (it == blocks_.end() || it->second.bytes.empty()) return false;
@@ -150,17 +161,17 @@ bool BlockServer::corrupt_block(const BlockKey& key, std::size_t offset) {
 }
 
 std::size_t BlockServer::block_count() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return blocks_.size();
 }
 
 std::size_t BlockServer::session_count() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return sessions_.size();
 }
 
 std::uint64_t BlockServer::stored_bytes() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [key, block] : blocks_) total += block.bytes.size();
   return total;
@@ -170,7 +181,7 @@ void BlockServer::accept_loop() {
   for (;;) {
     TcpConn conn = listener_.accept();
     if (!conn.valid()) return;  // listener closed: shutting down
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (stopping_.load()) return;
     reap_finished_locked();
     sessions_.emplace_back();
@@ -250,7 +261,7 @@ void BlockServer::serve(Session& session) {
       if (op && status == Status::kOk) {
         std::shared_ptr<FaultPlan> faults;
         {
-          std::lock_guard lock(mu_);
+          util::MutexLock lock(mu_);
           faults = faults_;
         }
         if (faults) fault = faults->decide(*op);
@@ -340,7 +351,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
         resp.u32(actual);
         return;
       }
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (persist_) {
         // Durability before acknowledgement: the block must survive a
         // power cut the instant after the response is sent.  A simulated
@@ -360,7 +371,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
     }
     case Op::kGet: {
       BlockKey key = req.key();
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (quarantined_.contains(key)) {
         // Recovery moved this block's files aside: the block is known but
         // its payload is gone.  kCorrupt (no CRC known) tells the client
@@ -387,7 +398,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
       BlockKey key = req.key();
       std::uint32_t off = req.u32();
       std::uint32_t len = req.u32();
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (quarantined_.contains(key)) {
         status = Status::kCorrupt;
         return;
@@ -414,7 +425,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
       BlockKey key = req.key();
       std::uint32_t unit_bytes = req.u32();
       std::uint16_t outputs = req.u16();
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (quarantined_.contains(key)) {
         status = Status::kCorrupt;
         return;
@@ -455,7 +466,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
     }
     case Op::kDelete: {
       BlockKey key = req.key();
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       // Deleting a quarantined block clears the damage mark (its files
       // already sit in quarantine/, nothing on the main path to remove).
       const bool was_quarantined = quarantined_.erase(key) > 0;
@@ -471,7 +482,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
       return;
     }
     case Op::kStats: {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       resp.u32(static_cast<std::uint32_t>(blocks_.size()));
       std::uint64_t total = 0;
       for (const auto& [key, block] : blocks_) total += block.bytes.size();
@@ -480,7 +491,7 @@ void BlockServer::handle(Op op, Reader& req, Writer& resp, Status& status,
     }
     case Op::kVerify: {
       BlockKey key = req.key();
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (quarantined_.contains(key)) {
         status = Status::kCorrupt;  // payload lost to quarantine: no CRC
         return;

@@ -32,7 +32,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -42,6 +41,7 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace carousel::net {
 
@@ -66,7 +66,7 @@ class BlockServer {
   std::uint16_t port() const { return port_; }
 
   /// Stops accepting, closes the listener and joins all threads.  Idempotent.
-  void stop();
+  void stop() EXCLUDES(mu_);
 
   /// Graceful shutdown: stops accepting, lets every in-flight request finish
   /// and its response flush to the client (sessions are only half-closed, on
@@ -74,11 +74,11 @@ class BlockServer {
   /// acknowledged is on stable storage.  A request still being *received*
   /// when drain begins is abandoned — nothing was acknowledged for it.
   /// Idempotent, and stop()/~BlockServer afterwards are no-ops.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
   /// Installs (or clears, with nullptr) a fault-injection plan consulted on
   /// every request.  The plan may be shared with the test for inspection.
-  void set_fault_plan(std::shared_ptr<FaultPlan> plan);
+  void set_fault_plan(std::shared_ptr<FaultPlan> plan) EXCLUDES(mu_);
 
   /// Flips one bit of a stored block without touching its recorded
   /// checksum — simulates at-rest corruption.  The byte flipped is
@@ -87,7 +87,8 @@ class BlockServer {
   /// never indexes — when the block is not held or is empty (an empty
   /// block has no byte to flip).  On a persistent server the same byte is
   /// flipped in the on-disk payload, so the rot survives a restart.
-  bool corrupt_block(const BlockKey& key, std::size_t offset = 0);
+  bool corrupt_block(const BlockKey& key, std::size_t offset = 0)
+      EXCLUDES(mu_);
 
   /// Whether this server writes through to a data directory.
   bool persistent() const { return persist_ != nullptr; }
@@ -95,10 +96,10 @@ class BlockServer {
   const RecoveryReport& recovery_report() const { return recovery_; }
 
   /// Test/ops hooks.
-  std::size_t block_count() const;
-  std::uint64_t stored_bytes() const;
+  std::size_t block_count() const EXCLUDES(mu_);
+  std::uint64_t stored_bytes() const EXCLUDES(mu_);
   /// Connection sessions currently tracked (live + not yet reaped).
-  std::size_t session_count() const;
+  std::size_t session_count() const EXCLUDES(mu_);
 
   /// This server's own metric registry: per-op request counts and latency
   /// histograms, fault-injection hits, stored-state gauges.  The METRICS
@@ -118,14 +119,14 @@ class BlockServer {
   };
 
   void init_instruments();
-  void accept_loop();
-  void reap_finished_locked();
-  void serve(Session& session);
+  void accept_loop() EXCLUDES(mu_);
+  void reap_finished_locked() REQUIRES(mu_);
+  void serve(Session& session) EXCLUDES(mu_);
   /// `crash` is non-kNone only when a crash fault fired on a persistent
   /// PUT; the handler then leaves that crash point's torn on-disk state and
   /// skips the in-memory update (a real crash loses RAM too).
   void handle(Op op, Reader& req, Writer& resp, Status& status,
-              CrashPoint crash);
+              CrashPoint crash) EXCLUDES(mu_);
   /// Interruptible stall for FaultAction::kDelay (wakes early on stop()).
   void injected_sleep(std::uint32_t ms);
 
@@ -144,19 +145,21 @@ class BlockServer {
   obs::Gauge* blocks_gauge_ = nullptr;
   obs::Gauge* stored_bytes_gauge_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::map<BlockKey, StoredBlock> blocks_;
-  // Durable backend (null = RAM-only).  Disk writes happen under mu_, so
-  // the on-disk and in-memory state never diverge mid-request.
+  mutable util::Mutex mu_{util::LockRank::kBlockServer};
+  std::map<BlockKey, StoredBlock> blocks_ GUARDED_BY(mu_);
+  // Durable backend (null = RAM-only).  The pointer is set once in the
+  // constructor; the pointee's writes happen under mu_, so the on-disk and
+  // in-memory state never diverge mid-request (drain()'s final flush runs
+  // after every worker joined).
   std::unique_ptr<PersistentBlockStore> persist_;
   RecoveryReport recovery_;
   // Keys whose stored copy recovery quarantined: reads answer kCorrupt
   // until a PUT (typically the scrubber's repair) replaces them.
-  std::set<BlockKey> quarantined_;
-  std::shared_ptr<FaultPlan> faults_;
+  std::set<BlockKey> quarantined_ GUARDED_BY(mu_);
+  std::shared_ptr<FaultPlan> faults_ GUARDED_BY(mu_);
   // Sessions live here (stable addresses) so stop() can shut them down and
   // wake any worker blocked in recv; workers never outlive the server.
-  std::list<Session> sessions_;
+  std::list<Session> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace carousel::net

@@ -44,7 +44,7 @@ HealthMonitor::HealthMonitor(CarouselStore& store, Options options)
 HealthMonitor::~HealthMonitor() { stop(); }
 
 void HealthMonitor::start() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (running_) return;
   stop_requested_ = false;
   running_ = true;
@@ -52,36 +52,41 @@ void HealthMonitor::start() {
 }
 
 void HealthMonitor::stop() {
+  // Claim the thread handle under the lock so concurrent stop() calls never
+  // join the same std::thread twice: the loser finds an empty handle.
+  std::thread claimed;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
+    running_ = false;
+    claimed = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  std::lock_guard lock(mu_);
-  running_ = false;
+  if (claimed.joinable()) claimed.join();
 }
 
 bool HealthMonitor::running() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return running_;
 }
 
 void HealthMonitor::loop() {
   for (;;) {
     probe_once();
-    std::unique_lock lock(mu_);
-    if (cv_.wait_for(lock, options_.interval,
-                     [this] { return stop_requested_; }))
-      return;
+    const auto deadline = std::chrono::steady_clock::now() + options_.interval;
+    util::MutexLock lock(mu_);
+    while (!stop_requested_ &&
+           cv_.wait_until(mu_, deadline) != std::cv_status::timeout) {
+    }
+    if (stop_requested_) return;
   }
 }
 
 void HealthMonitor::probe_once() {
   // Serialize rounds: a background loop and a test calling probe_once()
   // directly must not share the (single-threaded) probe clients.
-  std::lock_guard probe_lock(probe_serial_);
+  util::MutexLock probe_lock(probe_serial_);
 
   // Pick up servers registered since the last round; collect the probe
   // clients outside mu_ so state_of()/statuses() never block behind a
@@ -89,7 +94,7 @@ void HealthMonitor::probe_once() {
   std::vector<std::pair<std::size_t, Client*>> targets;
   {
     auto fleet = store_.servers();
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& ep : fleet) {
       auto [it, fresh] = tracked_.try_emplace(ep.id);
       if (fresh) {
@@ -113,7 +118,7 @@ void HealthMonitor::probe_once() {
       // Any failure class — refused, reset, timed out, protocol garbage —
       // reads the same to the detector: the server did not answer.
     }
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     Tracked& t = tracked_[id];
     ++t.status.probes;
     probes_total_->inc();
@@ -137,7 +142,7 @@ void HealthMonitor::probe_once() {
     }
   }
 
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   export_gauges_locked();
 }
 
@@ -182,13 +187,13 @@ void HealthMonitor::export_gauges_locked() {
 }
 
 ServerState HealthMonitor::state_of(std::size_t server_id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = tracked_.find(server_id);
   return it == tracked_.end() ? ServerState::kAlive : it->second.status.state;
 }
 
 std::vector<HealthMonitor::ServerStatus> HealthMonitor::statuses() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<ServerStatus> out;
   out.reserve(tracked_.size());
   for (const auto& [id, t] : tracked_) out.push_back(t.status);

@@ -31,15 +31,14 @@
 #define CAROUSEL_NET_CLUSTER_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/store.h"
+#include "util/sync.h"
 
 namespace carousel::net {
 
@@ -100,20 +99,21 @@ class HealthMonitor {
   HealthMonitor& operator=(const HealthMonitor&) = delete;
 
   /// Launches the background probe thread.  Idempotent.
-  void start();
-  /// Stops it and joins.  Idempotent; also called by the destructor.
-  void stop();
-  bool running() const;
+  void start() EXCLUDES(mu_);
+  /// Stops it and joins.  Idempotent (including concurrent callers); also
+  /// called by the destructor.
+  void stop() EXCLUDES(mu_);
+  bool running() const EXCLUDES(mu_);
 
   /// One synchronous probe round over every server the store currently
   /// knows (servers added since the last round are picked up here).
-  void probe_once();
+  void probe_once() EXCLUDES(probe_serial_, mu_);
 
   /// Verdict for one server; optimistic kAlive for ids never probed.
-  ServerState state_of(std::size_t server_id) const;
+  ServerState state_of(std::size_t server_id) const EXCLUDES(mu_);
 
   /// Snapshot of every tracked server, id order.
-  std::vector<ServerStatus> statuses() const;
+  std::vector<ServerStatus> statuses() const EXCLUDES(mu_);
 
  private:
   struct Tracked {
@@ -121,9 +121,9 @@ class HealthMonitor {
     std::unique_ptr<Client> probe;  // monitor-owned; never the store's
   };
 
-  void loop();
-  void transition_locked(Tracked& t, ServerState to);
-  void export_gauges_locked();
+  void loop() EXCLUDES(probe_serial_, mu_);
+  void transition_locked(Tracked& t, ServerState to) REQUIRES(mu_);
+  void export_gauges_locked() REQUIRES(mu_);
 
   CarouselStore& store_;
   Options options_;
@@ -140,14 +140,17 @@ class HealthMonitor {
   obs::Gauge* dead_gauge_ = nullptr;
 
   // Serializes probe rounds (a round's clients are single-threaded); held
-  // only by probe_once, never while answering state_of()/statuses().
-  std::mutex probe_serial_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool stop_requested_ = false;
-  bool running_ = false;
-  std::map<std::size_t, Tracked> tracked_;
+  // only by probe_once, never while answering state_of()/statuses().  A
+  // round holds it across store_.servers() and across mu_, so it ranks
+  // before both (LockRank::kMonitorProbe < kStore < kMonitor).
+  util::Mutex probe_serial_ ACQUIRED_BEFORE(mu_){
+      util::LockRank::kMonitorProbe};
+  mutable util::Mutex mu_{util::LockRank::kMonitor};
+  util::CondVar cv_;
+  std::thread thread_ GUARDED_BY(mu_);
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  std::map<std::size_t, Tracked> tracked_ GUARDED_BY(mu_);
 };
 
 }  // namespace carousel::net

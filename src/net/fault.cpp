@@ -3,7 +3,7 @@
 namespace carousel::net {
 
 std::optional<FaultRule> FaultPlan::decide(Op op) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& st : states_) {
     if (st.rule.op && *st.rule.op != op) continue;
     if (st.hits >= st.rule.max_hits) continue;
@@ -21,7 +21,7 @@ std::optional<FaultRule> FaultPlan::decide(Op op) {
 }
 
 std::uint64_t FaultPlan::injected() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& st : states_) total += st.hits;
   return total;

@@ -26,12 +26,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <random>
 #include <vector>
 
 #include "net/protocol.h"
+#include "util/sync.h"
 
 namespace carousel::net {
 
@@ -83,10 +83,10 @@ class FaultPlan {
 
   /// The decision for one incoming request, consuming rule budgets and
   /// random draws.  nullopt = serve normally.
-  std::optional<FaultRule> decide(Op op);
+  std::optional<FaultRule> decide(Op op) EXCLUDES(mu_);
 
   /// Total injections so far (all rules).
-  std::uint64_t injected() const;
+  std::uint64_t injected() const EXCLUDES(mu_);
 
  private:
   struct RuleState {
@@ -94,9 +94,9 @@ class FaultPlan {
     std::uint32_t seen = 0;  // matching requests observed
     std::uint32_t hits = 0;  // times fired
   };
-  mutable std::mutex mu_;
-  std::mt19937_64 rng_;
-  std::vector<RuleState> states_;
+  mutable util::Mutex mu_{util::LockRank::kFaultPlan};
+  std::mt19937_64 rng_ GUARDED_BY(mu_);
+  std::vector<RuleState> states_ GUARDED_BY(mu_);
 };
 
 }  // namespace carousel::net

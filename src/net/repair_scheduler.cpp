@@ -87,7 +87,9 @@ std::uint32_t RepairScheduler::emergency_threshold() const {
 
 void RepairScheduler::enqueue(const CarouselStore::BlockRef& block, Kind kind,
                               std::uint32_t criticality) {
-  std::lock_guard lock(mu_);
+  // Releasable so the dispatcher wakes to an uncontended mutex: the notify
+  // below happens after the lock is dropped.
+  util::ReleasableMutexLock lock(mu_);
   const BlockId id = id_of(block);
   if (running_items_.contains(id)) return;  // already being healed
   auto idx = index_.find(id);
@@ -109,6 +111,7 @@ void RepairScheduler::enqueue(const CarouselStore::BlockRef& block, Kind kind,
     enqueued_total_->inc();
   }
   export_queue_gauges_locked();
+  lock.release();
   work_cv_.notify_all();
 }
 
@@ -124,7 +127,7 @@ std::size_t RepairScheduler::enqueue_server(std::size_t server_id) {
 }
 
 std::optional<RepairScheduler::WorkItem> RepairScheduler::peek() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (queue_.empty()) return std::nullopt;
   return *queue_.begin();
 }
@@ -137,7 +140,7 @@ RepairScheduler::Dispatch RepairScheduler::plan_dispatch() {
     for (std::size_t id = 0; id < servers; ++id)
       dead[id] = options_.monitor->state_of(id) == ServerState::kDead;
 
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   known_servers_ = servers;
   if (queue_.empty()) return {StepResult::kIdle, {}};
   if (running_ >= options_.max_concurrent) return {StepResult::kAtCap, {}};
@@ -224,7 +227,7 @@ void RepairScheduler::execute(const WorkItem& item) {
 
 void RepairScheduler::finish(const WorkItem& item, bool ok,
                              std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   running_items_.erase(id_of(item.block));
   --running_;
   if (ok) {
@@ -245,7 +248,7 @@ std::vector<std::size_t> RepairScheduler::select_helpers(
     const std::vector<CarouselStore::HelperCandidate>& candidates,
     std::size_t want, std::size_t bytes_per_helper) {
   // Called under the store's mutex: touch scheduler state only.
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   roll_window_locked(std::chrono::steady_clock::now());
   const std::uint64_t budget = options_.server_egress_budget;
   auto over_budget = [&](std::size_t server) {
@@ -277,7 +280,7 @@ void RepairScheduler::observe_traffic(std::size_t server,
                                       std::uint64_t egress_bytes,
                                       std::uint64_t ingress_bytes) {
   // Called under the store's mutex: touch scheduler state only.
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   roll_window_locked(std::chrono::steady_clock::now());
   charge_locked(server, egress_bytes, ingress_bytes);
 }
@@ -309,7 +312,7 @@ void RepairScheduler::roll_window_locked(
 }
 
 void RepairScheduler::reset_budget_window() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   window_egress_.clear();
   window_ingress_.clear();
   window_start_ = std::chrono::steady_clock::now();
@@ -318,7 +321,7 @@ void RepairScheduler::reset_budget_window() {
 void RepairScheduler::poll_admission() {
   if (options_.p99_budget.count() <= 0) return;
   const auto snap = registry_->snapshot();  // registry lock only, never mu_
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   double p99_s = 0.0;
   bool breach = false;
   auto it = snap.histograms.find(options_.foreground_metric);
@@ -372,7 +375,7 @@ void RepairScheduler::poll_admission() {
 }
 
 void RepairScheduler::start() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (dispatcher_running_) return;
   stop_requested_ = false;
   dispatcher_running_ = true;
@@ -381,20 +384,25 @@ void RepairScheduler::start() {
 }
 
 void RepairScheduler::stop() {
+  // Claim the dispatcher thread under the lock so concurrent stop() calls
+  // never join the same std::thread twice: the loser finds an empty handle.
+  std::thread claimed;
+  util::ThreadPool* pool = nullptr;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (!dispatcher_running_) return;
     stop_requested_ = true;
+    dispatcher_running_ = false;
+    claimed = std::move(dispatcher_);
+    pool = pool_.get();
   }
   work_cv_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
-  if (pool_) pool_->wait_idle();  // execute() swallows store exceptions
-  std::lock_guard lock(mu_);
-  dispatcher_running_ = false;
+  if (claimed.joinable()) claimed.join();
+  if (pool) pool->wait_idle();  // execute() swallows store exceptions
 }
 
 bool RepairScheduler::running() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return dispatcher_running_;
 }
 
@@ -402,7 +410,7 @@ void RepairScheduler::loop() {
   auto last_admission = std::chrono::steady_clock::now();
   for (;;) {
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       if (stop_requested_) return;
     }
     const auto now = std::chrono::steady_clock::now();
@@ -416,17 +424,24 @@ void RepairScheduler::loop() {
       pool_->submit([this, item = d.item] { execute(item); });
       continue;  // keep dispatching while slots and budgets allow
     }
-    std::unique_lock lock(mu_);
-    work_cv_.wait_for(lock, options_.tick,
-                      [this] { return stop_requested_; });
+    // Sleep out the tick; only a stop request ends it early (a work notify
+    // re-checks the predicate and keeps waiting for the remainder).
+    const auto deadline = std::chrono::steady_clock::now() + options_.tick;
+    util::MutexLock lock(mu_);
+    while (!stop_requested_ &&
+           work_cv_.wait_until(mu_, deadline) != std::cv_status::timeout) {
+    }
   }
 }
 
 bool RepairScheduler::wait_idle(std::chrono::milliseconds timeout) {
-  std::unique_lock lock(mu_);
-  return idle_cv_.wait_for(lock, timeout, [this] {
-    return queue_.empty() && running_ == 0;
-  });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  util::MutexLock lock(mu_);
+  while (!queue_.empty() || running_ != 0) {
+    if (idle_cv_.wait_until(mu_, deadline) == std::cv_status::timeout)
+      return queue_.empty() && running_ == 0;
+  }
+  return true;
 }
 
 void RepairScheduler::export_queue_gauges_locked() {
@@ -437,7 +452,7 @@ void RepairScheduler::export_queue_gauges_locked() {
 }
 
 RepairScheduler::Stats RepairScheduler::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   Stats out = stats_;
   out.queue_depth = queue_.size();
   out.running = running_;

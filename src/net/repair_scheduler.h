@@ -44,7 +44,9 @@
 // Lock order: store.mu_ -> scheduler.mu_ (the store calls the selection/
 // observer hooks while holding its mutex).  The scheduler therefore never
 // calls a store method while holding its own mutex, and the hooks touch
-// only scheduler state.
+// only scheduler state.  The order is enforced by the lock ranks in
+// util/sync.h (LockRank::kStore < kScheduler) and by the thread-safety
+// annotations below.
 //
 // Every carousel_repair_* metric is created through the registry helper in
 // repair_scheduler.cpp — tools/check_invariants.py rule 6 enforces that the
@@ -54,11 +56,9 @@
 #define CAROUSEL_NET_REPAIR_SCHEDULER_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -68,6 +68,7 @@
 
 #include "net/store.h"
 #include "obs/metrics.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace carousel::net {
@@ -159,39 +160,40 @@ class RepairScheduler {
   /// Adds (or escalates) one work item.  Safe to call from any thread,
   /// including under the store's mutex (touches only scheduler state).
   void enqueue(const CarouselStore::BlockRef& block, Kind kind,
-               std::uint32_t criticality);
+               std::uint32_t criticality) EXCLUDES(mu_);
 
   /// Enqueues a kRehome item for every block currently placed on
   /// `server_id`; criticality is the per-stripe victim count.  Returns how
   /// many items were submitted.
-  std::size_t enqueue_server(std::size_t server_id);
+  std::size_t enqueue_server(std::size_t server_id) EXCLUDES(mu_);
 
   /// The item the next dispatch would take (copy), if any.
-  std::optional<WorkItem> peek() const;
+  std::optional<WorkItem> peek() const EXCLUDES(mu_);
 
   /// Synchronous drain step: dispatches and heals at most one item inline.
   /// Deterministic — admission is only re-evaluated via poll_admission().
-  StepResult step();
+  StepResult step() EXCLUDES(mu_);
 
-  /// Background mode: dispatcher thread + worker pool.  Idempotent.
-  void start();
-  void stop();
-  bool running() const;
+  /// Background mode: dispatcher thread + worker pool.  Idempotent
+  /// (including concurrent stop() callers).
+  void start() EXCLUDES(mu_);
+  void stop() EXCLUDES(mu_);
+  bool running() const EXCLUDES(mu_);
 
   /// Waits until the queue is empty and nothing is in flight.
-  bool wait_idle(std::chrono::milliseconds timeout);
+  bool wait_idle(std::chrono::milliseconds timeout) EXCLUDES(mu_);
 
   /// One admission-control evaluation: diffs the foreground histogram
   /// since the last call and halves/ramps the allowed concurrency.  Called
   /// on admission_interval by the background dispatcher; public so tests
   /// and synchronous drains can drive it deterministically.
-  void poll_admission();
+  void poll_admission() EXCLUDES(mu_);
 
   /// Forgets the current window's byte charges (ops/test hook; the
   /// background dispatcher rolls windows by wall clock on its own).
-  void reset_budget_window();
+  void reset_budget_window() EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   using BlockId = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
@@ -214,25 +216,28 @@ class RepairScheduler {
 
   /// Health + admission + budget gates; pops and marks the head item
   /// running when dispatchable.
-  Dispatch plan_dispatch();
+  Dispatch plan_dispatch() EXCLUDES(mu_);
   /// Runs one dispatched item against the store and records the outcome.
-  void execute(const WorkItem& item);
-  void finish(const WorkItem& item, bool ok, std::uint64_t bytes);
+  void execute(const WorkItem& item) EXCLUDES(mu_);
+  void finish(const WorkItem& item, bool ok, std::uint64_t bytes)
+      EXCLUDES(mu_);
 
-  /// Store hooks (called under the store's mutex).
+  /// Store hooks (called under the store's mutex; they take scheduler mu_,
+  /// honoring the store -> scheduler lock order).
   std::vector<std::size_t> select_helpers(
       const std::vector<CarouselStore::HelperCandidate>& candidates,
-      std::size_t want, std::size_t bytes_per_helper);
+      std::size_t want, std::size_t bytes_per_helper) EXCLUDES(mu_);
   void observe_traffic(std::size_t server, std::uint64_t egress_bytes,
-                       std::uint64_t ingress_bytes);
+                       std::uint64_t ingress_bytes) EXCLUDES(mu_);
 
   std::uint32_t emergency_threshold() const;
-  bool budget_ok_locked(const std::vector<bool>& dead);
-  void roll_window_locked(std::chrono::steady_clock::time_point now);
+  bool budget_ok_locked(const std::vector<bool>& dead) REQUIRES(mu_);
+  void roll_window_locked(std::chrono::steady_clock::time_point now)
+      REQUIRES(mu_);
   void charge_locked(std::size_t server, std::uint64_t egress,
-                     std::uint64_t ingress);
-  void export_queue_gauges_locked();
-  void loop();
+                     std::uint64_t ingress) REQUIRES(mu_);
+  void export_queue_gauges_locked() REQUIRES(mu_);
+  void loop() EXCLUDES(mu_);
 
   CarouselStore& store_;
   Options options_;
@@ -257,29 +262,36 @@ class RepairScheduler {
   obs::Gauge* max_window_ingress_gauge_ = nullptr;
   obs::Gauge* foreground_p99_gauge_ = nullptr;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // wakes the dispatcher
-  std::condition_variable idle_cv_;  // wakes wait_idle
-  std::set<WorkItem, ItemOrder> queue_;
-  std::map<BlockId, std::set<WorkItem, ItemOrder>::iterator> index_;
-  std::set<BlockId> running_items_;
-  std::uint64_t next_seq_ = 0;
-  std::size_t running_ = 0;
-  std::size_t allowed_ = 0;  // current admission limit, <= max_concurrent
-  Stats stats_;
+  mutable util::Mutex mu_{util::LockRank::kScheduler};
+  util::CondVar work_cv_;  // wakes the dispatcher
+  util::CondVar idle_cv_;  // wakes wait_idle
+  std::set<WorkItem, ItemOrder> queue_ GUARDED_BY(mu_);
+  std::map<BlockId, std::set<WorkItem, ItemOrder>::iterator> index_
+      GUARDED_BY(mu_);
+  std::set<BlockId> running_items_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::size_t running_ GUARDED_BY(mu_) = 0;
+  // Current admission limit, <= max_concurrent.
+  std::size_t allowed_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 
   // Per-server byte charges for the current budget window.
-  std::map<std::size_t, std::uint64_t> window_egress_;
-  std::map<std::size_t, std::uint64_t> window_ingress_;
-  std::chrono::steady_clock::time_point window_start_;
-  std::size_t known_servers_ = 0;  // refreshed outside mu_ by dispatch
+  std::map<std::size_t, std::uint64_t> window_egress_ GUARDED_BY(mu_);
+  std::map<std::size_t, std::uint64_t> window_ingress_ GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point window_start_ GUARDED_BY(mu_);
+  // Fleet size at the last dispatch: plan_dispatch() reads it from the
+  // store before taking mu_, then stores it under mu_ for budget_ok_locked.
+  std::size_t known_servers_ GUARDED_BY(mu_) = 0;
 
   // Windowed-p99 state: foreground histogram buckets at the last poll.
-  std::vector<std::uint64_t> last_foreground_buckets_;
+  std::vector<std::uint64_t> last_foreground_buckets_ GUARDED_BY(mu_);
 
-  std::thread dispatcher_;
-  bool dispatcher_running_ = false;
-  bool stop_requested_ = false;
+  std::thread dispatcher_ GUARDED_BY(mu_);
+  bool dispatcher_running_ GUARDED_BY(mu_) = false;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  // Created by the first start() under mu_, destroyed only with the
+  // scheduler; the dispatcher and stop() use it after that handoff without
+  // the lock (mu_'s release/acquire orders the one-time publication).
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

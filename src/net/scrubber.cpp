@@ -31,7 +31,7 @@ Scrubber::Scrubber(CarouselStore& store, Options options)
 Scrubber::~Scrubber() { stop(); }
 
 void Scrubber::start() {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (running_) return;
   stop_requested_ = false;
   running_ = true;
@@ -39,29 +39,34 @@ void Scrubber::start() {
 }
 
 void Scrubber::stop() {
+  // Claim the thread handle under the lock so concurrent stop() calls never
+  // join the same std::thread twice: the loser finds an empty handle.
+  std::thread claimed;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
+    running_ = false;
+    claimed = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-  std::lock_guard lock(mu_);
-  running_ = false;
+  if (claimed.joinable()) claimed.join();
 }
 
 bool Scrubber::running() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return running_;
 }
 
 void Scrubber::loop() {
   for (;;) {
     run_once();
-    std::unique_lock lock(mu_);
-    if (cv_.wait_for(lock, options_.interval,
-                     [this] { return stop_requested_; }))
-      return;
+    const auto deadline = std::chrono::steady_clock::now() + options_.interval;
+    util::MutexLock lock(mu_);
+    while (!stop_requested_ &&
+           cv_.wait_until(mu_, deadline) != std::cv_status::timeout) {
+    }
+    if (stop_requested_) return;
   }
 }
 
@@ -163,7 +168,7 @@ Scrubber::Stats Scrubber::run_once() {
   pending_rehomes_->set(
       static_cast<double>(sweep.unreachable + sweep.rehome_failures));
 
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   total_.sweeps += sweep.sweeps;
   total_.blocks_checked += sweep.blocks_checked;
   total_.ok += sweep.ok;
@@ -180,7 +185,7 @@ Scrubber::Stats Scrubber::run_once() {
 }
 
 Scrubber::Stats Scrubber::stats() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return total_;
 }
 

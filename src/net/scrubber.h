@@ -31,12 +31,11 @@
 #define CAROUSEL_NET_SCRUBBER_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 
 #include "net/store.h"
+#include "util/sync.h"
 
 namespace carousel::net {
 
@@ -82,20 +81,21 @@ class Scrubber {
   Scrubber& operator=(const Scrubber&) = delete;
 
   /// Launches the background sweep thread.  Idempotent.
-  void start();
-  /// Stops it and joins.  Idempotent; also called by the destructor.
-  void stop();
-  bool running() const;
+  void start() EXCLUDES(mu_);
+  /// Stops it and joins.  Idempotent (including concurrent callers); also
+  /// called by the destructor.
+  void stop() EXCLUDES(mu_);
+  bool running() const EXCLUDES(mu_);
 
   /// One full synchronous sweep; returns that sweep's stats (also folded
   /// into the cumulative ones).
-  Stats run_once();
+  Stats run_once() EXCLUDES(mu_);
 
   /// Cumulative stats over every sweep so far.
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
  private:
-  void loop();
+  void loop() EXCLUDES(mu_);
 
   CarouselStore& store_;
   Options options_;
@@ -114,12 +114,12 @@ class Scrubber {
   obs::Gauge* last_sweep_unhealthy_ = nullptr;
   obs::Gauge* last_sweep_repair_bytes_ = nullptr;
   obs::Gauge* pending_rehomes_ = nullptr;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool stop_requested_ = false;
-  bool running_ = false;
-  Stats total_;
+  mutable util::Mutex mu_{util::LockRank::kScrubber};
+  util::CondVar cv_;
+  std::thread thread_ GUARDED_BY(mu_);
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  bool running_ GUARDED_BY(mu_) = false;
+  Stats total_ GUARDED_BY(mu_);
 };
 
 }  // namespace carousel::net

@@ -21,7 +21,7 @@ CarouselStore::Lease::Lease(Server& server, const RetryPolicy& policy,
                             obs::MetricsRegistry* registry)
     : server_(&server) {
   {
-    std::lock_guard lock(server.pool_mu);
+    util::MutexLock lock(server.pool_mu);
     if (!server.idle.empty()) {
       client_ = std::move(server.idle.back());
       server.idle.pop_back();
@@ -38,7 +38,7 @@ CarouselStore::Lease::~Lease() {
   static constexpr std::size_t kMaxIdleClients = 8;
   std::unique_ptr<Client> discard;
   {
-    std::lock_guard lock(server_->pool_mu);
+    util::MutexLock lock(server_->pool_mu);
     if (server_->idle.size() < kMaxIdleClients) {
       server_->idle.push_back(std::move(client_));
     } else {
@@ -138,7 +138,7 @@ void check_budget(std::chrono::steady_clock::time_point deadline,
 }  // namespace
 
 CarouselStore::Server& CarouselStore::server_at(std::size_t server_id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return *servers_[server_id];
 }
 
@@ -147,7 +147,7 @@ CarouselStore::Lease CarouselStore::lease(std::size_t server_id) const {
 }
 
 std::size_t CarouselStore::add_server(std::uint16_t port) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto server = std::make_unique<Server>();
   server->port = port;
   server->spare = true;
@@ -159,7 +159,7 @@ std::size_t CarouselStore::add_server(std::uint16_t port) {
 }
 
 std::vector<CarouselStore::ServerEndpoint> CarouselStore::servers() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<ServerEndpoint> out;
   out.reserve(servers_.size());
   for (std::size_t i = 0; i < servers_.size(); ++i)
@@ -168,7 +168,7 @@ std::vector<CarouselStore::ServerEndpoint> CarouselStore::servers() const {
 }
 
 std::size_t CarouselStore::server_count() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return servers_.size();
 }
 
@@ -184,7 +184,7 @@ std::size_t CarouselStore::home_of_locked(std::uint32_t file_id,
 
 std::size_t CarouselStore::home_of(std::uint32_t file_id, std::uint32_t stripe,
                                    std::uint32_t index) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return home_of_locked(file_id, stripe, index);
 }
 
@@ -196,7 +196,7 @@ std::size_t CarouselStore::placement_of(std::uint32_t file_id,
 
 std::vector<CarouselStore::BlockRef> CarouselStore::blocks_on(
     std::size_t server_id) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<BlockRef> out;
   for (const auto& [file_id, info] : manifest_)
     for (std::size_t s = 0; s < info.stripes; ++s)
@@ -227,7 +227,7 @@ std::vector<std::size_t> CarouselStore::placement_candidates_locked(
 
 std::vector<std::size_t> CarouselStore::placement_candidates(
     std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return placement_candidates_locked(file_id, stripe, index);
 }
 
@@ -246,23 +246,23 @@ void CarouselStore::set_placement_locked(std::uint32_t file_id,
 
 void CarouselStore::set_placement(std::uint32_t file_id, std::uint32_t stripe,
                                   std::uint32_t index, std::size_t server_id) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   set_placement_locked(file_id, stripe, index, server_id);
 }
 
 void CarouselStore::observe_traffic(std::size_t server, std::uint64_t egress,
                                     std::uint64_t ingress) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (traffic_observer_) traffic_observer_(server, egress, ingress);
 }
 
 void CarouselStore::set_hedge_policy(HedgePolicy policy) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   hedge_ = policy;
 }
 
 HedgePolicy CarouselStore::hedge_policy() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return hedge_;
 }
 
@@ -323,7 +323,7 @@ std::size_t CarouselStore::put_file(std::uint32_t file_id,
              ef.block(s, i));
     }
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     manifest_[file_id] =
         FileInfo{bytes.size(), ef.stripes(), std::move(placement)};
   }
@@ -345,7 +345,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
 
   HedgePolicy hedge;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     hedge = hedge_;
   }
   // A hedge needs a parity block to stand in for the slot; with p == n
@@ -370,19 +370,23 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
   // must not hide behind the race.  The loser's complete()/fail() lands on
   // a resolved cell and is dropped: drained, never double-decoded.
   struct SlotCell {
-    std::mutex mu;
+    // A leaf lock (LockRank::kSlotCell): pool tasks resolve cells with no
+    // other store-side mutex held.
+    util::Mutex mu{util::LockRank::kSlotCell};
+    // get_future() runs once, before the cell is shared; set_value/
+    // set_exception are serialized by mu via complete()/fail().
     std::promise<SlotOutcome> result;
-    int outstanding = 1;
-    bool resolved = false;
+    int outstanding GUARDED_BY(mu) = 1;
+    bool resolved GUARDED_BY(mu) = false;
 
-    bool arm_hedge() {
-      std::lock_guard lock(mu);
+    bool arm_hedge() EXCLUDES(mu) {
+      util::MutexLock lock(mu);
       if (resolved) return false;
       ++outstanding;
       return true;
     }
-    void complete(SlotOutcome out) {
-      std::lock_guard lock(mu);
+    void complete(SlotOutcome out) EXCLUDES(mu) {
+      util::MutexLock lock(mu);
       --outstanding;
       if (resolved) return;
       if (out.ok || outstanding == 0) {
@@ -390,8 +394,8 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
         result.set_value(std::move(out));
       }
     }
-    void fail(std::exception_ptr e) {
-      std::lock_guard lock(mu);
+    void fail(std::exception_ptr e) EXCLUDES(mu) {
+      util::MutexLock lock(mu);
       --outstanding;
       if (resolved) return;
       resolved = true;
@@ -468,7 +472,7 @@ std::vector<Byte> CarouselStore::read_file(std::uint32_t file_id,
     // surfaces as an erasure and fails over like any other.
     std::vector<Server*> homes(p);
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       for (std::size_t slot = 0; slot < p; ++slot)
         homes[slot] = servers_[home_of_locked(
                                    file_id, s32,
@@ -702,7 +706,7 @@ CarouselStore::RehomeReport CarouselStore::rehome_server(
   RehomeReport report;
   std::vector<BlockRef> victims;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     // Collect first: rehoming rewrites the placement rows being iterated.
     for (const auto& [file_id, info] : manifest_)
       for (std::size_t s = 0; s < info.stripes; ++s)
@@ -738,17 +742,17 @@ CarouselStore::RehomeReport CarouselStore::rehome_server(
 }
 
 void CarouselStore::set_helper_policy(HelperPolicy policy) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   helper_policy_ = std::move(policy);
 }
 
 void CarouselStore::set_traffic_observer(TrafficObserver observer) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   traffic_observer_ = std::move(observer);
 }
 
 void CarouselStore::attach_scheduler(RepairScheduler* scheduler) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   scheduler_ = scheduler;
 }
 
@@ -756,7 +760,7 @@ std::vector<std::size_t> CarouselStore::choose_helpers(
     std::uint32_t file_id, std::uint32_t stripe,
     const std::vector<std::size_t>& survivors, std::size_t want,
     std::size_t bytes_per_helper) const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   want = std::min(want, survivors.size());
   std::vector<std::size_t> first(
       survivors.begin(),
@@ -869,7 +873,7 @@ std::uint64_t CarouselStore::repair_block_impl(
     // hedge.  Without a policy this is the plain 0..n-1 walk.
     bool policied;
     {
-      std::lock_guard lock(mu_);
+      util::MutexLock lock(mu_);
       policied = static_cast<bool>(helper_policy_);
     }
     std::vector<std::size_t> order;
@@ -950,15 +954,15 @@ std::uint64_t CarouselStore::repair_block_impl(
 }
 
 std::map<std::uint32_t, CarouselStore::FileInfo> CarouselStore::files() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return manifest_;
 }
 
 std::uint64_t CarouselStore::bytes_received() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& s : servers_) {
-    std::lock_guard pool_lock(s->pool_mu);
+    util::MutexLock pool_lock(s->pool_mu);
     total += s->retired_bytes;
     for (const auto& c : s->idle) total += c->bytes_received();
   }
@@ -966,7 +970,7 @@ std::uint64_t CarouselStore::bytes_received() const {
 }
 
 Client::Counters CarouselStore::counters() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   Client::Counters total;
   auto fold = [&total](const Client::Counters& cc) {
     total.retries += cc.retries;
@@ -976,7 +980,7 @@ Client::Counters CarouselStore::counters() const {
     total.corrupt_blocks += cc.corrupt_blocks;
   };
   for (const auto& s : servers_) {
-    std::lock_guard pool_lock(s->pool_mu);
+    util::MutexLock pool_lock(s->pool_mu);
     fold(s->retired);
     for (const auto& c : s->idle) fold(c->counters());
   }

@@ -64,12 +64,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "codes/carousel.h"
 #include "net/client.h"
+#include "util/sync.h"
 
 namespace carousel::util {
 class ThreadPool;
@@ -189,26 +189,26 @@ class CarouselStore {
 
   /// Registers a spare server at runtime and returns its id.  Spares take
   /// no new writes; they become block homes through rehome_block().
-  std::size_t add_server(std::uint16_t port);
+  std::size_t add_server(std::uint16_t port) EXCLUDES(mu_);
 
   /// Every server this store knows, registration order (spares last).
-  std::vector<ServerEndpoint> servers() const;
-  std::size_t server_count() const;
+  std::vector<ServerEndpoint> servers() const EXCLUDES(mu_);
+  std::size_t server_count() const EXCLUDES(mu_);
 
   /// Which server currently hosts block (stripe, index) of `file_id`,
   /// according to the manifest's placement table.  Falls back to the
   /// initial rule for files this store never uploaded.
   std::size_t placement_of(std::uint32_t file_id, std::uint32_t stripe,
-                           std::uint32_t index) const;
+                           std::uint32_t index) const EXCLUDES(mu_);
 
   /// Every block the placement table homes on `server_id`.
-  std::vector<BlockRef> blocks_on(std::size_t server_id) const;
+  std::vector<BlockRef> blocks_on(std::size_t server_id) const EXCLUDES(mu_);
 
   /// Encodes and uploads; returns the stripe count and records the file in
   /// the manifest (what the scrubber sweeps) together with its placement
   /// table.
   std::size_t put_file(std::uint32_t file_id,
-                       std::span<const codes::Byte> bytes);
+                       std::span<const codes::Byte> bytes) EXCLUDES(mu_);
 
   /// Downloads and reassembles the file (size from put_file's input).
   /// Chooses per stripe: parallel extents, §VII pattern reads, or whole-
@@ -217,7 +217,7 @@ class CarouselStore {
   /// genuinely concurrent: two calls overlap on the wire, and within one
   /// call all p extents of a stripe are in flight at once.
   std::vector<codes::Byte> read_file(std::uint32_t file_id,
-                                     std::size_t file_bytes);
+                                     std::size_t file_bytes) EXCLUDES(mu_);
 
   /// Deletes one block replica on its server (failure injection).
   /// Returns false if it was already gone.
@@ -233,7 +233,7 @@ class CarouselStore {
   /// Returns bytes fetched from helpers, including any wasted by an
   /// abandoned MSR attempt.
   std::uint64_t repair_block(std::uint32_t file_id, std::uint32_t stripe,
-                             std::uint32_t index);
+                             std::uint32_t index) EXCLUDES(mu_);
 
   /// Rebuilds one block and re-homes it onto a server that holds no other
   /// block of its stripe (spares first) — the newcomer loop for a dead home
@@ -241,11 +241,11 @@ class CarouselStore {
   /// (stripe untouched) when no candidate accepts the block.  Returns the
   /// helper traffic, still d/(d-k+1) block sizes when d helpers survive.
   std::uint64_t rehome_block(std::uint32_t file_id, std::uint32_t stripe,
-                             std::uint32_t index);
+                             std::uint32_t index) EXCLUDES(mu_);
 
   /// Re-homes every block currently placed on `server_id` (a server the
   /// caller has declared dead).  Per-block failures are counted, not thrown.
-  RehomeReport rehome_server(std::size_t server_id);
+  RehomeReport rehome_server(std::size_t server_id) EXCLUDES(mu_);
 
   /// Audits one block without transferring it.
   BlockState verify_block(std::uint32_t file_id, std::uint32_t stripe,
@@ -258,16 +258,16 @@ class CarouselStore {
     /// placement[stripe][index] == server id hosting that block.
     std::vector<std::vector<std::uint32_t>> placement;
   };
-  std::map<std::uint32_t, FileInfo> files() const;
+  std::map<std::uint32_t, FileInfo> files() const EXCLUDES(mu_);
 
   /// Total bytes received from all servers (traffic accounting).  Counts
   /// idle pooled connections plus everything folded in from retired ones;
   /// a connection leased by an op in flight is counted once it returns.
-  std::uint64_t bytes_received() const;
+  std::uint64_t bytes_received() const EXCLUDES(mu_);
 
   /// Aggregated failure-handling telemetry across every server connection
   /// (same in-flight caveat as bytes_received()).
-  Client::Counters counters() const;
+  Client::Counters counters() const EXCLUDES(mu_);
 
   /// The registry this store (and its clients, and any Scrubber sweeping it)
   /// reports into — StoreOptions::registry, or the process-global one.
@@ -275,23 +275,23 @@ class CarouselStore {
 
   /// Replaces the hedged-read policy at runtime (benches toggle hedging on
   /// one fleet to measure its tail-latency win in isolation).
-  void set_hedge_policy(HedgePolicy policy);
-  HedgePolicy hedge_policy() const;
+  void set_hedge_policy(HedgePolicy policy) EXCLUDES(mu_);
+  HedgePolicy hedge_policy() const EXCLUDES(mu_);
 
   /// Overrides which survivors the repair path fans into (null restores the
   /// first-d default).  The policy is invoked under the store's mutex and
   /// must not call back into the store.
-  void set_helper_policy(HelperPolicy policy);
+  void set_helper_policy(HelperPolicy policy) EXCLUDES(mu_);
 
   /// Observes every repair/rehome wire transfer (null detaches).  Invoked
   /// under the store's mutex; must not call back into the store.
-  void set_traffic_observer(TrafficObserver observer);
+  void set_traffic_observer(TrafficObserver observer) EXCLUDES(mu_);
 
   /// Attaches a RepairScheduler: rehome_server() then enqueues one kRehome
   /// item per victim block (criticality = per-stripe victim count) instead
   /// of healing inline.  Pass nullptr to detach; the scheduler does both
   /// automatically over its lifetime.
-  void attach_scheduler(RepairScheduler* scheduler);
+  void attach_scheduler(RepairScheduler* scheduler) EXCLUDES(mu_);
 
  private:
   /// One server plus its client pool.  Server objects are heap-allocated
@@ -300,10 +300,14 @@ class CarouselStore {
   struct Server {
     std::uint16_t port = 0;
     bool spare = false;
-    std::mutex pool_mu;  // guards idle/retired; never held across I/O
-    std::vector<std::unique_ptr<Client>> idle;
-    Client::Counters retired{};       // telemetry of discarded clients
-    std::uint64_t retired_bytes = 0;  // bytes_received of discarded clients
+    // Guards idle/retired; never held across I/O.  Ranked after the store's
+    // mu_ because bytes_received()/counters() walk the pools under mu_.
+    util::Mutex pool_mu{util::LockRank::kServerPool};
+    std::vector<std::unique_ptr<Client>> idle GUARDED_BY(pool_mu);
+    // Telemetry of discarded clients.
+    Client::Counters retired GUARDED_BY(pool_mu){};
+    // bytes_received of discarded clients.
+    std::uint64_t retired_bytes GUARDED_BY(pool_mu) = 0;
   };
 
   /// Exclusive use of one connection to a server for one operation.  A
@@ -327,12 +331,14 @@ class CarouselStore {
     std::unique_ptr<Client> client_;
   };
 
-  Server& server_at(std::size_t server_id) const;  // takes mu_ briefly
-  Lease lease(std::size_t server_id) const;
+  Server& server_at(std::size_t server_id) const
+      EXCLUDES(mu_);  // takes mu_ briefly
+  Lease lease(std::size_t server_id) const EXCLUDES(mu_);
   std::size_t home_of(std::uint32_t file_id, std::uint32_t stripe,
-                      std::uint32_t index) const;  // takes mu_ briefly
+                      std::uint32_t index) const
+      EXCLUDES(mu_);  // takes mu_ briefly
   Lease lease_for(std::uint32_t file_id, std::uint32_t stripe,
-                  std::uint32_t index) const {
+                  std::uint32_t index) const EXCLUDES(mu_) {
     return lease(home_of(file_id, stripe, index));
   }
   BlockKey key(std::uint32_t file, std::uint32_t stripe,
@@ -347,21 +353,25 @@ class CarouselStore {
   std::chrono::milliseconds hedge_budget(const HedgePolicy& policy) const;
   /// Invokes the traffic observer under mu_ (its documented contract).
   void observe_traffic(std::size_t server, std::uint64_t egress,
-                       std::uint64_t ingress);
+                       std::uint64_t ingress) EXCLUDES(mu_);
   std::size_t home_of_locked(std::uint32_t file_id, std::uint32_t stripe,
-                             std::uint32_t index) const;
+                             std::uint32_t index) const REQUIRES(mu_);
   /// Candidate new homes for (file, stripe, index): servers hosting no
   /// other block of that stripe, spares first, current home excluded.
   std::vector<std::size_t> placement_candidates_locked(
-      std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const;
+      std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const
+      REQUIRES(mu_);
   std::vector<std::size_t> placement_candidates(std::uint32_t file_id,
                                                 std::uint32_t stripe,
-                                                std::uint32_t index) const;
+                                                std::uint32_t index) const
+      EXCLUDES(mu_);
   /// Records block (stripe, index) of file as now living on `server_id`.
   void set_placement_locked(std::uint32_t file_id, std::uint32_t stripe,
-                            std::uint32_t index, std::size_t server_id);
+                            std::uint32_t index, std::size_t server_id)
+      REQUIRES(mu_);
   void set_placement(std::uint32_t file_id, std::uint32_t stripe,
-                     std::uint32_t index, std::size_t server_id);
+                     std::uint32_t index, std::size_t server_id)
+      EXCLUDES(mu_);
   /// The repair engine.  Takes mu_ only for lookups and the final placement
   /// update — all probes, projections and uploads run on leased connections
   /// with no store lock held.
@@ -369,9 +379,9 @@ class CarouselStore {
                                   std::uint32_t index,
                                   std::optional<std::size_t> target,
                                   std::chrono::steady_clock::time_point
-                                      budget_deadline);
+                                      budget_deadline) EXCLUDES(mu_);
   std::uint64_t rehome_block_impl(std::uint32_t file_id, std::uint32_t stripe,
-                                  std::uint32_t index);
+                                  std::uint32_t index) EXCLUDES(mu_);
   std::chrono::steady_clock::time_point budget_deadline() const;
   /// Survivor ordering for the repair fan-in: the helper policy's choice
   /// (validated: `want` distinct members of `survivors`) or the first
@@ -380,7 +390,7 @@ class CarouselStore {
   std::vector<std::size_t> choose_helpers(
       std::uint32_t file_id, std::uint32_t stripe,
       const std::vector<std::size_t>& survivors, std::size_t want,
-      std::size_t bytes_per_helper) const;
+      std::size_t bytes_per_helper) const EXCLUDES(mu_);
 
   const codes::Carousel* code_;
   std::size_t block_bytes_;
@@ -388,13 +398,19 @@ class CarouselStore {
   std::chrono::milliseconds op_budget_{0};
   RetryPolicy policy_{};
   std::size_t base_fleet_ = 0;  // servers present at construction
-  std::vector<std::unique_ptr<Server>> servers_;
-  mutable std::mutex mu_;  // lookups/mutations only; never held across I/O
-  std::map<std::uint32_t, FileInfo> manifest_;
-  HedgePolicy hedge_;                 // guarded by mu_; snapshotted per read
-  HelperPolicy helper_policy_;        // both hooks run under mu_ and touch
-  TrafficObserver traffic_observer_;  // only their owner's state
-  RepairScheduler* scheduler_ = nullptr;
+  // Lookups/mutations only; NEVER held across I/O.  First acquired of the
+  // store-side locks (LockRank::kStore), so it may nest the scheduler's
+  // mutex (hooks) and any Server::pool_mu, never the reverse.
+  mutable util::Mutex mu_{util::LockRank::kStore};
+  // The vector is guarded; the heap-allocated Servers it points at live as
+  // long as the store, so a read task may keep a Server* with no lock.
+  std::vector<std::unique_ptr<Server>> servers_ GUARDED_BY(mu_);
+  std::map<std::uint32_t, FileInfo> manifest_ GUARDED_BY(mu_);
+  HedgePolicy hedge_ GUARDED_BY(mu_);  // snapshotted per read
+  // Both hooks run under mu_ and touch only their owner's state.
+  HelperPolicy helper_policy_ GUARDED_BY(mu_);
+  TrafficObserver traffic_observer_ GUARDED_BY(mu_);
+  RepairScheduler* scheduler_ GUARDED_BY(mu_) = nullptr;
 
   // Cached instruments (constructor-resolved from registry_).
   obs::Histogram* put_seconds_ = nullptr;

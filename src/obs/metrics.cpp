@@ -158,7 +158,7 @@ std::span<const double> Histogram::latency_buckets_seconds() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     validate_name("_total", name);
@@ -169,7 +169,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     validate_name({}, name);
@@ -180,7 +180,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> bounds) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     validate_name("_seconds", name);
@@ -195,7 +195,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   Snapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();

@@ -37,11 +37,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace carousel::obs {
 
@@ -128,25 +129,41 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Finds or creates; the reference stays valid for the registry's life.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) EXCLUDES(mu_);
   /// `bounds` is consulted only on first creation; empty = default latency
   /// ladder.
   Histogram& histogram(std::string_view name,
-                       std::span<const double> bounds = {});
+                       std::span<const double> bounds = {}) EXCLUDES(mu_);
 
-  Snapshot snapshot() const;
-  std::string render_prometheus() const { return snapshot().render_prometheus(); }
-  std::string render_json() const { return snapshot().render_json(); }
+  /// Copies every instrument under the lock and returns the detached copy;
+  /// rendering (render_prometheus/render_json on the Snapshot) runs with no
+  /// registry lock held, so a slow scrape never stalls instrument creation.
+  Snapshot snapshot() const EXCLUDES(mu_);
+  std::string render_prometheus() const EXCLUDES(mu_) {
+    return snapshot().render_prometheus();
+  }
+  std::string render_json() const EXCLUDES(mu_) {
+    return snapshot().render_json();
+  }
+
+  /// Debug hook for the snapshot-on-read isolation tests: true when the
+  /// calling thread holds the registry lock.  Assert with it, never branch.
+  bool lock_held_by_current_thread() const {
+    return mu_.held_by_current_thread();
+  }
 
   /// The process-wide registry most of the stack reports into.
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable util::Mutex mu_{util::LockRank::kMetrics};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Builds `base{label="value"}`, merging into an existing {...} suffix —

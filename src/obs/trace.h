@@ -16,11 +16,11 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace carousel::obs {
 
@@ -68,34 +68,36 @@ class TraceRing {
  public:
   explicit TraceRing(std::size_t capacity) : capacity_(capacity) {}
 
-  void record(std::string name, double seconds, std::uint64_t bytes = 0) {
-    std::lock_guard lock(mu_);
+  void record(std::string name, double seconds, std::uint64_t bytes = 0)
+      EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     records_.push_back({std::move(name), seconds, bytes, next_seq_++});
     if (records_.size() > capacity_) records_.pop_front();
   }
 
-  /// Oldest-first copy of the surviving records.
-  std::vector<TraceRecord> records() const {
-    std::lock_guard lock(mu_);
+  /// Oldest-first copy of the surviving records.  The copy detaches under
+  /// the lock; callers iterate it with no ring lock held.
+  std::vector<TraceRecord> records() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return {records_.begin(), records_.end()};
   }
 
   /// Records ever seen (>= records().size() once the ring wraps).
-  std::uint64_t total_recorded() const {
-    std::lock_guard lock(mu_);
+  std::uint64_t total_recorded() const EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     return next_seq_;
   }
 
-  void clear() {
-    std::lock_guard lock(mu_);
+  void clear() EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
     records_.clear();
   }
 
  private:
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::deque<TraceRecord> records_;
-  std::uint64_t next_seq_ = 0;
+  mutable util::Mutex mu_{util::LockRank::kTraceRing};
+  std::deque<TraceRecord> records_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span that feeds a histogram and/or a trace ring.  Either sink may be

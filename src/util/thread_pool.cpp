@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -29,7 +29,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) throw std::logic_error("submit after shutdown");
     queue_.push_back(std::move(task));
     ++in_flight_;
@@ -39,8 +39,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.wait(mu_);
   if (first_error_) {
     auto e = first_error_;
     first_error_ = nullptr;
@@ -59,8 +59,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -70,12 +70,12 @@ void ThreadPool::worker_loop() {
       obs::ScopedTimer timer(*task_seconds_);
       task();
     } catch (...) {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     tasks_total_->inc();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();
     }
   }

@@ -7,20 +7,19 @@
 #ifndef CAROUSEL_UTIL_THREAD_POOL_H
 #define CAROUSEL_UTIL_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/sync.h"
 
 namespace carousel::util {
 
@@ -37,7 +36,7 @@ class ThreadPool {
 
   /// Enqueues a task.  Tasks may not touch the pool's own interface except
   /// submit() (no wait_idle from inside a task).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Enqueues a value-returning task and hands back its future.  Unlike
   /// wait_idle() — which spans every task in the pool — the future waits on
@@ -57,7 +56,7 @@ class ThreadPool {
 
   /// Blocks until every submitted task has finished.  If any task threw, the
   /// first exception is rethrown here (the rest are dropped).
-  void wait_idle();
+  void wait_idle() EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, count) across the pool and waits; convenience
   /// for parallel loops.
@@ -73,14 +72,14 @@ class ThreadPool {
   obs::Histogram* task_seconds_;
   obs::Counter* tasks_total_;
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
-  std::exception_ptr first_error_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // set in the ctor, joined in the dtor
+  Mutex mu_{LockRank::kThreadPool};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace carousel::util

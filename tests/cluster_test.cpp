@@ -168,6 +168,44 @@ TEST_F(ClusterTest, BackgroundMonitorDeclaresDeathOnItsOwn) {
   monitor.stop();  // idempotent
 }
 
+// Regression: stop() used to leave the std::thread handle outside its lock,
+// so two concurrent stop() calls could both pass the running_ check and
+// join the same thread twice (std::terminate) — a race TSan sees on the
+// handle.  The fix claims the handle under the lock; exactly one stopper
+// joins, the rest find it empty.
+TEST_F(ClusterTest, ConcurrentMonitorStopsJoinExactlyOnce) {
+  codes::Carousel code(12, 6, 10, 12);
+  CarouselStore store(code, ports_, code.s() * 4, opts());
+  for (int round = 0; round < 5; ++round) {
+    HealthMonitor monitor(store, fast_monitor());
+    monitor.start();
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t)
+      stoppers.emplace_back([&monitor] { monitor.stop(); });
+    for (auto& s : stoppers) s.join();
+    EXPECT_FALSE(monitor.running());
+  }
+}
+
+// Same double-join regression for the scrubber's sweep thread.
+TEST_F(ClusterTest, ConcurrentScrubberStopsJoinExactlyOnce) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 4;
+  CarouselStore store(code, ports_, block, opts());
+  store.put_file(1, random_bytes(code.k() * block, 37));
+  Scrubber::Options sopts;
+  sopts.interval = std::chrono::milliseconds(1);
+  for (int round = 0; round < 5; ++round) {
+    Scrubber scrubber(store, sopts);
+    scrubber.start();
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t)
+      stoppers.emplace_back([&scrubber] { scrubber.stop(); });
+    for (auto& s : stoppers) s.join();
+    EXPECT_FALSE(scrubber.running());
+  }
+}
+
 TEST_F(ClusterTest, MonitorPicksUpSparesRegisteredLater) {
   codes::Carousel code(12, 6, 10, 12);
   CarouselStore store(code, ports_, code.s() * 4, opts());

@@ -472,5 +472,34 @@ TEST_F(RepairSchedulerTest, ScrubberEnqueuesDeadHomesAsRehomes) {
   EXPECT_EQ(quiet.enqueued, 0u);
 }
 
+// ---- Shutdown discipline ---------------------------------------------------
+
+// Regression: stop() used to join the dispatcher handle outside the mutex,
+// so two concurrent stop() calls could both pass the dispatcher_running_
+// check and join the same std::thread twice (std::terminate) — a race TSan
+// sees on the handle.  The fix claims the handle under the lock; exactly
+// one stopper joins it.
+TEST_F(RepairSchedulerTest, ConcurrentStopsJoinTheDispatcherExactlyOnce) {
+  make_fleet(6);
+  codes::Carousel code(6, 4, 4, 6);
+  const std::size_t block = code.s() * 8;
+  CarouselStore store(code, ports_, block, opts());
+  store.put_file(1, random_bytes(code.k() * block, 41));
+  RepairScheduler::Options sopts;
+  sopts.tick = std::chrono::milliseconds(1);
+  for (int round = 0; round < 5; ++round) {
+    RepairScheduler sched(store, sopts);
+    sched.start();
+    sched.start();  // idempotent
+    EXPECT_TRUE(sched.running());
+    std::vector<std::thread> stoppers;
+    for (int t = 0; t < 4; ++t)
+      stoppers.emplace_back([&sched] { sched.stop(); });
+    for (auto& s : stoppers) s.join();
+    EXPECT_FALSE(sched.running());
+    sched.stop();  // idempotent after the storm
+  }
+}
+
 }  // namespace
 }  // namespace carousel::net

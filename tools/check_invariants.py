@@ -52,6 +52,16 @@ Rules (see DESIGN.md "Correctness tooling"):
      independently spelled literals drifting apart would split it across
      dashboards.
 
+  8. annotated locking only — src/ code locks through the annotated
+     wrappers in src/util/sync.h (util::Mutex / util::MutexLock /
+     util::CondVar), never through raw std::mutex, std::lock_guard,
+     std::unique_lock, std::scoped_lock or std::condition_variable.  A raw
+     primitive is invisible to both the Clang Thread Safety Analysis build
+     (CAROUSEL_THREAD_SAFETY=ON) and the runtime lock-rank checker, so a
+     deadlock it introduces is caught by neither.  std::once_flag /
+     std::call_once (and therefore `#include <mutex>`) stay allowed: they
+     are one-shot initialization, not a lock order anyone can invert.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -251,6 +261,26 @@ def check_hedge_metric_provenance(problems: list[str]) -> None:
                 f"src/net/store.cpp")
 
 
+def check_raw_locking(problems: list[str]) -> None:
+    """Rule 8: src/ locks only through the util/sync.h wrappers."""
+    allowed = REPO / "src" / "util" / "sync.h"
+    # std::once_flag/std::call_once are deliberately not matched; neither is
+    # `#include <mutex>` (which once_flag needs).
+    raw = re.compile(
+        r"\bstd::(mutex|lock_guard|unique_lock|scoped_lock"
+        r"|condition_variable(?:_any)?)\b")
+    for path in src_files(".h", ".cpp"):
+        if path == allowed:
+            continue
+        text = path.read_text()
+        for m in raw.finditer(text):
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"raw std::{m.group(1)} — use the annotated util::Mutex/"
+                f"MutexLock/CondVar wrappers from src/util/sync.h so the "
+                f"thread-safety analysis and the lock-rank checker see it")
+
+
 def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
@@ -260,6 +290,7 @@ def main() -> int:
     check_fsync_before_rename(problems)
     check_repair_metric_provenance(problems)
     check_hedge_metric_provenance(problems)
+    check_raw_locking(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

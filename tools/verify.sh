@@ -29,7 +29,13 @@
 #   8. a bounded tail-latency bench against a live 12-server fleet with one
 #      injected straggler, also as CI's bench-smoke job runs it: the binary
 #      exits non-zero unless the hedged p99 beats the unhedged p99 with at
-#      least one hedge win (and writes BENCH_tail_latency.json).
+#      least one hedge win (and writes BENCH_tail_latency.json);
+#   9. when clang++ is installed: the whole tree rebuilt with Clang Thread
+#      Safety Analysis promoted to errors (CAROUSEL_THREAD_SAFETY=ON),
+#      verifying every GUARDED_BY/REQUIRES/EXCLUDES annotation from
+#      util/sync.h statically, plus the sync_test lock-rank suite under the
+#      same toolchain — the mirror of CI's thread-safety job.  Skipped
+#      (with a note) on GCC-only machines; CI always runs it.
 #
 #   sh tools/verify.sh
 set -e
@@ -82,5 +88,16 @@ cmake --build build -j --target bench_tail_latency
   CAROUSEL_TAIL_STRIPES=2 CAROUSEL_TAIL_READS=100 \
   CAROUSEL_TAIL_STALL_MS=40 ./bench_tail_latency)
 
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DCAROUSEL_THREAD_SAFETY=ON -DCAROUSEL_WERROR=ON
+  cmake --build build-tsa -j
+  ./build-tsa/tests/sync_test
+else
+  echo "verify: clang++ not found; skipping the thread-safety analysis" \
+       "build (CI's thread-safety job still runs it)"
+fi
+
 echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan" \
-     "+ bounded chaos smoke + recovery-storm and tail-latency bench smokes)"
+     "+ bounded chaos smoke + recovery-storm and tail-latency bench smokes" \
+     "+ thread-safety analysis when clang++ is present)"
