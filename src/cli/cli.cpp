@@ -265,7 +265,14 @@ std::string fetch_metrics(std::uint16_t port) {
   return client.metrics_text();
 }
 
-std::string cluster_status(const std::vector<std::uint16_t>& ports) {
+namespace {
+
+/// Shared renderer behind both cluster_status overloads.  `rollup` adds the
+/// per-rack section; the unlabeled overload skips it because with one rack
+/// per server the rollup would just repeat the table above it.
+std::string render_cluster(const std::vector<std::uint16_t>& ports,
+                           const std::vector<std::size_t>& racks,
+                           bool rollup) {
   net::RetryPolicy policy;
   policy.max_attempts = 2;
   policy.io_timeout = std::chrono::milliseconds(500);
@@ -278,8 +285,18 @@ std::string cluster_status(const std::vector<std::uint16_t>& ports) {
   std::uint64_t total_bytes = 0;
   std::uint64_t min_blocks = 0;
   std::uint64_t max_blocks = 0;
+  struct RackTally {
+    std::size_t members = 0;
+    std::size_t alive = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<std::size_t, RackTally> by_rack;
   for (std::size_t id = 0; id < ports.size(); ++id) {
-    out << "  server " << id << "  port " << ports[id] << "  ";
+    RackTally& tally = by_rack[racks[id]];
+    ++tally.members;
+    out << "  server " << id << "  port " << ports[id] << "  rack "
+        << racks[id] << "  ";
     try {
       net::Client client(ports[id], policy);
       const auto held = client.stats();
@@ -292,8 +309,22 @@ std::string cluster_status(const std::vector<std::uint16_t>& ports) {
       ++alive;
       total_blocks += held.blocks;
       total_bytes += held.bytes;
+      ++tally.alive;
+      tally.blocks += held.blocks;
+      tally.bytes += held.bytes;
     } catch (const net::Error&) {
       out << "dead   (unreachable)\n";
+    }
+  }
+  if (rollup) {
+    out << "rack rollup:\n";
+    for (const auto& [rack, tally] : by_rack) {
+      out << "  rack " << rack << "  " << tally.members << " server"
+          << (tally.members == 1 ? "" : "s") << "  " << tally.alive
+          << " alive  " << tally.blocks << " blocks  " << tally.bytes
+          << " bytes";
+      if (tally.alive == 0) out << "  [rack down]";
+      out << '\n';
     }
   }
   out << "summary: " << alive << "/" << ports.size() << " alive, "
@@ -309,6 +340,23 @@ std::string cluster_status(const std::vector<std::uint16_t>& ports) {
   else
     out << "pending re-placement: none\n";
   return out.str();
+}
+
+}  // namespace
+
+std::string cluster_status(const std::vector<std::uint16_t>& ports) {
+  // Unlabeled fleet: each server is its own rack, mirroring CarouselStore's
+  // default of one failure domain per server.
+  std::vector<std::size_t> racks(ports.size());
+  for (std::size_t i = 0; i < racks.size(); ++i) racks[i] = i;
+  return render_cluster(ports, racks, /*rollup=*/false);
+}
+
+std::string cluster_status(const std::vector<std::uint16_t>& ports,
+                           const std::vector<std::size_t>& racks) {
+  if (racks.size() != ports.size())
+    throw std::invalid_argument("need exactly one rack label per port");
+  return render_cluster(ports, racks, /*rollup=*/true);
 }
 
 std::string repairs_status(std::uint16_t port) {
@@ -405,7 +453,7 @@ int run(const std::vector<std::string>& args) {
         "  carouselctl repair  <dir> <block-index>\n"
         "  carouselctl info    <dir>\n"
         "  carouselctl metrics <port>\n"
-        "  carouselctl cluster <port...>\n"
+        "  carouselctl cluster <port[:rack]...>\n"
         "  carouselctl repairs <port>\n"
         "  carouselctl reads   <port>\n"
         "  carouselctl recover <data-dir>\n"
@@ -461,15 +509,32 @@ int run(const std::vector<std::string>& args) {
       return 0;
     }
     if (cmd == "cluster") {
+      // Operands are `port` or `port:rack`.  Any explicit rack label turns
+      // on the failure-domain view (rack rollup); unlabeled operands keep
+      // the store's default of one rack per server.
       if (args.size() < 2) return usage();
       std::vector<std::uint16_t> ports;
+      std::vector<std::size_t> racks;
+      bool labeled = false;
       for (std::size_t i = 1; i < args.size(); ++i) {
-        unsigned long port = std::stoul(args[i]);
+        std::string spec = args[i];
+        std::size_t rack = ports.size();
+        const std::size_t colon = spec.find(':');
+        if (colon != std::string::npos) {
+          rack = std::stoul(spec.substr(colon + 1));
+          spec.resize(colon);
+          labeled = true;
+        }
+        unsigned long port = std::stoul(spec);
         if (port == 0 || port > 65535)
           throw std::invalid_argument("port must be in [1, 65535]");
         ports.push_back(static_cast<std::uint16_t>(port));
+        racks.push_back(rack);
       }
-      std::fputs(cluster_status(ports).c_str(), stdout);
+      std::fputs((labeled ? cluster_status(ports, racks)
+                          : cluster_status(ports))
+                     .c_str(),
+                 stdout);
       return 0;
     }
     if (cmd == "repairs") {

@@ -61,11 +61,21 @@ std::string fetch_metrics(std::uint16_t port);
 
 /// Probes each server on 127.0.0.1 once (STATS op, short timeout) and
 /// renders a cluster health table (for `carouselctl cluster`): per-server
-/// alive/dead verdict with held blocks and bytes, a placement summary
-/// (block spread across the reachable servers), and how many servers'
-/// blocks are pending re-placement.  Never throws on a dead server — that
-/// is the interesting case; the verdict lands in the table instead.
+/// alive/dead verdict with held blocks and bytes plus a rack column (each
+/// server defaults to its own rack, mirroring CarouselStore), a placement
+/// summary (block spread across the reachable servers), and how many
+/// servers' blocks are pending re-placement.  Never throws on a dead
+/// server — that is the interesting case; the verdict lands in the table
+/// instead.
 std::string cluster_status(const std::vector<std::uint16_t>& ports);
+
+/// Same probe, but with explicit rack labels (one per port, parsed from
+/// `port:rack` operands) and a per-rack rollup section: members,
+/// alive count, reachable inventory, and a `[rack down]` marker when every
+/// member of a rack is unreachable — the failure-domain view of the fleet.
+/// Throws std::invalid_argument when the label vector's size mismatches.
+std::string cluster_status(const std::vector<std::uint16_t>& ports,
+                           const std::vector<std::size_t>& racks);
 
 /// Fetches the metrics dump from 127.0.0.1:port and renders only the
 /// repair-scheduler series — carousel_repair_* counters and gauges — as a

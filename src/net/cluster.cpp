@@ -1,11 +1,24 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 
 namespace carousel::net {
+
+namespace {
+
+/// The one place the carousel_cluster_domain_ metric family prefix exists
+/// (lint rule 9 in tools/check_invariants.py): every domain-rollup gauge is
+/// named through this helper, so the family cannot fork on a typo.
+std::string domain_metric(const char* what) {
+  return std::string("carousel_cluster_domain_") + what;
+}
+
+}  // namespace
 
 const char* server_state_name(ServerState state) {
   switch (state) {
@@ -15,16 +28,27 @@ const char* server_state_name(ServerState state) {
       return "suspect";
     case ServerState::kDead:
       return "dead";
+    case ServerState::kUnknown:
+      return "unknown";
   }
   return "unknown";
 }
 
 HealthMonitor::HealthMonitor(CarouselStore& store, Options options)
     : store_(store), options_(options) {
-  options_.suspect_after = std::max<std::uint32_t>(1, options_.suspect_after);
-  options_.dead_after =
-      std::max(options_.dead_after, options_.suspect_after);
-  options_.revive_after = std::max<std::uint32_t>(1, options_.revive_after);
+  if (options_.interval.count() <= 0)
+    throw std::invalid_argument("HealthMonitor interval must be > 0");
+  if (options_.suspect_after == 0)
+    throw std::invalid_argument(
+        "HealthMonitor suspect_after must be >= 1 (a zero threshold marks "
+        "every server suspect before its first probe)");
+  if (options_.dead_after < options_.suspect_after)
+    throw std::invalid_argument(
+        "HealthMonitor dead_after must be >= suspect_after");
+  if (options_.revive_after == 0)
+    throw std::invalid_argument(
+        "HealthMonitor revive_after must be >= 1 (zero disables flap "
+        "damping entirely)");
   auto& reg = store.metrics();
   probes_total_ = &reg.counter("carousel_cluster_probes_total");
   probe_failures_total_ =
@@ -39,6 +63,9 @@ HealthMonitor::HealthMonitor(CarouselStore& store, Options options)
   alive_gauge_ = &reg.gauge("carousel_cluster_servers_alive");
   suspect_gauge_ = &reg.gauge("carousel_cluster_servers_suspect");
   dead_gauge_ = &reg.gauge("carousel_cluster_servers_dead");
+  domain_count_gauge_ = &reg.gauge(domain_metric("count"));
+  domain_down_gauge_ = &reg.gauge(domain_metric("down"));
+  domain_degraded_gauge_ = &reg.gauge(domain_metric("degraded"));
 }
 
 HealthMonitor::~HealthMonitor() { stop(); }
@@ -101,6 +128,7 @@ void HealthMonitor::probe_once() {
         it->second.status.id = ep.id;
         it->second.status.port = ep.port;
         it->second.status.spare = ep.spare;
+        it->second.status.domain = ep.domain;
         it->second.probe = std::make_unique<Client>(
             ep.port, options_.probe_policy, &store_.metrics());
       }
@@ -160,6 +188,8 @@ void HealthMonitor::transition_locked(Tracked& t, ServerState to) {
     case ServerState::kDead:
       to_dead_total_->inc();
       break;
+    case ServerState::kUnknown:
+      break;  // never a transition target: tracked servers have verdicts
   }
 }
 
@@ -178,18 +208,84 @@ void HealthMonitor::export_gauges_locked() {
       case ServerState::kDead:
         ++dead;
         break;
+      case ServerState::kUnknown:
+        break;  // tracked servers always hold a verdict
     }
   }
   servers_gauge_->set(static_cast<double>(tracked_.size()));
   alive_gauge_->set(static_cast<double>(alive));
   suspect_gauge_->set(static_cast<double>(suspect));
   dead_gauge_->set(static_cast<double>(dead));
+  // Roll the per-server FSM up to failure domains: a domain is down when
+  // all its members are kDead, degraded when some (not all) have lost
+  // their kAlive verdict.
+  std::size_t down = 0;
+  std::size_t degraded = 0;
+  const auto domains = domain_statuses_locked();
+  for (const auto& d : domains) {
+    if (d.down())
+      ++down;
+    else if (d.alive < d.members)
+      ++degraded;
+  }
+  domain_count_gauge_->set(static_cast<double>(domains.size()));
+  domain_down_gauge_->set(static_cast<double>(down));
+  domain_degraded_gauge_->set(static_cast<double>(degraded));
+}
+
+std::vector<HealthMonitor::DomainStatus>
+HealthMonitor::domain_statuses_locked() const {
+  std::map<std::size_t, DomainStatus> by_domain;
+  for (const auto& [id, t] : tracked_) {
+    DomainStatus& d = by_domain[t.status.domain];
+    d.domain = t.status.domain;
+    ++d.members;
+    d.blocks += t.status.blocks;
+    switch (t.status.state) {
+      case ServerState::kAlive:
+        ++d.alive;
+        break;
+      case ServerState::kSuspect:
+        ++d.suspect;
+        break;
+      case ServerState::kDead:
+        ++d.dead;
+        break;
+      case ServerState::kUnknown:
+        break;  // tracked servers always hold a verdict
+    }
+  }
+  std::vector<DomainStatus> out;
+  out.reserve(by_domain.size());
+  for (const auto& [domain, d] : by_domain) out.push_back(d);
+  return out;
+}
+
+std::vector<HealthMonitor::DomainStatus> HealthMonitor::domain_statuses()
+    const {
+  util::MutexLock lock(mu_);
+  return domain_statuses_locked();
+}
+
+std::size_t HealthMonitor::dead_in_domain(std::size_t server_id) const {
+  util::MutexLock lock(mu_);
+  auto it = tracked_.find(server_id);
+  if (it == tracked_.end()) return 0;
+  const std::size_t domain = it->second.status.domain;
+  std::size_t dead = 0;
+  for (const auto& [id, t] : tracked_)
+    if (t.status.domain == domain && t.status.state == ServerState::kDead)
+      ++dead;
+  return dead;
 }
 
 ServerState HealthMonitor::state_of(std::size_t server_id) const {
   util::MutexLock lock(mu_);
   auto it = tracked_.find(server_id);
-  return it == tracked_.end() ? ServerState::kAlive : it->second.status.state;
+  // kUnknown, not an optimistic kAlive: "never probed" must stay
+  // distinguishable from "probed and healthy".
+  return it == tracked_.end() ? ServerState::kUnknown
+                              : it->second.status.state;
 }
 
 std::vector<HealthMonitor::ServerStatus> HealthMonitor::statuses() const {

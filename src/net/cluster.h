@@ -42,25 +42,32 @@
 
 namespace carousel::net {
 
-/// The detector's verdict on one server.
-enum class ServerState { kAlive, kSuspect, kDead };
+/// The detector's verdict on one server.  kUnknown is the explicit
+/// "never probed" answer: a server the monitor has not tracked yet has no
+/// verdict at all, and callers must not mistake that for health.
+enum class ServerState { kAlive, kSuspect, kDead, kUnknown };
 
-/// Human-readable name ("alive" / "suspect" / "dead") for logs, metrics
-/// labels and the CLI.
+/// Human-readable name ("alive" / "suspect" / "dead" / "unknown") for
+/// logs, metrics labels and the CLI.
 const char* server_state_name(ServerState state);
 
 class HealthMonitor {
  public:
+  /// All thresholds are validated at construction (std::invalid_argument):
+  /// a zero threshold or a non-positive interval is a detector that never
+  /// fires or spins, never a sensible configuration.
   struct Options {
-    /// Pause between background probe rounds.
+    /// Pause between background probe rounds.  Must be > 0.
     std::chrono::milliseconds interval{200};
     /// Consecutive probe failures before kAlive degrades to kSuspect.
+    /// Must be >= 1.
     std::uint32_t suspect_after = 1;
     /// Consecutive probe failures before the server is declared kDead.
     /// Must be >= suspect_after.
     std::uint32_t dead_after = 3;
     /// Flap damping: consecutive probe *successes* a kSuspect/kDead server
     /// must string together before it is trusted as kAlive again.
+    /// Must be >= 1.
     std::uint32_t revive_after = 2;
     /// Policy for the monitor's own probe connections.  Two attempts by
     /// default: a server that restarted since the last round leaves a stale
@@ -78,6 +85,8 @@ class HealthMonitor {
     std::size_t id = 0;
     std::uint16_t port = 0;
     bool spare = false;
+    /// Failure-domain label, copied from the store at first tracking.
+    std::size_t domain = 0;
     ServerState state = ServerState::kAlive;
     std::uint32_t consecutive_failures = 0;
     std::uint32_t consecutive_successes = 0;
@@ -109,11 +118,34 @@ class HealthMonitor {
   /// knows (servers added since the last round are picked up here).
   void probe_once() EXCLUDES(probe_serial_, mu_);
 
-  /// Verdict for one server; optimistic kAlive for ids never probed.
+  /// Verdict for one server.  kUnknown for ids the monitor has never
+  /// tracked — an explicit "no verdict", so scrubber/rehome decisions
+  /// cannot mistake "not monitored" for "healthy".
   ServerState state_of(std::size_t server_id) const EXCLUDES(mu_);
 
   /// Snapshot of every tracked server, id order.
   std::vector<ServerStatus> statuses() const EXCLUDES(mu_);
+
+  /// Per-server FSM state rolled up to one failure domain.
+  struct DomainStatus {
+    std::size_t domain = 0;
+    std::size_t members = 0;
+    std::size_t alive = 0;
+    std::size_t suspect = 0;
+    std::size_t dead = 0;
+    /// Blocks held across members, from their last successful STATS.
+    std::uint64_t blocks = 0;
+    /// The whole domain is out: every member is kDead.
+    bool down() const { return members > 0 && dead == members; }
+  };
+
+  /// Rollup of every tracked server by failure domain, domain order.
+  std::vector<DomainStatus> domain_statuses() const EXCLUDES(mu_);
+
+  /// How many tracked servers in `server_id`'s domain are kDead — the
+  /// correlated-failure signal the RepairScheduler boosts criticality by.
+  /// Zero for untracked ids (no verdicts, no correlation to report).
+  std::size_t dead_in_domain(std::size_t server_id) const EXCLUDES(mu_);
 
  private:
   struct Tracked {
@@ -124,6 +156,7 @@ class HealthMonitor {
   void loop() EXCLUDES(probe_serial_, mu_);
   void transition_locked(Tracked& t, ServerState to) REQUIRES(mu_);
   void export_gauges_locked() REQUIRES(mu_);
+  std::vector<DomainStatus> domain_statuses_locked() const REQUIRES(mu_);
 
   CarouselStore& store_;
   Options options_;
@@ -138,6 +171,11 @@ class HealthMonitor {
   obs::Gauge* alive_gauge_ = nullptr;
   obs::Gauge* suspect_gauge_ = nullptr;
   obs::Gauge* dead_gauge_ = nullptr;
+  // Domain rollup gauges, all minted through the one domain_metric helper
+  // (check_invariants rule 9).
+  obs::Gauge* domain_count_gauge_ = nullptr;
+  obs::Gauge* domain_down_gauge_ = nullptr;
+  obs::Gauge* domain_degraded_gauge_ = nullptr;
 
   // Serializes probe rounds (a round's clients are single-threaded); held
   // only by probe_once, never while answering state_of()/statuses().  A

@@ -1,6 +1,7 @@
 #include "net/repair_scheduler.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "net/cluster.h"
 
@@ -25,8 +26,25 @@ std::uint64_t charge_of(const std::map<std::size_t, std::uint64_t>& window,
 
 RepairScheduler::RepairScheduler(CarouselStore& store, Options options)
     : store_(store), options_(options), registry_(&store.metrics()) {
-  if (options_.max_concurrent == 0) options_.max_concurrent = 1;
-  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_concurrent == 0)
+    throw std::invalid_argument(
+        "RepairScheduler max_concurrent must be >= 1 (zero can never "
+        "dispatch)");
+  if (options_.workers == 0)
+    throw std::invalid_argument(
+        "RepairScheduler workers must be >= 1 (zero starves background "
+        "mode)");
+  if (options_.budget_window.count() <= 0)
+    throw std::invalid_argument("RepairScheduler budget_window must be > 0");
+  if (options_.admission_interval.count() <= 0)
+    throw std::invalid_argument(
+        "RepairScheduler admission_interval must be > 0");
+  if (options_.tick.count() <= 0)
+    throw std::invalid_argument("RepairScheduler tick must be > 0");
+  if (options_.p99_budget.count() < 0)
+    throw std::invalid_argument(
+        "RepairScheduler p99_budget must be >= 0 (zero = admission control "
+        "off)");
   allowed_ = options_.max_concurrent;
   stats_.allowed = allowed_;
   window_start_ = std::chrono::steady_clock::now();
@@ -46,6 +64,7 @@ RepairScheduler::RepairScheduler(CarouselStore& store, Options options)
   backoffs_total_ = repair_counter("backoffs_total");
   ramps_total_ = repair_counter("ramps_total");
   emergencies_total_ = repair_counter("emergencies_total");
+  domain_boosts_total_ = repair_counter("domain_boosts_total");
   bytes_moved_total_ = repair_counter("bytes_moved_total");
   queue_depth_gauge_ = repair_gauge("queue_depth");
   running_gauge_ = repair_gauge("running");
@@ -86,10 +105,26 @@ std::uint32_t RepairScheduler::emergency_threshold() const {
 }
 
 void RepairScheduler::enqueue(const CarouselStore::BlockRef& block, Kind kind,
-                              std::uint32_t criticality) {
+                              std::uint32_t criticality,
+                              std::optional<std::size_t> home) {
+  // Domain-correlated escalation: when the victim's home shares a failure
+  // domain with other kDead servers, the stripe's loss is correlated, not
+  // scattered — rank it ahead.  The monitor is consulted *before* taking
+  // mu_ (its mutex outranks the store's, and ours must come after any
+  // store mutex a caller already holds, never after the monitor's).
+  std::uint32_t boost = 0;
+  if (home.has_value() && options_.monitor != nullptr) {
+    const std::size_t dead = options_.monitor->dead_in_domain(*home);
+    if (dead > 1) boost = static_cast<std::uint32_t>(dead - 1);
+  }
+  criticality += boost;
   // Releasable so the dispatcher wakes to an uncontended mutex: the notify
   // below happens after the lock is dropped.
   util::ReleasableMutexLock lock(mu_);
+  if (boost > 0) {
+    ++stats_.domain_boosts;
+    domain_boosts_total_->inc();
+  }
   const BlockId id = id_of(block);
   if (running_items_.contains(id)) return;  // already being healed
   auto idx = index_.find(id);
@@ -122,7 +157,7 @@ std::size_t RepairScheduler::enqueue_server(std::size_t server_id) {
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> per_stripe;
   for (const auto& v : victims) ++per_stripe[{v.file, v.stripe}];
   for (const auto& v : victims)
-    enqueue(v, Kind::kRehome, per_stripe[{v.file, v.stripe}]);
+    enqueue(v, Kind::kRehome, per_stripe[{v.file, v.stripe}], server_id);
   return victims.size();
 }
 

@@ -81,10 +81,16 @@ class RepairScheduler {
   /// a new home (the dead-server newcomer loop).
   enum class Kind : std::uint8_t { kRepair, kRehome };
 
+  /// Structural knobs are validated at construction (std::invalid_argument
+  /// for zero concurrency/workers or non-positive windows): a scheduler
+  /// that can never dispatch is a misconfiguration, not a quiet no-op.
+  /// Byte-budget magnitudes are deliberately NOT validated — tests and
+  /// benches pin tiny budgets to exercise deferral.
   struct Options {
-    /// Global cap on in-flight heals; nothing ever exceeds it.
+    /// Global cap on in-flight heals; nothing ever exceeds it.  Must be
+    /// >= 1.
     std::size_t max_concurrent = 2;
-    /// Worker threads draining the queue in background mode.
+    /// Worker threads draining the queue in background mode.  Must be >= 1.
     std::size_t workers = 2;
     /// Per-server byte budgets over one budget_window (0 = unbounded).
     /// Meaningful budgets are >= block_bytes: one whole-block fetch is the
@@ -136,6 +142,7 @@ class RepairScheduler {
     std::uint64_t backoffs = 0;         // allowed-concurrency halvings
     std::uint64_t ramps = 0;            // allowed-concurrency increments
     std::uint64_t emergencies = 0;      // dispatches that bypassed the gates
+    std::uint64_t domain_boosts = 0;    // enqueues escalated by domain death
     std::uint64_t bytes_moved = 0;      // helper traffic of completed items
     std::size_t queue_depth = 0;
     std::size_t running = 0;
@@ -158,9 +165,16 @@ class RepairScheduler {
   RepairScheduler& operator=(const RepairScheduler&) = delete;
 
   /// Adds (or escalates) one work item.  Safe to call from any thread,
-  /// including under the store's mutex (touches only scheduler state).
+  /// including under the store's mutex (a monitor consultation happens
+  /// before the scheduler's own state is touched, honoring the lock
+  /// ranks).  `home` is the victim block's (dead) home server: when the
+  /// monitor knows other servers in that failure domain are also kDead,
+  /// criticality is boosted by (dead-in-domain - 1) so a rack-down's
+  /// stripes jump a backlog of scattered single failures.
   void enqueue(const CarouselStore::BlockRef& block, Kind kind,
-               std::uint32_t criticality) EXCLUDES(mu_);
+               std::uint32_t criticality,
+               std::optional<std::size_t> home = std::nullopt)
+      EXCLUDES(mu_);
 
   /// Enqueues a kRehome item for every block currently placed on
   /// `server_id`; criticality is the per-stripe victim count.  Returns how
@@ -253,6 +267,7 @@ class RepairScheduler {
   obs::Counter* backoffs_total_ = nullptr;
   obs::Counter* ramps_total_ = nullptr;
   obs::Counter* emergencies_total_ = nullptr;
+  obs::Counter* domain_boosts_total_ = nullptr;
   obs::Counter* bytes_moved_total_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Gauge* running_gauge_ = nullptr;

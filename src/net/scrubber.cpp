@@ -115,9 +115,11 @@ Scrubber::Stats Scrubber::run_once() {
               // The detector has given up on the home: regenerate onto a
               // placement-eligible spare (the newcomer loop).
               if (options_.scheduler != nullptr) {
+                // The dead home rides along so the scheduler can boost
+                // domain-correlated losses ahead of scattered ones.
                 options_.scheduler->enqueue(
                     CarouselStore::BlockRef{file_id, stripe, index},
-                    RepairScheduler::Kind::kRehome, erasures);
+                    RepairScheduler::Kind::kRehome, erasures, home);
                 ++sweep.enqueued;
                 continue;
               }

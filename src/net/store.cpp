@@ -17,6 +17,26 @@ namespace carousel::net {
 
 using codes::Byte;
 
+namespace {
+
+/// Construction-time validation shared by the constructor and
+/// set_hedge_policy(): nonsense knobs throw instead of degenerating into a
+/// policy that silently hedges every read (or none).
+void validate_hedge_policy(const HedgePolicy& policy) {
+  if (policy.percentile < 0.5 || policy.percentile >= 1.0)
+    throw std::invalid_argument(
+        "HedgePolicy::percentile must lie in [0.5, 1.0)");
+  if (policy.min_samples == 0)
+    throw std::invalid_argument(
+        "HedgePolicy::min_samples must be > 0 (a zero-sample quantile is "
+        "undefined)");
+  if (policy.floor.count() < 0 || policy.initial.count() < 0)
+    throw std::invalid_argument(
+        "HedgePolicy budgets (floor, initial) must be >= 0");
+}
+
+}  // namespace
+
 CarouselStore::Lease::Lease(Server& server, const RetryPolicy& policy,
                             obs::MetricsRegistry* registry)
     : server_(&server) {
@@ -68,12 +88,32 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
   if (block_bytes == 0 || block_bytes % code.s() != 0)
     throw std::invalid_argument(
         "block_bytes must be a positive multiple of the subpacketization");
+  if (options.op_budget.count() < 0)
+    throw std::invalid_argument(
+        "StoreOptions::op_budget must be >= 0 (zero = unbounded)");
+  validate_hedge_policy(options.hedge);
+  if (!options.domains.empty() && options.domains.size() != ports.size())
+    throw std::invalid_argument(
+        "StoreOptions::domains must label every construction server "
+        "(domains.size() == ports.size())");
   base_fleet_ = ports.size();
   servers_.reserve(ports.size());
-  for (std::uint16_t p : ports) {
+  explicit_domains_ = !options.domains.empty();
+  for (std::size_t i = 0; i < ports.size(); ++i) {
     auto server = std::make_unique<Server>();
-    server->port = p;
+    server->port = ports[i];
+    server->domain = explicit_domains_ ? options.domains[i] : i;
     servers_.push_back(std::move(server));
+  }
+  if (explicit_domains_) {
+    // Satisfiability: with D distinct domains and at most n-k blocks of a
+    // stripe per domain, a stripe's n blocks fit only when D*(n-k) >= n.
+    const std::set<std::size_t> distinct(options.domains.begin(),
+                                         options.domains.end());
+    if (distinct.size() * max_blocks_per_domain() < code.n())
+      throw std::invalid_argument(
+          "StoreOptions::domains unsatisfiable: need distinct domains * "
+          "(n-k) >= n to place a stripe under the per-domain cap");
   }
   put_seconds_ = &registry_->histogram("carousel_store_put_seconds");
   read_seconds_ = &registry_->histogram("carousel_store_read_seconds");
@@ -148,10 +188,25 @@ CarouselStore::Lease CarouselStore::lease(std::size_t server_id) const {
 
 std::size_t CarouselStore::add_server(std::uint16_t port) {
   util::MutexLock lock(mu_);
+  // A fresh domain of its own: its id is unique, so the spare never shares
+  // a failure domain unless the caller says so via the labeled overload.
+  return add_server_locked(port, servers_.size(), false);
+}
+
+std::size_t CarouselStore::add_server(std::uint16_t port, std::size_t domain) {
+  util::MutexLock lock(mu_);
+  return add_server_locked(port, domain, true);
+}
+
+std::size_t CarouselStore::add_server_locked(std::uint16_t port,
+                                             std::size_t domain,
+                                             bool labeled) {
   auto server = std::make_unique<Server>();
   server->port = port;
   server->spare = true;
+  server->domain = domain;
   servers_.push_back(std::move(server));
+  if (labeled) explicit_domains_ = true;
   std::size_t spares = 0;
   for (const auto& s : servers_) spares += s->spare;
   spare_servers_->set(static_cast<double>(spares));
@@ -163,8 +218,16 @@ std::vector<CarouselStore::ServerEndpoint> CarouselStore::servers() const {
   std::vector<ServerEndpoint> out;
   out.reserve(servers_.size());
   for (std::size_t i = 0; i < servers_.size(); ++i)
-    out.push_back(ServerEndpoint{i, servers_[i]->port, servers_[i]->spare});
+    out.push_back(ServerEndpoint{i, servers_[i]->port, servers_[i]->spare,
+                                 servers_[i]->domain});
   return out;
+}
+
+std::size_t CarouselStore::domain_of(std::size_t server_id) const {
+  util::MutexLock lock(mu_);
+  if (server_id >= servers_.size())
+    throw std::out_of_range("domain_of: unknown server id");
+  return servers_[server_id]->domain;
 }
 
 std::size_t CarouselStore::server_count() const {
@@ -208,20 +271,60 @@ std::vector<CarouselStore::BlockRef> CarouselStore::blocks_on(
   return out;
 }
 
+bool CarouselStore::domain_fits_locked(std::size_t server_id,
+                                       std::uint32_t file_id,
+                                       std::uint32_t stripe,
+                                       std::uint32_t index) const {
+  // Count the stripe's blocks already homed in the candidate's domain,
+  // excluding the slot being (re-)placed: the question is what the domain
+  // would hold once this block lands there.
+  const std::size_t domain = servers_[server_id]->domain;
+  std::size_t held = 0;
+  for (std::size_t i = 0; i < code_->n(); ++i) {
+    if (i == index) continue;
+    const std::size_t home =
+        home_of_locked(file_id, stripe, static_cast<std::uint32_t>(i));
+    if (home < servers_.size() && servers_[home]->domain == domain) ++held;
+  }
+  return held < max_blocks_per_domain();
+}
+
 std::vector<std::size_t> CarouselStore::placement_candidates_locked(
     std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const {
-  // A candidate must hold no block of this stripe (or MDS durability would
-  // concentrate two erasure domains on one box) and must not be the block's
-  // current home.  Spares first — that is what they were registered for.
-  std::set<std::size_t> used;
-  for (std::size_t i = 0; i < code_->n(); ++i)
-    used.insert(home_of_locked(file_id, stripe, static_cast<std::uint32_t>(i)));
-  used.insert(home_of_locked(file_id, stripe, index));
+  // Per-server stripe-block counts excluding the block being moved: a
+  // candidate is judged by what it would hold *besides* this block.
+  std::vector<std::size_t> held(servers_.size(), 0);
+  for (std::size_t i = 0; i < code_->n(); ++i) {
+    if (i == index) continue;
+    const std::size_t home =
+        home_of_locked(file_id, stripe, static_cast<std::uint32_t>(i));
+    if (home < servers_.size()) ++held[home];
+  }
+  const std::size_t current = home_of_locked(file_id, stripe, index);
+  // Tiers 0/1: servers free of the stripe (or MDS durability would
+  // concentrate two erasure domains on one box), spares first — that is
+  // what they were registered for — and never past the domain cap.
   std::vector<std::size_t> out;
   for (bool want_spare : {true, false})
     for (std::size_t id = 0; id < servers_.size(); ++id)
-      if (servers_[id]->spare == want_spare && !used.contains(id))
+      if (servers_[id]->spare == want_spare && held[id] == 0 &&
+          id != current && domain_fits_locked(id, file_id, stripe, index))
         out.push_back(id);
+  if (!explicit_domains_) return out;
+  // Tier 2, explicit domains only: stack on a survivor already holding
+  // stripe blocks, least-loaded first.  A whole-rack loss can leave more
+  // victims than stripe-free survivors; the domain — not the box — is the
+  // failure unit being priced, so stacking is sound while the candidate's
+  // domain stays within n-k.
+  std::vector<std::size_t> stacked;
+  for (std::size_t id = 0; id < servers_.size(); ++id)
+    if (held[id] > 0 && id != current &&
+        domain_fits_locked(id, file_id, stripe, index))
+      stacked.push_back(id);
+  std::stable_sort(
+      stacked.begin(), stacked.end(),
+      [&held](std::size_t a, std::size_t b) { return held[a] < held[b]; });
+  out.insert(out.end(), stacked.begin(), stacked.end());
   return out;
 }
 
@@ -241,13 +344,14 @@ void CarouselStore::set_placement_locked(std::uint32_t file_id,
   auto& table = it->second.placement;
   if (stripe >= table.size() || index >= table[stripe].size())
     throw std::invalid_argument("placement update out of range");
+  // Backstop for the invariant: every legitimate caller already chose
+  // server_id through the domain-checked chooser (and re-checked under
+  // mu_), so tripping this means a placement path bypassed it.
+  if (!domain_fits_locked(server_id, file_id, stripe, index))
+    throw RehomeError(
+        "placement rejected: the target's failure domain would hold more "
+        "than n-k blocks of the stripe");
   table[stripe][index] = static_cast<std::uint32_t>(server_id);
-}
-
-void CarouselStore::set_placement(std::uint32_t file_id, std::uint32_t stripe,
-                                  std::uint32_t index, std::size_t server_id) {
-  util::MutexLock lock(mu_);
-  set_placement_locked(file_id, stripe, index, server_id);
 }
 
 void CarouselStore::observe_traffic(std::size_t server, std::uint64_t egress,
@@ -257,6 +361,7 @@ void CarouselStore::observe_traffic(std::size_t server, std::uint64_t egress,
 }
 
 void CarouselStore::set_hedge_policy(HedgePolicy policy) {
+  validate_hedge_policy(policy);
   util::MutexLock lock(mu_);
   hedge_ = policy;
 }
@@ -301,20 +406,61 @@ std::chrono::milliseconds CarouselStore::hedge_budget(
   return std::max(policy.floor, ms);
 }
 
+std::vector<std::vector<std::uint32_t>> CarouselStore::seed_placement(
+    std::size_t stripes) const {
+  std::vector<std::vector<std::uint32_t>> placement(
+      stripes, std::vector<std::uint32_t>(code_->n()));
+  util::MutexLock lock(mu_);
+  if (!explicit_domains_) {
+    // The paper's verbatim rule: block i of every stripe on server
+    // i mod base fleet.
+    for (auto& row : placement)
+      for (std::size_t i = 0; i < code_->n(); ++i)
+        row[i] = static_cast<std::uint32_t>(server_of(i));
+    return placement;
+  }
+  // Greedy rotation over the base fleet: block i prefers server i mod F
+  // (the paper's rule) and walks forward from it to the least-loaded
+  // eligible server, skipping any whose domain already holds n-k blocks of
+  // the stripe.  When every domain is a singleton wide enough, this lands
+  // exactly on the verbatim rule.  The constructor's satisfiability check
+  // (distinct domains * (n-k) >= n) makes the walk total by pigeonhole.
+  const std::size_t F = base_fleet_;
+  for (auto& row : placement) {
+    std::vector<std::size_t> count(F, 0);
+    std::map<std::size_t, std::size_t> in_domain;
+    for (std::size_t i = 0; i < code_->n(); ++i) {
+      const std::size_t pref = i % F;
+      std::size_t best = F;  // sentinel: none eligible yet
+      for (std::size_t off = 0; off < F; ++off) {
+        const std::size_t id = (pref + off) % F;
+        if (in_domain[servers_[id]->domain] >= max_blocks_per_domain())
+          continue;
+        if (best == F || count[id] < count[best]) best = id;
+      }
+      if (best == F)
+        throw RehomeError(
+            "seed impossible: no server's domain can take another block of "
+            "this stripe");
+      row[i] = static_cast<std::uint32_t>(best);
+      ++count[best];
+      ++in_domain[servers_[best]->domain];
+    }
+  }
+  return placement;
+}
+
 std::size_t CarouselStore::put_file(std::uint32_t file_id,
                                     std::span<const Byte> bytes) {
   obs::ScopedTimer timer(*put_seconds_);
   put_bytes_->inc(bytes.size());
   storage::ErasureFile ef(*code_, bytes, block_bytes_);
-  // Seed the placement table with the paper's rule; re-homing rewrites
-  // individual entries later.  base_fleet_ is set once in the constructor,
-  // so the rule needs no lock; uploads run on leased connections and the
-  // manifest commits last, after every block is stored.
-  std::vector<std::vector<std::uint32_t>> placement(
-      ef.stripes(), std::vector<std::uint32_t>(code_->n()));
-  for (std::size_t s = 0; s < ef.stripes(); ++s)
-    for (std::size_t i = 0; i < code_->n(); ++i)
-      placement[s][i] = static_cast<std::uint32_t>(server_of(i));
+  // Seed the placement table (the domain-aware rotation; the paper's
+  // verbatim rule for default stores); re-homing rewrites individual
+  // entries later.  Uploads run on leased connections and the manifest
+  // commits last, after every block is stored.
+  std::vector<std::vector<std::uint32_t>> placement =
+      seed_placement(ef.stripes());
   for (std::size_t s = 0; s < ef.stripes(); ++s)
     for (std::size_t i = 0; i < code_->n(); ++i) {
       Lease c = lease(placement[s][i]);
@@ -686,8 +832,8 @@ std::uint64_t CarouselStore::rehome_block_impl(std::uint32_t file_id,
   if (candidates.empty()) {
     rehome_failures_->inc();
     throw RehomeError(
-        "rehome impossible: no placement-eligible server (register a spare "
-        "with add_server)");
+        "rehome impossible: no placement-eligible server within the "
+        "per-domain n-k cap (register a spare with add_server)");
   }
   try {
     std::uint64_t fetched = repair_block_impl(
@@ -724,7 +870,7 @@ CarouselStore::RehomeReport CarouselStore::rehome_server(
       for (const BlockRef& b : victims) ++losses[{b.file, b.stripe}];
       for (const BlockRef& b : victims)
         scheduler_->enqueue(b, RepairScheduler::Kind::kRehome,
-                            losses[{b.file, b.stripe}]);
+                            losses[{b.file, b.stripe}], server_id);
       report.enqueued = victims.size();
       return report;
     }
@@ -942,7 +1088,15 @@ std::uint64_t CarouselStore::repair_block_impl(
     } catch (const Error&) {
       continue;  // this home is dead or lying: try the next candidate
     }
-    if (t != home) set_placement(file_id, stripe, index, t);
+    if (t != home) {
+      // Commit the move atomically with a re-check of the invariant: a
+      // concurrent heal of a sibling block may have filled t's domain
+      // since the candidate walk.  Losing the race just moves on to the
+      // next candidate — the stray copy on t is garbage, not a placement.
+      util::MutexLock lock(mu_);
+      if (!domain_fits_locked(t, file_id, stripe, index)) continue;
+      set_placement_locked(file_id, stripe, index, t);
+    }
     observe_traffic(t, 0, rebuilt.size());
     repairs_->inc();
     repair_bytes_read_->inc(fetched);

@@ -45,6 +45,20 @@
 // Dimakis et al.; the HealthMonitor (net/cluster.h) decides *when* a server
 // is dead, the Scrubber wires the two together.
 //
+// Failure domains: every server carries a domain label (a rack, a power
+// feed).  The placement table is seeded and *maintained* under one hard
+// invariant — no domain ever holds more than n-k blocks of a stripe — so a
+// whole-domain outage never exceeds the code's erasure tolerance.  All
+// placement mutations flow through the one domain-checked chooser
+// (placement_candidates_locked) and the one row writer
+// (set_placement_locked), which rejects a violating move with RehomeError
+// rather than silently concentrating risk (check_invariants rule 9).  By
+// default every server is its own domain, which makes the invariant the
+// pre-existing one-block-per-server rule; passing StoreOptions::domains (or
+// add_server(port, domain)) opts into shared domains, where a rehome may
+// stack a second stripe block on a survivor as long as its *domain* stays
+// within n-k — the domain, not the box, is the failure unit being priced.
+//
 // Failure model: a block that times out, arrives corrupt, or whose server is
 // down is an *erasure*, not an error.  read_file re-plans the stripe onto
 // the §VII pattern read or the any-k MDS decode and only throws when fewer
@@ -88,7 +102,8 @@ enum class BlockState { kOk, kMissing, kCorrupt, kUnreachable };
 struct HedgePolicy {
   bool enabled = false;
   /// The latency budget is this quantile of the store's own range-GET
-  /// latency histogram (carousel_store_range_get_seconds).
+  /// latency histogram (carousel_store_range_get_seconds).  Must lie in
+  /// [0.5, 1.0): hedging below the median means racing most reads.
   double percentile = 0.95;
   /// The budget never drops below this, however fast the histogram says the
   /// fleet is — guards against hedging every read on a quiet loopback.
@@ -96,6 +111,7 @@ struct HedgePolicy {
   /// Budget used until the histogram holds min_samples observations (a cold
   /// store has no quantile worth trusting).
   std::chrono::milliseconds initial{50};
+  /// Must be > 0: a zero-sample quantile is undefined.
   std::uint64_t min_samples = 32;
 };
 
@@ -118,6 +134,12 @@ struct StoreOptions {
   /// (0 = max(8, 2n), sized so one stripe's fan-out plus a second
   /// concurrent reader never queues behind itself).
   std::size_t read_threads = 0;
+  /// Failure-domain label per construction server (domains[i] labels
+  /// ports[i]).  Empty = one domain per server (today's behavior).  When
+  /// set it must match ports.size() and be satisfiable: the distinct
+  /// domains D must give D*(n-k) >= n, or no placement can honor the
+  /// per-domain invariant.
+  std::vector<std::size_t> domains;
 };
 
 class CarouselStore {
@@ -129,6 +151,9 @@ class CarouselStore {
     /// Registered via add_server(): receives blocks only through re-homing,
     /// never through put_file's initial placement.
     bool spare = false;
+    /// Failure domain (rack) this server belongs to; its own id when the
+    /// store runs with default one-domain-per-server labels.
+    std::size_t domain = 0;
   };
 
   /// Fully-qualified name of one block.
@@ -188,8 +213,23 @@ class CarouselStore {
   }
 
   /// Registers a spare server at runtime and returns its id.  Spares take
-  /// no new writes; they become block homes through rehome_block().
+  /// no new writes; they become block homes through rehome_block().  The
+  /// no-domain overload gives the spare its own fresh domain; the labeled
+  /// one joins it to an existing (or new) failure domain, and every
+  /// placement move onto it then honors the per-domain <= n-k invariant.
   std::size_t add_server(std::uint16_t port) EXCLUDES(mu_);
+  std::size_t add_server(std::uint16_t port, std::size_t domain)
+      EXCLUDES(mu_);
+
+  /// Failure-domain label of one server.  Throws std::out_of_range for ids
+  /// the store never registered.
+  std::size_t domain_of(std::size_t server_id) const EXCLUDES(mu_);
+
+  /// The placement invariant's cap: no domain may hold more than this many
+  /// blocks of one stripe (n-k, the code's erasure tolerance).
+  std::size_t max_blocks_per_domain() const {
+    return code_->n() - code_->k();
+  }
 
   /// Every server this store knows, registration order (spares last).
   std::vector<ServerEndpoint> servers() const EXCLUDES(mu_);
@@ -300,6 +340,7 @@ class CarouselStore {
   struct Server {
     std::uint16_t port = 0;
     bool spare = false;
+    std::size_t domain = 0;  // fixed at registration, like port
     // Guards idle/retired; never held across I/O.  Ranked after the store's
     // mu_ because bytes_received()/counters() walk the pools under mu_.
     util::Mutex pool_mu{util::LockRank::kServerPool};
@@ -331,6 +372,8 @@ class CarouselStore {
     std::unique_ptr<Client> client_;
   };
 
+  std::size_t add_server_locked(std::uint16_t port, std::size_t domain,
+                                bool labeled) REQUIRES(mu_);
   Server& server_at(std::size_t server_id) const
       EXCLUDES(mu_);  // takes mu_ briefly
   Lease lease(std::size_t server_id) const EXCLUDES(mu_);
@@ -356,8 +399,20 @@ class CarouselStore {
                        std::uint64_t ingress) EXCLUDES(mu_);
   std::size_t home_of_locked(std::uint32_t file_id, std::uint32_t stripe,
                              std::uint32_t index) const REQUIRES(mu_);
-  /// Candidate new homes for (file, stripe, index): servers hosting no
-  /// other block of that stripe, spares first, current home excluded.
+  /// True when homing block (stripe, index) on `server_id` keeps its
+  /// domain's stripe-block count (excluding the block's own slot) under the
+  /// <= n-k invariant.  The one predicate every placement mutation
+  /// consults (check_invariants rule 9).
+  bool domain_fits_locked(std::size_t server_id, std::uint32_t file_id,
+                          std::uint32_t stripe, std::uint32_t index) const
+      REQUIRES(mu_);
+  /// The one domain-checked chooser: candidate new homes for
+  /// (file, stripe, index), current home excluded, every tier filtered by
+  /// domain_fits_locked.  Tier 0: spares holding no block of the stripe;
+  /// tier 1: non-spares holding none (both ascending id).  Tier 2 — only
+  /// for stores with explicit domains — servers already holding stripe
+  /// blocks, least-loaded first, so a whole-rack loss can re-protect by
+  /// stacking on survivors while their domains stay within the cap.
   std::vector<std::size_t> placement_candidates_locked(
       std::uint32_t file_id, std::uint32_t stripe, std::uint32_t index) const
       REQUIRES(mu_);
@@ -366,12 +421,17 @@ class CarouselStore {
                                                 std::uint32_t index) const
       EXCLUDES(mu_);
   /// Records block (stripe, index) of file as now living on `server_id`.
+  /// Backstop for the invariant: throws RehomeError when the move would
+  /// push server_id's domain past n-k blocks of the stripe.
   void set_placement_locked(std::uint32_t file_id, std::uint32_t stripe,
                             std::uint32_t index, std::size_t server_id)
       REQUIRES(mu_);
-  void set_placement(std::uint32_t file_id, std::uint32_t stripe,
-                     std::uint32_t index, std::size_t server_id)
-      EXCLUDES(mu_);
+  /// Seeds a fresh file's placement table.  Default-domain stores use the
+  /// paper's verbatim rule (block i -> server i mod base fleet); explicit-
+  /// domain stores run a greedy rotation that degenerates to the same rule
+  /// when domains permit and never seeds a domain past the n-k cap.
+  std::vector<std::vector<std::uint32_t>> seed_placement(std::size_t stripes)
+      const EXCLUDES(mu_);
   /// The repair engine.  Takes mu_ only for lookups and the final placement
   /// update — all probes, projections and uploads run on leased connections
   /// with no store lock held.
@@ -405,6 +465,11 @@ class CarouselStore {
   // The vector is guarded; the heap-allocated Servers it points at live as
   // long as the store, so a read task may keep a Server* with no lock.
   std::vector<std::unique_ptr<Server>> servers_ GUARDED_BY(mu_);
+  // True once any server carries a caller-chosen domain label (via
+  // StoreOptions::domains or add_server(port, domain)).  Default stores
+  // keep one-domain-per-server semantics, where tier-2 candidate stacking
+  // stays off and behavior is bit-identical to the pre-domain store.
+  bool explicit_domains_ GUARDED_BY(mu_) = false;
   std::map<std::uint32_t, FileInfo> manifest_ GUARDED_BY(mu_);
   HedgePolicy hedge_ GUARDED_BY(mu_);  // snapshotted per read
   // Both hooks run under mu_ and touch only their owner's state.

@@ -1,10 +1,12 @@
 // Seeded chaos harness for the self-healing cluster.
 //
-// A deterministic schedule of fault events — server kills, restarts (with
-// crash-recovery scans), at-rest corruption, injected stalls, crash-injected
-// PUTs — runs against a live persistent multi-server store wired to a
-// HealthMonitor and a Scrubber.  Throughout, the harness asserts the three
-// invariants the paper's deployment story rests on:
+// A deterministic schedule of fault events — server kills, whole-rack
+// outages, restarts (with crash-recovery scans), at-rest corruption,
+// injected stalls, crash-injected PUTs — runs against a live persistent
+// multi-server store wired to a HealthMonitor and a Scrubber.  The fleet
+// spans three failure domains (rack = id % 3) so the storm exercises the
+// per-domain placement cap for real.  Throughout, the harness asserts the
+// three invariants the paper's deployment story rests on:
 //
 //   1. Reads are bit-exact whenever every stripe still has >= k healthy
 //      blocks (the schedule's guards keep total erasures <= n-k, so in this
@@ -25,6 +27,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -32,6 +35,7 @@
 #include <iterator>
 #include <map>
 #include <memory>
+#include <optional>
 #include <random>
 #include <set>
 #include <thread>
@@ -66,6 +70,8 @@ std::uint64_t env_u64(const char* name, std::uint64_t dflt) {
 enum class ChaosKind : std::uint8_t {
   kKill,            // destroy a live base server
   kCorrelatedKill,  // destroy up to two live base servers in one window
+  kRackDown,  // destroy every server in one failure domain at once
+  kRackUp,    // restart whatever remains down of the lost rack
   kRestart,   // recreate a down server on its old port + data dir
   kCorrupt,   // flip a stored byte (in memory and at rest)
   kStall,     // install a short kDelay fault plan on a live server
@@ -92,10 +98,12 @@ std::vector<ChaosEvent> make_schedule(std::uint64_t seed, std::size_t count) {
     ChaosKind kind;
     if (roll < 10) kind = ChaosKind::kKill;
     else if (roll < 14) kind = ChaosKind::kCorrelatedKill;
-    else if (roll < 28) kind = ChaosKind::kRestart;
-    else if (roll < 48) kind = ChaosKind::kCorrupt;
-    else if (roll < 58) kind = ChaosKind::kStall;
-    else if (roll < 68) kind = ChaosKind::kCrashPut;
+    else if (roll < 17) kind = ChaosKind::kRackDown;
+    else if (roll < 21) kind = ChaosKind::kRackUp;
+    else if (roll < 33) kind = ChaosKind::kRestart;
+    else if (roll < 51) kind = ChaosKind::kCorrupt;
+    else if (roll < 60) kind = ChaosKind::kStall;
+    else if (roll < 69) kind = ChaosKind::kCrashPut;
     else if (roll < 82) kind = ChaosKind::kPut;
     else kind = ChaosKind::kHeal;
     out.push_back(ChaosEvent{kind, static_cast<std::uint32_t>(rng()),
@@ -121,11 +129,17 @@ using BlockId = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>;
 class ChaosHarness {
  public:
   static constexpr std::size_t kBase = 12;   // n servers, one block each
-  static constexpr std::size_t kSpares = 2;  // immortal re-homing targets
+  static constexpr std::size_t kSpares = 2;  // rehoming targets, rack 0 and 1
+  static constexpr std::size_t kRacks = 3;   // failure domain = id % kRacks
   static constexpr std::size_t kMaxDown = 4;
   static constexpr std::size_t kMaxBrokenPerStripe = 2;
-  // kMaxDown + kMaxBrokenPerStripe == n - k: every stripe always keeps at
-  // least k healthy blocks, so invariant 1 applies to every read check.
+  // Every kill (and whole-rack outage) is additionally guarded by
+  // survivable(): the servers down afterwards may hold at most
+  // n - k - kMaxBrokenPerStripe blocks of any stripe, so even after the
+  // corruption cap fills up, total erasures stay <= n - k and every stripe
+  // keeps at least k healthy blocks — invariant 1 applies to every read
+  // check.  (Domain-capped stacking can place two blocks of a stripe on
+  // one survivor, so counting down *servers* alone is not enough.)
 
   // p = 10 < n leaves blocks 10 and 11 as parity, so hedged reads have
   // stand-in candidates; heal-traffic expectations depend only on d and k.
@@ -153,11 +167,17 @@ class ChaosHarness {
     sopts.hedge.enabled = true;
     sopts.hedge.floor = std::chrono::milliseconds(5);
     sopts.hedge.initial = std::chrono::milliseconds(15);
+    // Three racks, id % kRacks: 12 base servers spread 4-4-4, and the
+    // spares land in racks 0 and 1.  With n == base fleet the domain-aware
+    // seed degenerates to the paper's verbatim block-i-on-server-i rule, so
+    // the heal-traffic audits below see the same placements as ever.
+    for (std::size_t i = 0; i < kBase; ++i)
+      sopts.domains.push_back(rack_of(i));
     std::vector<std::uint16_t> base_ports(ports_.begin(),
                                           ports_.begin() + kBase);
     store_ = std::make_unique<CarouselStore>(code_, base_ports, block_, sopts);
     for (std::size_t i = kBase; i < kBase + kSpares; ++i)
-      store_->add_server(ports_[i]);
+      store_->add_server(ports_[i], rack_of(i));
 
     HealthMonitor::Options mopts;
     mopts.suspect_after = 1;
@@ -192,23 +212,59 @@ class ChaosHarness {
           if (!down_.contains(i)) up.push_back(i);
         if (up.empty() || down_.size() >= kMaxDown) return;
         const std::size_t id = up[e.a % up.size()];
+        if (!survivable({id})) return;
         servers_[id].reset();
         down_.insert(id);
         return;
       }
       case ChaosKind::kCorrelatedKill: {
-        // Correlated failure — a rack switch or PDU takes two servers out
-        // inside one window.  Each death is still guarded by kMaxDown, so
-        // total erasures per stripe never exceed n - k.
+        // Correlated failure — a switch or PDU takes two servers out inside
+        // one window.  Each death is guarded by kMaxDown and survivable(),
+        // so total erasures per stripe never exceed n - k.
         for (const std::uint32_t draw : {e.a, e.b}) {
           std::vector<std::size_t> up;
           for (std::size_t i = 0; i < kBase; ++i)
             if (!down_.contains(i)) up.push_back(i);
           if (up.empty() || down_.size() >= kMaxDown) return;
           const std::size_t id = up[draw % up.size()];
+          if (!survivable({id})) continue;
           servers_[id].reset();
           down_.insert(id);
         }
+        return;
+      }
+      case ChaosKind::kRackDown: {
+        // An entire failure domain — base servers and its spare alike —
+        // vanishes in one instant.  Fires only from a fully-up fleet whose
+        // placement keeps the outage survivable: the per-domain cap bounds
+        // any rack at n - k blocks per stripe, and survivable() demands the
+        // kMaxBrokenPerStripe headroom on top.  Afterwards down_.size() >=
+        // kMaxDown, so kKill/kCorrelatedKill stay blocked until recovery.
+        if (!down_.empty()) return;
+        const std::size_t rack = e.a % kRacks;
+        std::set<std::size_t> members;
+        for (std::size_t i = 0; i < servers_.size(); ++i)
+          if (rack_of(i) == rack) members.insert(i);
+        if (!survivable(members)) return;
+        for (std::size_t id : members) {
+          servers_[id].reset();
+          down_.insert(id);
+        }
+        rack_down_ = rack;
+        return;
+      }
+      case ChaosKind::kRackUp: {
+        // Power returns to the lost rack: restart every member still down.
+        // (Individual kRestart events may have revived some already.)
+        if (!rack_down_.has_value()) return;
+        for (std::size_t id :
+             std::vector<std::size_t>(down_.begin(), down_.end()))
+          if (rack_of(id) == *rack_down_) {
+            servers_[id] =
+                std::make_unique<BlockServer>(ports_[id], dir(id), popts_);
+            down_.erase(id);
+          }
+        rack_down_.reset();
         return;
       }
       case ChaosKind::kRestart: {
@@ -330,6 +386,7 @@ class ChaosHarness {
           std::make_unique<BlockServer>(ports_[id], dir(id), popts_);
       down_.erase(id);
     }
+    rack_down_.reset();
     monitor_->probe_once();
     monitor_->probe_once();
     for (const auto& st : monitor_->statuses())
@@ -361,8 +418,31 @@ class ChaosHarness {
   }
 
  private:
+  static constexpr std::size_t rack_of(std::size_t id) { return id % kRacks; }
+
   fs::path dir(std::size_t i) const {
     return root_ / ("srv" + std::to_string(i));
+  }
+
+  /// True when additionally killing every server in `extra` still leaves
+  /// each stripe at least k healthy blocks with kMaxBrokenPerStripe
+  /// corruption headroom to spare: blocks homed on down-or-dying servers
+  /// must not exceed n - k - kMaxBrokenPerStripe.  Necessary because
+  /// domain-capped stacking can concentrate two blocks of a stripe on one
+  /// survivor — a head count of down servers no longer bounds erasures.
+  bool survivable(const std::set<std::size_t>& extra) const {
+    for (const auto& [fid, info] : store_->files()) {
+      for (std::size_t s = 0; s < info.stripes; ++s) {
+        std::size_t erased = 0;
+        for (std::size_t i = 0; i < code_.n(); ++i) {
+          const std::size_t home = info.placement[s][i];
+          if (down_.contains(home) || extra.contains(home)) ++erased;
+        }
+        if (erased + kMaxBrokenPerStripe > code_.n() - code_.k())
+          return false;
+      }
+    }
+    return true;
   }
 
   std::vector<std::size_t> up_servers() const {
@@ -470,20 +550,46 @@ class ChaosHarness {
           const std::size_t home = placement[fid][s][i];
           if (down_.contains(home)) {
             // The monitor has convicted the home (scrub_phase probed to
-            // convergence): the sweep re-homes.  Candidates are servers
-            // hosting no block of this stripe — spares first, then base
-            // servers, ascending — and the heal lands on the first one
-            // that is actually up.
-            std::set<std::size_t> used;
-            for (std::uint32_t h = 0; h < code_.n(); ++h)
-              used.insert(placement[fid][s][h]);
-            std::size_t target = servers_.size();
+            // convergence): the sweep re-homes.  Mirror the store's tiered
+            // chooser exactly — tiers 0/1 are servers hosting no block of
+            // this stripe (spares first, then base, ascending), tier 2
+            // stacks on a survivor already holding stripe blocks,
+            // least-loaded first — every tier capped at n - k blocks per
+            // failure domain, counting the stripe's homes besides this
+            // slot.  The heal lands on the first candidate actually up.
+            std::vector<std::size_t> held(servers_.size(), 0);
+            std::vector<std::size_t> in_rack(kRacks, 0);
+            for (std::uint32_t h = 0; h < code_.n(); ++h) {
+              if (h == i) continue;
+              const std::size_t hm = placement[fid][s][h];
+              ++held[hm];
+              ++in_rack[rack_of(hm)];
+            }
+            const std::size_t cap = code_.n() - code_.k();
+            auto fits = [&](std::size_t id) {
+              return in_rack[rack_of(id)] < cap;
+            };
+            std::vector<std::size_t> cands;
             for (bool want_spare : {true, false})
-              for (std::size_t id = 0;
-                   id < servers_.size() && target == servers_.size(); ++id)
-                if ((id >= kBase) == want_spare && !used.contains(id) &&
-                    !down_.contains(id))
-                  target = id;
+              for (std::size_t id = 0; id < servers_.size(); ++id)
+                if ((id >= kBase) == want_spare && held[id] == 0 &&
+                    id != home && fits(id))
+                  cands.push_back(id);
+            std::vector<std::size_t> stacked;
+            for (std::size_t id = 0; id < servers_.size(); ++id)
+              if (held[id] > 0 && id != home && fits(id))
+                stacked.push_back(id);
+            std::stable_sort(stacked.begin(), stacked.end(),
+                             [&held](std::size_t a, std::size_t b) {
+                               return held[a] < held[b];
+                             });
+            cands.insert(cands.end(), stacked.begin(), stacked.end());
+            std::size_t target = servers_.size();
+            for (std::size_t c : cands)
+              if (!down_.contains(c)) {
+                target = c;
+                break;
+              }
             if (target == servers_.size()) {
               // No *reachable* candidate.  With none at all the store
               // throws before fetching; with only-down candidates it
@@ -520,6 +626,7 @@ class ChaosHarness {
   std::unique_ptr<Scrubber> scrubber_;
   std::map<std::uint32_t, std::vector<Byte>> reference_;  // acked PUTs
   std::set<std::size_t> down_;
+  std::optional<std::size_t> rack_down_;  // set while a whole rack is out
   std::set<BlockId> broken_;  // corrupted and not yet healed
   std::uint32_t next_file_id_ = 1;
 };
@@ -660,6 +767,187 @@ TEST(Chaos, CorrelatedFailureStormReprotectsEveryStripe) {
             static_cast<double>(ropts.server_egress_budget));
   EXPECT_LE(snap.gauges.at("carousel_repair_max_window_ingress_bytes"),
             static_cast<double>(ropts.server_ingress_budget));
+}
+
+// ---- Whole-rack outage: the failure-domain acceptance scenario ------------
+//
+// A 12+2 fleet spread over three racks (domain = id % 3, spares in racks 0
+// and 1) loses rack 0 — four base servers AND the rack's spare — in one
+// instant, mid-traffic.  Because placement is seeded and maintained under
+// the per-domain cap, the outage erases at most n - k = 6 blocks per
+// stripe, so every acknowledged PUT must stay readable bit-exact through
+// the whole outage (degraded §VII reads, within the op budget).  All
+// healing flows through the RepairScheduler: its domain boost must fire
+// (five dead servers share one rack), re-protection must complete without
+// ever stacking more than n - k blocks of a stripe on one rack, and the
+// domain gauges must see both the outage and the recovery.
+TEST(Chaos, RackDownSurvivesWithZeroDataLoss) {
+  constexpr std::size_t kRacks = 3;
+  codes::Carousel code(12, 6, 10, 10);
+  const std::size_t block = code.s() * 8;
+  const std::size_t cap = code.n() - code.k();
+  std::vector<std::unique_ptr<BlockServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < 14; ++i) {
+    servers.push_back(std::make_unique<BlockServer>());
+    ports.push_back(servers.back()->port());
+  }
+  obs::MetricsRegistry registry;
+  StoreOptions sopts;
+  sopts.registry = &registry;
+  sopts.policy.max_attempts = 3;
+  sopts.policy.io_timeout = std::chrono::milliseconds(250);
+  sopts.policy.base_backoff = std::chrono::milliseconds(2);
+  sopts.policy.max_backoff = std::chrono::milliseconds(20);
+  sopts.policy.op_deadline = std::chrono::milliseconds(3000);
+  // Degraded reads across five dead servers must land inside one op
+  // budget; generous so sanitizer builds never flake on it.
+  sopts.op_budget = std::chrono::milliseconds(15000);
+  for (std::size_t i = 0; i < 12; ++i) sopts.domains.push_back(i % kRacks);
+  std::vector<std::uint16_t> base_ports(ports.begin(), ports.begin() + 12);
+  CarouselStore store(code, base_ports, block, sopts);
+  store.add_server(ports[12], 12 % kRacks);  // spare in rack 0
+  store.add_server(ports[13], 13 % kRacks);  // spare in rack 1
+
+  std::map<std::uint32_t, std::vector<Byte>> reference;
+  for (std::uint32_t fid = 1; fid <= 3; ++fid) {
+    auto data = random_bytes(2 * code.k() * block, 900 + fid);  // two stripes
+    store.put_file(fid, data);
+    reference[fid] = std::move(data);
+  }
+
+  // No rack holds more than n - k blocks of any stripe, seeded or healed.
+  auto max_blocks_per_rack = [&store, &code] {
+    std::size_t worst = 0;
+    for (const auto& [fid, info] : store.files())
+      for (std::size_t s = 0; s < info.stripes; ++s) {
+        std::vector<std::size_t> per(kRacks, 0);
+        for (std::size_t i = 0; i < code.n(); ++i)
+          worst = std::max(worst, ++per[store.domain_of(info.placement[s][i])]);
+      }
+    return worst;
+  };
+  ASSERT_LE(max_blocks_per_rack(), cap);
+
+  HealthMonitor::Options mopts;
+  mopts.suspect_after = 1;
+  mopts.dead_after = 2;
+  mopts.revive_after = 2;
+  mopts.probe_policy = sopts.policy;
+  mopts.probe_policy.max_attempts = 2;
+  mopts.probe_policy.op_deadline = std::chrono::milliseconds(1000);
+  HealthMonitor monitor(store, mopts);
+
+  RepairScheduler::Options ropts;
+  ropts.max_concurrent = 2;
+  ropts.workers = 2;
+  ropts.server_egress_budget = std::uint64_t{64} * block;
+  ropts.server_ingress_budget = std::uint64_t{64} * block;
+  ropts.budget_window = std::chrono::milliseconds(250);
+  ropts.monitor = &monitor;
+  RepairScheduler sched(store, ropts);
+
+  Scrubber::Options scrub_opts;
+  scrub_opts.monitor = &monitor;
+  scrub_opts.scheduler = &sched;
+  Scrubber scrubber(store, scrub_opts);
+
+  // The outage: every server in rack 0 dies at once.
+  std::vector<std::size_t> rack0;
+  for (std::size_t i = 0; i < servers.size(); ++i)
+    if (i % kRacks == 0) rack0.push_back(i);
+  ASSERT_EQ(rack0.size(), 5u);
+  for (std::size_t id : rack0) servers[id].reset();
+  monitor.probe_once();
+  monitor.probe_once();
+  for (std::size_t id : rack0)
+    ASSERT_EQ(monitor.state_of(id), ServerState::kDead) << "server " << id;
+
+  // The rollup sees exactly one domain down, none merely degraded.
+  std::size_t down_domains = 0;
+  for (const auto& d : monitor.domain_statuses()) down_domains += d.down();
+  EXPECT_EQ(down_domains, 1u);
+  {
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(snap.gauges.at("carousel_cluster_domain_count"),
+              static_cast<double>(kRacks));
+    EXPECT_EQ(snap.gauges.at("carousel_cluster_domain_down"), 1.0);
+  }
+
+  // Foreground traffic runs through the whole outage; gtest assertions are
+  // not thread-safe off the main thread, so mismatches are only counted.
+  std::atomic<bool> stop_reads{false};
+  std::atomic<std::uint64_t> reads{0}, mismatches{0};
+  std::thread foreground([&] {
+    while (!stop_reads.load()) {
+      for (const auto& [fid, data] : reference) {
+        try {
+          if (store.read_file(fid, data.size()) != data) ++mismatches;
+        } catch (const std::exception&) {
+          ++mismatches;
+        }
+        ++reads;
+      }
+    }
+  });
+
+  sched.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  bool reprotected = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    scrubber.run_once();  // feeds the queue; heals nothing inline
+    sched.wait_idle(std::chrono::seconds(5));
+    // The invariant holds after every drain, not just at the end: healing
+    // never stacks a rack past n - k blocks of one stripe.
+    EXPECT_LE(max_blocks_per_rack(), cap);
+    bool clear = true;
+    for (std::size_t id : rack0) clear = clear && store.blocks_on(id).empty();
+    if (clear) {
+      reprotected = true;
+      break;
+    }
+  }
+  stop_reads = true;
+  foreground.join();
+  sched.stop();
+
+  EXPECT_TRUE(reprotected) << "rack outage was not re-protected in time";
+  EXPECT_EQ(mismatches.load(), 0u)
+      << "an acknowledged PUT was lost during the rack outage";
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_LE(max_blocks_per_rack(), cap);
+
+  // The scheduler recognized the correlated losses: five dead servers in
+  // one rack boost every rehome of their blocks ahead of scattered noise.
+  const auto stats = sched.stats();
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.domain_boosts, 0u);
+  {
+    const auto snap = registry.snapshot();
+    EXPECT_GT(snap.counters.at("carousel_repair_domain_boosts_total"), 0.0);
+  }
+
+  // Power returns: the rack's servers restart (blank — their blocks all
+  // re-homed), the detector revives them, and the rollup goes quiet.
+  for (std::size_t id : rack0)
+    servers[id] = std::make_unique<BlockServer>(ports[id]);
+  monitor.probe_once();
+  monitor.probe_once();
+  for (const auto& st : monitor.statuses())
+    EXPECT_EQ(st.state, ServerState::kAlive) << "server " << st.id;
+  {
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(snap.gauges.at("carousel_cluster_domain_down"), 0.0);
+    EXPECT_EQ(snap.gauges.at("carousel_cluster_domain_degraded"), 0.0);
+  }
+
+  // Full redundancy, clean scrub, and every byte still exact.
+  auto quiet = scrubber.run_once();
+  EXPECT_EQ(quiet.ok, quiet.blocks_checked);
+  EXPECT_EQ(quiet.enqueued, 0u);
+  for (const auto& [fid, data] : reference)
+    EXPECT_EQ(store.read_file(fid, data.size()), data);
 }
 
 TEST(Chaos, SeededFaultScheduleKeepsEveryInvariant) {

@@ -254,6 +254,58 @@ TEST_F(CliTest, ClusterCommandRendersAliveAndDeadServers) {
             0);
 }
 
+TEST_F(CliTest, ClusterCommandRendersRackColumnAndRollup) {
+  namespace cnet = carousel::net;
+  // Two racks: servers {a, b} in rack 0, {c, dead} in rack 1.  The table
+  // must show the rack column per server and a per-rack rollup.
+  cnet::BlockServer a;
+  cnet::BlockServer b;
+  cnet::BlockServer c;
+  std::uint16_t dead_port;
+  {
+    cnet::BlockServer ephemeral;
+    dead_port = ephemeral.port();
+  }
+  auto data = test::random_bytes(512, 33);
+  cnet::Client writer(a.port());
+  writer.put(cnet::BlockKey{4, 0, 0}, data);
+
+  std::string table = cluster_status({a.port(), b.port(), c.port(), dead_port},
+                                     {0, 0, 1, 1});
+  EXPECT_NE(table.find("rack 0  alive"), std::string::npos);
+  EXPECT_NE(table.find("rack 1  dead"), std::string::npos);
+  EXPECT_NE(table.find("rack rollup:"), std::string::npos);
+  EXPECT_NE(table.find("rack 0  2 servers  2 alive  1 blocks  512 bytes"),
+            std::string::npos);
+  EXPECT_NE(table.find("rack 1  2 servers  1 alive  0 blocks  0 bytes"),
+            std::string::npos);
+  EXPECT_EQ(table.find("[rack down]"), std::string::npos);
+
+  // A rack whose every member is unreachable gets the down marker — the
+  // verdict the failure-domain invariant exists to make survivable.
+  std::string down = cluster_status({a.port(), dead_port}, {0, 1});
+  EXPECT_NE(down.find("rack 1  1 server  0 alive  0 blocks  0 bytes"
+                      "  [rack down]"),
+            std::string::npos);
+
+  // One label per port, no more, no fewer.
+  EXPECT_THROW(cluster_status({a.port()}, {0, 1}), std::invalid_argument);
+
+  // Unlabeled fleets keep the store's one-rack-per-server default and skip
+  // the rollup (it would just repeat the table).
+  std::string plain = cluster_status({a.port(), b.port()});
+  EXPECT_NE(plain.find("server 0  port"), std::string::npos);
+  EXPECT_NE(plain.find("rack 1  alive"), std::string::npos);
+  EXPECT_EQ(plain.find("rack rollup:"), std::string::npos);
+
+  // run() parses port:rack suffixes; a dangling colon is an error, not a
+  // silent default.
+  EXPECT_EQ(run({"cluster", std::to_string(a.port()) + ":0",
+                 std::to_string(dead_port) + ":0"}),
+            0);
+  EXPECT_EQ(run({"cluster", std::to_string(a.port()) + ":"}), 1);
+}
+
 TEST_F(CliTest, ReadsCommandRendersStoreSeries) {
   namespace cnet = carousel::net;
   // Before any CarouselStore runs in this process the global registry holds

@@ -100,6 +100,194 @@ TEST(ServerStateNames, CoverEveryState) {
   EXPECT_STREQ(server_state_name(ServerState::kAlive), "alive");
   EXPECT_STREQ(server_state_name(ServerState::kSuspect), "suspect");
   EXPECT_STREQ(server_state_name(ServerState::kDead), "dead");
+  EXPECT_STREQ(server_state_name(ServerState::kUnknown), "unknown");
+}
+
+// Regression: state_of() used to answer kAlive for servers the monitor had
+// never probed, so a caller could mistake "no verdict yet" for "probed and
+// healthy" — and a scrubber consulting a fresh monitor would have trusted
+// a home no probe ever reached.  Never-tracked servers answer kUnknown.
+TEST_F(ClusterTest, StateOfNeverTrackedServerIsUnknownNotAlive) {
+  codes::Carousel code(12, 6, 10, 12);
+  CarouselStore store(code, ports_, code.s() * 4, opts());
+  HealthMonitor monitor(store, fast_monitor());
+  EXPECT_EQ(monitor.state_of(0), ServerState::kUnknown);  // not probed yet
+  EXPECT_EQ(monitor.state_of(999), ServerState::kUnknown);
+  monitor.probe_once();
+  EXPECT_EQ(monitor.state_of(0), ServerState::kAlive);
+  EXPECT_EQ(monitor.state_of(999), ServerState::kUnknown);  // never tracked
+}
+
+TEST_F(ClusterTest, MonitorRejectsNonsenseThresholdsAtConstruction) {
+  codes::Carousel code(12, 6, 10, 12);
+  CarouselStore store(code, ports_, code.s() * 4, opts());
+  auto bad = fast_monitor();
+  bad.interval = std::chrono::milliseconds(0);
+  EXPECT_THROW(HealthMonitor(store, bad), std::invalid_argument);
+  bad = fast_monitor();
+  bad.suspect_after = 0;
+  EXPECT_THROW(HealthMonitor(store, bad), std::invalid_argument);
+  bad = fast_monitor();
+  bad.suspect_after = 3;
+  bad.dead_after = 2;  // would convict before suspecting
+  EXPECT_THROW(HealthMonitor(store, bad), std::invalid_argument);
+  bad = fast_monitor();
+  bad.revive_after = 0;  // would disable flap damping entirely
+  EXPECT_THROW(HealthMonitor(store, bad), std::invalid_argument);
+  HealthMonitor ok(store, fast_monitor());  // the good knobs still stand
+  ok.probe_once();
+  EXPECT_EQ(ok.state_of(0), ServerState::kAlive);
+}
+
+TEST_F(ClusterTest, StoreRejectsNonsenseRobustnessKnobsAtConstruction) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 4;
+  auto bad = opts();
+  bad.op_budget = std::chrono::milliseconds(-1);
+  EXPECT_THROW(CarouselStore(code, ports_, block, bad),
+               std::invalid_argument);
+  bad = opts();
+  bad.hedge.percentile = 1.0;  // a max, not a quantile
+  EXPECT_THROW(CarouselStore(code, ports_, block, bad),
+               std::invalid_argument);
+  bad = opts();
+  bad.hedge.percentile = 0.4;  // below the median hedges the common case
+  EXPECT_THROW(CarouselStore(code, ports_, block, bad),
+               std::invalid_argument);
+  bad = opts();
+  bad.hedge.min_samples = 0;  // a zero-sample quantile is undefined
+  EXPECT_THROW(CarouselStore(code, ports_, block, bad),
+               std::invalid_argument);
+  bad = opts();
+  bad.hedge.floor = std::chrono::milliseconds(-5);
+  EXPECT_THROW(CarouselStore(code, ports_, block, bad),
+               std::invalid_argument);
+
+  // The same validation guards the runtime path.
+  CarouselStore store(code, ports_, block, opts());
+  HedgePolicy hp;
+  hp.percentile = 1.5;
+  EXPECT_THROW(store.set_hedge_policy(hp), std::invalid_argument);
+}
+
+// ---- Failure domains ------------------------------------------------------
+
+TEST_F(ClusterTest, StoreRejectsMismatchedOrUnsatisfiableDomainLabels) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 4;
+  auto o = opts();
+  o.domains = {0, 1};  // must label every base server or none
+  EXPECT_THROW(CarouselStore(code, ports_, block, o), std::invalid_argument);
+  o = opts();
+  o.domains.assign(12, 7);  // one rack: 1 * (n-k) = 6 < n, nothing fits
+  EXPECT_THROW(CarouselStore(code, ports_, block, o), std::invalid_argument);
+}
+
+TEST_F(ClusterTest, DefaultStoreGivesEachServerItsOwnDomain) {
+  codes::Carousel code(12, 6, 10, 12);
+  CarouselStore store(code, ports_, code.s() * 4, opts());
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(store.domain_of(i), i);
+  BlockServer spare;
+  const std::size_t id = store.add_server(spare.port());
+  EXPECT_EQ(store.domain_of(id), id);  // unlabeled spare: its own domain
+  EXPECT_THROW(store.domain_of(99), std::out_of_range);
+}
+
+TEST_F(ClusterTest, DomainSeedNeverStacksARackPastTheCapAndReadsSurvive) {
+  // Two racks over twelve servers and n - k = 6: satisfiable exactly, so
+  // the seed must land 6-and-6 — losing either whole rack erases exactly
+  // n - k blocks per stripe and every byte stays readable.
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 16;
+  auto o = opts();
+  for (std::size_t i = 0; i < 12; ++i) o.domains.push_back(i % 2);
+  CarouselStore store(code, ports_, block, o);
+  auto file = random_bytes(2 * code.k() * block, 67);  // two stripes
+  store.put_file(1, file);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    std::size_t rack0 = 0;
+    for (std::uint32_t i = 0; i < code.n(); ++i)
+      rack0 += store.domain_of(store.placement_of(1, s, i)) == 0;
+    EXPECT_EQ(rack0, code.n() - code.k());
+  }
+  for (std::size_t i = 0; i < 12; i += 2) kill(i);  // all of rack 0
+  EXPECT_EQ(store.read_file(1, file.size()), file);
+}
+
+TEST_F(ClusterTest, RehomeSkipsFullDomainsAndStacksWithinTheCap) {
+  codes::Carousel code(12, 6, 10, 12);
+  const std::size_t block = code.s() * 16;
+  auto o = opts();
+  for (std::size_t i = 0; i < 12; ++i) o.domains.push_back(i % 2);
+  CarouselStore store(code, ports_, block, o);
+  auto file = random_bytes(code.k() * block, 71);
+  store.put_file(1, file);
+
+  // A spare in rack 1 cannot take rack-0 victims: rack 1 already holds
+  // n - k blocks of the stripe.  The rehome must stack on a rack-0
+  // survivor instead — the domain, not the box, is the failure unit.
+  BlockServer full_rack_spare;
+  const std::size_t spare_id = store.add_server(full_rack_spare.port(), 1);
+  kill(0);
+  store.rehome_block(1, 0, 0);
+  const std::size_t target = store.placement_of(1, 0, 0);
+  EXPECT_NE(target, spare_id);
+  EXPECT_EQ(store.domain_of(target), 0u);  // stacked inside rack 0
+  EXPECT_EQ(full_rack_spare.block_count(), 0u);
+
+  // A rack-1 victim, though, is exactly what that spare is for.
+  kill(1);
+  store.rehome_block(1, 0, 1);
+  EXPECT_EQ(store.placement_of(1, 0, 1), spare_id);
+  EXPECT_EQ(full_rack_spare.block_count(), 1u);
+
+  // The invariant held throughout: no rack above n - k, bytes intact.
+  std::vector<std::size_t> per(2, 0);
+  for (std::uint32_t i = 0; i < code.n(); ++i)
+    ++per[store.domain_of(store.placement_of(1, 0, i))];
+  EXPECT_LE(per[0], code.n() - code.k());
+  EXPECT_LE(per[1], code.n() - code.k());
+  EXPECT_EQ(store.read_file(1, file.size()), file);
+}
+
+TEST_F(ClusterTest, DomainRollupConvictsARackOnlyWhenAllMembersAreDead) {
+  codes::Carousel code(12, 6, 10, 12);
+  auto o = opts();
+  for (std::size_t i = 0; i < 12; ++i) o.domains.push_back(i % 2);
+  CarouselStore store(code, ports_, code.s() * 4, o);
+  HealthMonitor monitor(store, fast_monitor());
+  monitor.probe_once();
+  EXPECT_EQ(gauge("carousel_cluster_domain_count"), 2.0);
+  EXPECT_EQ(gauge("carousel_cluster_domain_down"), 0.0);
+  EXPECT_EQ(gauge("carousel_cluster_domain_degraded"), 0.0);
+
+  kill(0);  // one member of rack 0: degraded, not down
+  monitor.probe_once();
+  monitor.probe_once();
+  ASSERT_EQ(monitor.state_of(0), ServerState::kDead);
+  EXPECT_EQ(gauge("carousel_cluster_domain_down"), 0.0);
+  EXPECT_EQ(gauge("carousel_cluster_domain_degraded"), 1.0);
+  EXPECT_EQ(monitor.dead_in_domain(0), 1u);
+  EXPECT_EQ(monitor.dead_in_domain(1), 0u);   // rack 1 untouched
+  EXPECT_EQ(monitor.dead_in_domain(999), 0u);  // never tracked: no domain
+
+  for (std::size_t i = 2; i < 12; i += 2) kill(i);  // the rest of rack 0
+  monitor.probe_once();
+  monitor.probe_once();
+  EXPECT_EQ(gauge("carousel_cluster_domain_down"), 1.0);
+  EXPECT_EQ(gauge("carousel_cluster_domain_degraded"), 0.0);
+  EXPECT_EQ(monitor.dead_in_domain(0), 6u);
+  bool saw_down = false;
+  for (const auto& d : monitor.domain_statuses())
+    if (d.domain == 0) {
+      saw_down = true;
+      EXPECT_TRUE(d.down());
+      EXPECT_EQ(d.members, 6u);
+      EXPECT_EQ(d.dead, 6u);
+    } else {
+      EXPECT_FALSE(d.down());
+    }
+  EXPECT_TRUE(saw_down);
 }
 
 TEST_F(ClusterTest, MonitorWalksAliveSuspectDeadAndDampsRevival) {

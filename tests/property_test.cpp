@@ -314,5 +314,73 @@ TEST(PropertyGrid, StoreReadFileMatchesSequentialOracle) {
   }
 }
 
+TEST(PropertyGrid, DomainPlacementHoldsTheCapThroughRehomeChurn) {
+  // Failure-domain invariant over the grid, on live loopback servers: for
+  // every config with n - k >= 2, label the fleet into the fewest racks
+  // r >= 2 satisfying (r - 1) * (n - k) >= n — the regime where even a
+  // whole rack's blocks fit in the other racks — and demand that no rack
+  // ever holds more than n - k blocks of one stripe: after seeding, and
+  // after a full rehome_server churn off a seeded victim (every one of
+  // whose rehomes must succeed, by pigeonhole over the remaining racks).
+  std::vector<std::unique_ptr<net::BlockServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 12; ++i) {
+    servers.push_back(std::make_unique<net::BlockServer>());
+    ports.push_back(servers.back()->port());
+  }
+  std::mt19937 rng(707);
+  std::uint32_t file_id = 900;
+  std::uint32_t seed = 9000;
+  std::size_t exercised = 0;
+  for (const auto& e : grid()) {
+    if (e.n - e.k < 2) continue;  // cap 1 degenerates to one rack per server
+    std::size_t racks = 2;
+    while ((racks - 1) * (e.n - e.k) < e.n) ++racks;
+    ASSERT_LE(e.n, ports.size());
+    const std::vector<std::uint16_t> fleet(ports.begin(),
+                                           ports.begin() + e.n);
+    net::StoreOptions o;
+    for (std::size_t i = 0; i < e.n; ++i) o.domains.push_back(i % racks);
+    net::CarouselStore store(*e.code, fleet, e.block_bytes, o);
+    const auto file = random_bytes(2 * e.k * e.block_bytes, seed++);
+    store.put_file(file_id, file);
+
+    auto max_per_rack = [&] {
+      std::size_t worst = 0;
+      for (const auto& [fid, info] : store.files())
+        for (std::size_t s = 0; s < info.stripes; ++s) {
+          std::vector<std::size_t> per(racks, 0);
+          for (std::size_t i = 0; i < e.n; ++i)
+            worst = std::max(worst,
+                             ++per[store.domain_of(info.placement[s][i])]);
+        }
+      return worst;
+    };
+    EXPECT_LE(max_per_rack(), e.n - e.k)
+        << "seed placement of (" << e.n << "," << e.k << ") over " << racks
+        << " racks";
+
+    // Full churn: a victim dies and every block it held re-homes.  The
+    // candidate walk may stack blocks on survivors, but never past the cap.
+    const std::size_t victim = rng() % e.n;
+    servers[victim].reset();
+    auto report = store.rehome_server(victim);
+    EXPECT_EQ(report.failed, 0u)
+        << "victim " << victim << " of (" << e.n << "," << e.k << ") over "
+        << racks << " racks";
+    EXPECT_TRUE(store.blocks_on(victim).empty());
+    EXPECT_LE(max_per_rack(), e.n - e.k)
+        << "post-churn placement of (" << e.n << "," << e.k << ") over "
+        << racks << " racks";
+    EXPECT_EQ(store.read_file(file_id, file.size()), file)
+        << "degraded read after churn of (" << e.n << "," << e.k << ")";
+
+    servers[victim] = std::make_unique<net::BlockServer>(ports[victim]);
+    ++file_id;
+    ++exercised;
+  }
+  EXPECT_GE(exercised, 10u);  // the grid must actually cover the regime
+}
+
 }  // namespace
 }  // namespace carousel::codes

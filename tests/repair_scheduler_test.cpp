@@ -89,6 +89,34 @@ class RepairSchedulerTest : public ::testing::Test {
   std::vector<std::uint16_t> ports_;
 };
 
+// ---- Construction-time validation -----------------------------------------
+
+TEST_F(RepairSchedulerTest, RejectsNonsenseOptionsAtConstruction) {
+  make_fleet(6);
+  codes::Carousel code(6, 4, 4, 6);
+  CarouselStore store(code, ports_, code.s() * 8, opts());
+  RepairScheduler::Options bad;
+  bad.max_concurrent = 0;  // a scheduler that may never repair
+  EXPECT_THROW(RepairScheduler(store, bad), std::invalid_argument);
+  bad = {};
+  bad.workers = 0;  // a background drain with nobody to drain it
+  EXPECT_THROW(RepairScheduler(store, bad), std::invalid_argument);
+  bad = {};
+  bad.budget_window = std::chrono::milliseconds(0);
+  EXPECT_THROW(RepairScheduler(store, bad), std::invalid_argument);
+  bad = {};
+  bad.admission_interval = std::chrono::milliseconds(-1);
+  EXPECT_THROW(RepairScheduler(store, bad), std::invalid_argument);
+  bad = {};
+  bad.tick = std::chrono::milliseconds(0);
+  EXPECT_THROW(RepairScheduler(store, bad), std::invalid_argument);
+  bad = {};
+  bad.p99_budget = std::chrono::milliseconds(-1);
+  EXPECT_THROW(RepairScheduler(store, bad), std::invalid_argument);
+  RepairScheduler ok(store);  // defaults remain valid
+  EXPECT_EQ(ok.stats().enqueued, 0u);
+}
+
 // ---- Queue ordering and escalation ----------------------------------------
 
 TEST_F(RepairSchedulerTest, TwoErasureStripeJumpsAOneErasureQueue) {
@@ -170,6 +198,48 @@ TEST_F(RepairSchedulerTest, StepHealsTheMostCriticalStripeFirst) {
   EXPECT_EQ(quiet.enqueued, 0u);
   EXPECT_EQ(store.read_file(1, file_a.size()), file_a);
   EXPECT_EQ(store.read_file(2, file_b.size()), file_b);
+}
+
+TEST_F(RepairSchedulerTest, DomainCorrelatedErasuresBoostCriticality) {
+  // Three racks of two servers each (domain = id % 3); the whole of rack 0
+  // dies.  A rehome whose dead home sits in the gutted rack must jump
+  // ahead of an equally-critical rehome enqueued first, because losing a
+  // rack is one event away from losing data — scattered singles are not.
+  make_fleet(6);
+  codes::Carousel code(6, 4, 4, 6);
+  const std::size_t block = code.s() * 16;
+  auto o = opts();
+  for (std::size_t i = 0; i < 6; ++i) o.domains.push_back(i % 3);
+  CarouselStore store(code, ports_, block, o);
+  store.put_file(1, random_bytes(code.k() * block, 17));
+  HealthMonitor monitor(store, fast_monitor());
+  RepairScheduler::Options ropts;
+  ropts.monitor = &monitor;
+  RepairScheduler sched(store, ropts);
+
+  kill(0);
+  kill(3);  // rack 0 is gone: two dead servers share one domain
+  monitor.probe_once();
+  monitor.probe_once();
+  ASSERT_EQ(monitor.state_of(0), ServerState::kDead);
+  ASSERT_EQ(monitor.state_of(3), ServerState::kDead);
+  ASSERT_EQ(monitor.dead_in_domain(0), 2u);
+
+  // No home hint (legacy callers), then a home in the gutted rack.
+  sched.enqueue({1, 0, 1}, RepairScheduler::Kind::kRehome, 1);
+  sched.enqueue({1, 0, 0}, RepairScheduler::Kind::kRehome, 1, 0);
+  auto head = sched.peek();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->block.index, 0u);  // boosted past the earlier item
+  EXPECT_EQ(head->criticality, 2u);  // 1 + (dead_in_domain - 1)
+  EXPECT_EQ(sched.stats().domain_boosts, 1u);
+  EXPECT_EQ(counter("carousel_repair_domain_boosts_total"), 1u);
+
+  // Its rack-mate boosts too; a home in a healthy rack does not.
+  sched.enqueue({1, 0, 3}, RepairScheduler::Kind::kRehome, 1, 3);
+  sched.enqueue({1, 0, 4}, RepairScheduler::Kind::kRehome, 1, 4);
+  EXPECT_EQ(sched.stats().domain_boosts, 2u);
+  EXPECT_EQ(counter("carousel_repair_domain_boosts_total"), 2u);
 }
 
 // ---- Byte budgets ---------------------------------------------------------

@@ -62,6 +62,20 @@ Rules (see DESIGN.md "Correctness tooling"):
      std::call_once (and therefore `#include <mutex>`) stay allowed: they
      are one-shot initialization, not a lock order anyone can invert.
 
+  9. failure-domain plumbing — (a) every carousel_cluster_domain_* gauge is
+     minted through the monitor's domain_metric() helper: the quoted prefix
+     "carousel_cluster_domain_" appears exactly once in src/net/cluster.cpp
+     (inside that helper) and nowhere else in src/.  The domain rollup is
+     one family; a literal spelled elsewhere would fork it away from its
+     dashboard.  (b) every placement write routes through the domain-
+     checked choke point: `set_placement_locked(` appears only in
+     src/net/store.{h,cpp}, and src/net/store.cpp references
+     domain_fits_locked at least three times (the definition, the candidate
+     walk, and the commit re-check).  A placement mutation that bypasses
+     the checked setter could stack more than n-k blocks of a stripe into
+     one rack — the exact loss a whole-rack failure then turns into data
+     loss.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -281,6 +295,50 @@ def check_raw_locking(problems: list[str]) -> None:
                 f"thread-safety analysis and the lock-rank checker see it")
 
 
+def check_domain_plumbing(problems: list[str]) -> None:
+    """Rule 9: domain gauges and placement writes each have one home."""
+    # 9a: the carousel_cluster_domain_* family is minted by domain_metric().
+    helper = REPO / "src" / "net" / "cluster.cpp"
+    literal = re.compile(r"\"[^\"\n]*carousel_cluster_domain_[^\"\n]*\"")
+    for path in src_files(".h", ".cpp"):
+        text = path.read_text()
+        hits = list(literal.finditer(text))
+        if path == helper:
+            if len(hits) != 1:
+                problems.append(
+                    f"{path.relative_to(REPO)}: expected exactly one quoted "
+                    f"\"carousel_cluster_domain_\" (the domain_metric() "
+                    f"helper), found {len(hits)} — mint the domain rollup "
+                    f"family through the helper")
+            continue
+        for m in hits:
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"carousel_cluster_domain_* literal outside domain_metric() "
+                f"— mint domain gauges through the helper in "
+                f"src/net/cluster.cpp")
+    # 9b: placement writes route through the domain-checked choke point.
+    store = REPO / "src" / "net" / "store.cpp"
+    setter = re.compile(r"\bset_placement_locked\s*\(")
+    for path in src_files(".h", ".cpp"):
+        if path.parent == store.parent and path.stem == "store":
+            continue  # declaration in store.h, definition+calls in store.cpp
+        text = path.read_text()
+        for m in setter.finditer(text):
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"set_placement_locked outside src/net/store.{{h,cpp}} — "
+                f"placement writes belong to the store's domain-checked "
+                f"choke point")
+    uses = len(re.findall(r"\bdomain_fits_locked\b", store.read_text()))
+    if uses < 3:
+        problems.append(
+            f"src/net/store.cpp: only {uses} domain_fits_locked "
+            f"reference(s); expected >= 3 (definition, candidate walk, "
+            f"commit re-check) — a placement path has stopped consulting "
+            f"the per-domain cap")
+
+
 def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
@@ -291,6 +349,7 @@ def main() -> int:
     check_repair_metric_provenance(problems)
     check_hedge_metric_provenance(problems)
     check_raw_locking(problems)
+    check_domain_plumbing(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

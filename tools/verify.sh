@@ -15,7 +15,9 @@
 #      other threads mutate them; the parallel read fan-out, hedge races and
 #      concurrent read_file overlap live here), plus a short chaos schedule
 #      under TSan — the foreground hedged reader races kills, restarts and
-#      heals;
+#      heals — and the whole-rack-down acceptance scenario under TSan (a
+#      3-rack fleet loses a full failure domain mid-traffic and must serve
+#      every acked byte while re-protecting within the per-rack cap);
 #   5. the full suite under UndefinedBehaviorSanitizer with recovery
 #      disabled (GF kernels, matrix pipeline, wire decode: where silent UB
 #      corrupts data without failing a test);
@@ -24,8 +26,11 @@
 #      exactly as CI's chaos-smoke job does).  Longer schedules are opt-in:
 #      sh tools/chaos.sh <seed> <events>;
 #   7. a bounded recovery-storm bench against the live 12+2 fleet, exactly
-#      as CI's bench-smoke job runs it: the binary exits non-zero when the
-#      storm fails to re-protect or the foreground p99 blows its budget;
+#      as CI's bench-smoke job runs it: the binary exits non-zero when
+#      either its single-server storm or its whole-rack-down storm fails to
+#      re-protect, serves a wrong byte, blows its p99 budget, or breaks the
+#      per-rack placement invariant (and writes BENCH_recovery_storm.json
+#      plus BENCH_rack_down.json);
 #   8. a bounded tail-latency bench against a live 12-server fleet with one
 #      injected straggler, also as CI's bench-smoke job runs it: the binary
 #      exits non-zero unless the hedged p99 beats the unhedged p99 with at
@@ -69,6 +74,8 @@ cmake --build build-tsan -j --target net_test obs_test property_test \
 CAROUSEL_CHAOS_SEED=20260805 CAROUSEL_CHAOS_EVENTS=60 \
   ./build-tsan/tests/chaos_test \
   --gtest_filter='Chaos.SeededFaultScheduleKeepsEveryInvariant'
+./build-tsan/tests/chaos_test \
+  --gtest_filter='Chaos.RackDownSurvivesWithZeroDataLoss'
 
 cmake -B build-ubsan -S . -DCAROUSEL_SANITIZE=undefined
 cmake --build build-ubsan -j
@@ -98,6 +105,7 @@ else
        "build (CI's thread-safety job still runs it)"
 fi
 
-echo "verify: OK (suite + lint + ASan/TSan suites + full suite under UBSan" \
-     "+ bounded chaos smoke + recovery-storm and tail-latency bench smokes" \
-     "+ thread-safety analysis when clang++ is present)"
+echo "verify: OK (suite + lint + ASan/TSan suites incl. rack-down chaos" \
+     "+ full suite under UBSan + bounded chaos smoke + recovery-storm," \
+     "rack-down and tail-latency bench smokes + thread-safety analysis" \
+     "when clang++ is present)"
