@@ -16,6 +16,7 @@
 #include "codes/carousel.h"
 #include "net/block_server.h"
 #include "net/client.h"
+#include "net/meta_log.h"
 #include "net/persistence.h"
 #include "storage/erasure_file.h"
 #include "util/crc32.h"
@@ -409,6 +410,11 @@ std::string reads_status(std::uint16_t port) {
   return out.str();
 }
 
+std::string meta_status(const fs::path& dir) {
+  return "metadata inspection of " + dir.string() + ":\n" +
+         net::MetaLog::inspect(dir);
+}
+
 std::string recover_store(const fs::path& dir) {
   net::PersistentBlockStore store(dir);
   const net::RecoveryReport report = store.recover();
@@ -457,6 +463,7 @@ int run(const std::vector<std::string>& args) {
         "  carouselctl repairs <port>\n"
         "  carouselctl reads   <port>\n"
         "  carouselctl recover <data-dir>\n"
+        "  carouselctl meta    <meta-dir>\n"
         "  carouselctl serve   <port> [data-dir] [--no-fsync]\n"
         "environment:\n"
         "  CAROUSEL_DATA_DIR       default data-dir for `serve`\n"
@@ -558,6 +565,11 @@ int run(const std::vector<std::string>& args) {
     if (cmd == "recover") {
       if (args.size() != 2) return usage();
       std::fputs(recover_store(args[1]).c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "meta") {
+      if (args.size() != 2) return usage();
+      std::fputs(meta_status(args[1]).c_str(), stdout);
       return 0;
     }
     if (cmd == "serve") {

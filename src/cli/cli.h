@@ -96,6 +96,13 @@ std::string reads_status(std::uint16_t port);
 /// run repeatedly; a clean directory is left untouched.
 std::string recover_store(const std::filesystem::path& dir);
 
+/// Read-only inspection of a coordinator metadata directory (for
+/// `carouselctl meta`): snapshot verdict, journal record counts by kind,
+/// torn-tail position if any, and quarantined-tail inventory.  Never
+/// truncates or repairs — safe to run against a live coordinator's
+/// directory or a post-crash image you are deciding what to do with.
+std::string meta_status(const std::filesystem::path& dir);
+
 /// Runs a persistent block server on `port` over `data_dir` until SIGINT or
 /// SIGTERM (for `carouselctl serve`).  Prints the recovery report, then
 /// blocks.  Returns the process exit code.

@@ -44,9 +44,21 @@ Client::Client(std::uint16_t port, RetryPolicy policy,
   corrupt_blocks_total_ = &reg.counter("carousel_client_corrupt_blocks_total");
 }
 
-void Client::ensure_connected() {
+void Client::ensure_connected(std::chrono::steady_clock::time_point deadline) {
   if (conn_.valid()) return;
-  conn_ = TcpConn::connect(port_);
+  // The handshake is charged against both budgets: it never outlives the
+  // per-attempt io_timeout, and never outlives what remains of the op
+  // deadline — a peer that stalls in SYN purgatory used to eat the whole
+  // kernel retry cycle without the deadline noticing.
+  auto timeout = policy_.io_timeout;
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0)
+      throw DeadlineError("op deadline exhausted before connect");
+    if (timeout.count() <= 0 || remaining < timeout) timeout = remaining;
+  }
+  conn_ = TcpConn::connect(port_, timeout);
   conn_.set_io_timeout(policy_.io_timeout);
   if (ever_connected_) {
     counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
@@ -90,8 +102,15 @@ std::pair<Status, std::vector<std::uint8_t>> Client::call(
                             : clock::time_point::max();
   std::string last_failure;
   for (int attempt = 0;; ++attempt) {
+    // Charge everything — connects, sends, stalls — against the deadline,
+    // not just backoff sleeps: a retry loop whose every attempt times out
+    // must stop at the deadline even though it never sleeps long.
+    if (attempt > 0 && clock::now() >= deadline)
+      throw DeadlineError("op deadline exhausted after " +
+                          std::to_string(attempt) +
+                          " attempts; last: " + last_failure);
     try {
-      ensure_connected();
+      ensure_connected(deadline);
       auto [status, body] = call_once(op, payload);
       if (status == Status::kError)
         throw ServerError("server error: " +

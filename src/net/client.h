@@ -143,7 +143,10 @@ class Client {
   }
   std::pair<Status, std::vector<std::uint8_t>> call_once(
       Op op, const std::vector<std::uint8_t>& payload);
-  void ensure_connected();
+  /// Opens the connection if needed.  The connect attempt is bounded by the
+  /// per-attempt io_timeout AND the remaining op deadline, whichever is
+  /// tighter; throws DeadlineError when the deadline is already spent.
+  void ensure_connected(std::chrono::steady_clock::time_point deadline);
   void drop_connection();
   /// Backoff before retry `attempt`; throws DeadlineError when it would
   /// cross `deadline`.

@@ -90,6 +90,31 @@ struct RehomeError : Error {
   using Error::Error;
 };
 
+/// put_file() was asked to write a file id the manifest (or an in-flight
+/// put) already claims.  Overwriting would strand the old stripes' blocks
+/// on their servers forever — a caller bug, never retried.
+struct DuplicateFileError : Error {
+  using Error::Error;
+};
+
+/// The coordinator's metadata journal cannot be replayed into a usable
+/// state: the snapshot is corrupt (quarantined, never deleted), the journal
+/// belongs to a different store configuration, or a replayed record names
+/// state that cannot exist (a placement outside the fleet, a per-domain
+/// count past n-k).  Deliberately loud — opening a store over damaged
+/// metadata must never silently yield an empty manifest.
+struct MetaReplayError : Error {
+  using Error::Error;
+};
+
+/// A simulated coordinator crash cut the metadata write path at an armed
+/// MetaCrashPoint (net/meta_log.h).  Test-only: the fault layer leaves the
+/// exact on-disk state a real crash at that point could, then throws this
+/// so the harness can destroy and reopen the store.
+struct MetaCrashError : Error {
+  using Error::Error;
+};
+
 }  // namespace carousel::net
 
 #endif  // CAROUSEL_NET_ERRORS_H

@@ -1,0 +1,238 @@
+// Crash-durable coordinator metadata: a write-ahead journal of every
+// manifest mutation, with periodic compacted snapshots.
+//
+// A MetaLog owns one directory holding at most three things:
+//
+//   journal     append-only record stream ("CMJ1" framing, CRC-32 per
+//               record), fsynced before the mutation it describes is
+//               published in memory
+//   snapshot    a compacted copy of the whole state at some LSN, written
+//               tmp -> fsync -> rename (the persistence.{h,cpp} discipline;
+//               check_invariants.py rule 4 pins the order here too)
+//   quarantine/ torn journal tails and corrupt snapshots, moved — never
+//               deleted — exactly like PR 4's block quarantine
+//
+// Mutations are journaled as *intents* and *commits*: a put_file writes a
+// kPutIntent (with the full placement) before the first block byte leaves
+// the coordinator and a kPutCommit only after every block is stored, so a
+// crash between the two leaves a replayable record of exactly which servers
+// may hold orphan blocks.  Rehomes work the same way.  Reconciliation
+// (CarouselStore::reconcile) probes those recovered intents and either
+// adopts the result (all blocks verify) or deletes the orphans and journals
+// an abort.
+//
+// Replay on open loads the snapshot (if any), then the journal tail,
+// skipping records already folded into the snapshot (LSN filter — this is
+// what makes a crash between snapshot-rename and journal-reset harmless).
+// A torn tail is truncated at the last intact record boundary and the torn
+// bytes are quarantined; a corrupt snapshot is quarantined and the open
+// fails loudly with MetaReplayError, never silently with an empty manifest.
+//
+// MetaCrashPoint lets tests cut the append path at the interesting places
+// (record lost before fsync, record durable but unpublished, record torn
+// mid-write); each leaves exactly the on-disk state a real crash could.
+//
+// The class is not thread-safe: CarouselStore serializes every call under
+// its meta_mu_ (LockRank::kMetaLog), which also pins WAL order == in-memory
+// apply order.
+#ifndef CAROUSEL_NET_META_LOG_H
+#define CAROUSEL_NET_META_LOG_H
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace carousel::net {
+
+/// Where a simulated coordinator crash cuts the journal append path.  Armed
+/// per-append via MetaLog::arm_crash; firing throws MetaCrashError.
+enum class MetaCrashPoint : std::uint8_t {
+  kNone = 0,
+  /// The record never reached stable storage: nothing is written.  Models
+  /// the worst outcome of dying before the fsync — the whole record is lost
+  /// and replay never sees the mutation (which was never acked).
+  kBeforeFsync,
+  /// The record is fully written and fsynced, but the process dies before
+  /// the in-memory state is published (and before the caller could ack).
+  /// Replay sees the record; an intent left this way drives reconciliation.
+  kAfterAppend,
+  /// Half the record's bytes hit the platter, then power died.  Replay must
+  /// truncate the torn tail at the previous record boundary and quarantine
+  /// the fragment.
+  kTornRecord,
+};
+
+class MetaLog {
+ public:
+  struct Options {
+    /// When false, fsync calls are skipped (shape kept, durability traded
+    /// for test speed — mirrors PersistentBlockStore::Options::fsync).
+    bool fsync = true;
+    /// Journal records between snapshot compactions; 0 disables compaction.
+    std::size_t snapshot_every = 64;
+    /// Registry for the carousel_meta_* instruments; the process-global
+    /// registry when null.
+    obs::MetricsRegistry* registry = nullptr;
+  };
+
+  /// Manifest entry as journaled: enough to rebuild CarouselStore::FileInfo
+  /// and, for a pending put, to probe every placement the intent named.
+  struct FileRecord {
+    std::uint64_t file_bytes = 0;
+    std::uint32_t stripes = 0;
+    /// placement[stripe][index] = server id, exactly the store's table.
+    std::vector<std::vector<std::uint32_t>> placement;
+  };
+
+  /// A rehome whose target copy may or may not exist on disk yet.
+  struct RehomeIntent {
+    std::uint32_t file = 0;
+    std::uint32_t stripe = 0;
+    std::uint32_t index = 0;
+    std::uint32_t target = 0;
+    friend bool operator==(const RehomeIntent&, const RehomeIntent&) = default;
+  };
+
+  /// One add_server as journaled (domain as resolved at append time).
+  struct SpareServer {
+    std::uint16_t port = 0;
+    std::uint64_t domain = 0;
+    bool labeled = false;
+  };
+
+  /// Hedge policy as journaled (field-for-field HedgePolicy, with the
+  /// duration knobs flattened to milliseconds).
+  struct HedgeRecord {
+    bool enabled = false;
+    double percentile = 0.95;
+    std::int64_t floor_ms = 5;
+    std::int64_t initial_ms = 50;
+    std::uint64_t min_samples = 32;
+  };
+
+  /// The authoritative metadata state the journal describes.  MetaLog
+  /// applies every append to its own copy so a snapshot is always a pure
+  /// serialization of this struct.
+  struct State {
+    std::map<std::uint32_t, FileRecord> manifest;
+    std::map<std::uint32_t, FileRecord> pending_puts;
+    std::vector<RehomeIntent> pending_rehomes;
+    std::vector<SpareServer> spares;
+    std::optional<HedgeRecord> hedge;
+  };
+
+  /// Outcome of the replay an open performs.
+  struct ReplayReport {
+    bool snapshot_loaded = false;
+    std::uint64_t snapshot_lsn = 0;
+    std::uint64_t journal_records = 0;  // tail records applied
+    std::uint64_t skipped_records = 0;  // already folded into the snapshot
+    bool torn_tail = false;
+    std::uint64_t torn_bytes = 0;  // quarantined, journal truncated
+    double seconds = 0.0;
+    std::string to_string() const;
+  };
+
+  /// Opens (creating the directory and an empty journal if needed) and
+  /// replays snapshot + journal tail into state().  `config_crc` is the
+  /// CRC-32 fingerprint of the store configuration (code geometry, fleet,
+  /// domains); a mismatch against the journaled fingerprint throws
+  /// MetaReplayError — a journal must never be replayed into a differently
+  /// shaped store.
+  MetaLog(std::filesystem::path dir, std::uint32_t config_crc,
+          Options options);
+  ~MetaLog();
+  MetaLog(const MetaLog&) = delete;
+  MetaLog& operator=(const MetaLog&) = delete;
+
+  const State& state() const { return state_; }
+  const ReplayReport& replay_report() const { return replay_; }
+  std::uint64_t lsn() const { return lsn_; }
+  const std::filesystem::path& dir() const { return dir_; }
+  std::filesystem::path quarantine_dir() const { return dir_ / "quarantine"; }
+
+  // Append API — the only way journal records are minted (check_invariants
+  // rule 10).  Each call is durable (journal fsynced) before it returns and
+  // before it mutates state(); callers publish their in-memory copy after.
+
+  /// Journals the full intended placement before any block byte is
+  /// uploaded.  Throws DuplicateFileError when the file id is already
+  /// committed or pending.
+  void put_intent(std::uint32_t file, std::uint64_t file_bytes,
+                  std::uint32_t stripes,
+                  const std::vector<std::vector<std::uint32_t>>& placement);
+  /// Moves a pending put into the manifest: every block is stored.
+  void put_commit(std::uint32_t file);
+  /// Drops a pending put whose blocks were not (all) stored.
+  void put_abort(std::uint32_t file);
+  /// Journals that a copy of (file, stripe, index) may land on `target`.
+  void rehome_intent(std::uint32_t file, std::uint32_t stripe,
+                     std::uint32_t index, std::uint32_t target);
+  /// Flips the committed placement of the block to `server`.
+  void rehome_commit(std::uint32_t file, std::uint32_t stripe,
+                     std::uint32_t index, std::uint32_t server);
+  /// Drops the pending rehome for the block (target copy is garbage).
+  void rehome_abort(std::uint32_t file, std::uint32_t stripe,
+                    std::uint32_t index);
+  void add_server(std::uint16_t port, std::uint64_t domain, bool labeled);
+  void set_hedge(const HedgeRecord& hedge);
+
+  /// Arms a one-shot crash: the `countdown`-th append from now (1 = the
+  /// next) cuts the write path at `point` and throws MetaCrashError.
+  void arm_crash(MetaCrashPoint point, std::uint64_t countdown = 1);
+
+  /// The mint point for every carousel_meta_* instrument name (rule 10:
+  /// the prefix literal exists once, in meta_log.cpp).  CarouselStore's
+  /// reconciliation counters are minted through here too.
+  obs::Counter& metric(const char* suffix);
+
+  /// Read-only journal inspection (what `carouselctl meta <dir>` prints):
+  /// snapshot validity and LSN, per-kind record counts, pending intents,
+  /// torn-tail diagnosis.  Never truncates, quarantines or repairs.
+  static std::string inspect(const std::filesystem::path& dir);
+
+ private:
+  void replay(std::uint32_t config_crc);
+  void load_snapshot(std::uint32_t config_crc);
+  void append_record(std::uint8_t kind,
+                     const std::vector<std::uint8_t>& payload);
+  void apply_record(std::uint8_t kind,
+                    const std::vector<std::uint8_t>& payload);
+  void write_snapshot();
+  void open_journal(bool truncate);
+  void flush_journal();
+  void quarantine_bytes(const std::string& name,
+                        const std::vector<std::uint8_t>& bytes);
+  void quarantine_file(const std::filesystem::path& path);
+  std::string metric_name(const char* suffix) const;
+
+  std::filesystem::path dir_;
+  Options options_;
+  std::uint32_t config_crc_ = 0;
+  State state_;
+  ReplayReport replay_;
+  std::uint64_t lsn_ = 0;
+  std::size_t since_snapshot_ = 0;
+  bool compacting_ = false;
+  int journal_fd_ = -1;
+
+  MetaCrashPoint crash_point_ = MetaCrashPoint::kNone;
+  std::uint64_t crash_countdown_ = 0;
+
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* fsyncs_ = nullptr;
+  obs::Counter* snapshots_ = nullptr;
+  obs::Counter* replay_records_ = nullptr;
+  obs::Counter* torn_tails_ = nullptr;
+  obs::Histogram* replay_seconds_ = nullptr;
+};
+
+}  // namespace carousel::net
+
+#endif  // CAROUSEL_NET_META_LOG_H

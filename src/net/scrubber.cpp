@@ -74,6 +74,16 @@ Scrubber::Stats Scrubber::run_once() {
   obs::ScopedTimer sweep_timer(*sweep_seconds_);
   Stats sweep;
   sweep.sweeps = 1;
+  // Crash-recovered intents first: an orphan adopted here is a stripe the
+  // verify pass below never has to heal, and an orphan deleted here never
+  // shadows a real placement.  No-op unless a replay left pending intents.
+  try {
+    store_.reconcile();
+  } catch (const Error&) {
+    // A mid-reconcile failure (e.g. journal I/O) skips the rest of this
+    // pass; unresolved intents stay journaled and the next replay recovers
+    // them.  The verify pass below still runs either way.
+  }
   const std::size_t n = store_.code().n();
   for (const auto& [file_id, info] : store_.files()) {
     for (std::size_t s = 0; s < info.stripes; ++s) {

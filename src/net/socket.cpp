@@ -1,8 +1,10 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -47,14 +49,72 @@ TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
 }
 
 TcpConn TcpConn::connect(std::uint16_t port) {
+  return connect(port, std::chrono::milliseconds(0));
+}
+
+TcpConn TcpConn::connect(std::uint16_t port,
+                         std::chrono::milliseconds timeout) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   sockaddr_in addr = loopback(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("connect");
+  if (timeout.count() <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect");
+    }
+  } else {
+    // Non-blocking handshake behind a poll: the only portable way to bound
+    // connect().  SO_SNDTIMEO cannot be installed before the fd exists to
+    // the caller, and the kernel's own SYN retry cycle runs minutes.
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("fcntl");
+    }
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && errno != EINPROGRESS) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("connect");
+    }
+    if (rc != 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      } while (ready < 0 && errno == EINTR);
+      if (ready < 0) {
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("poll");
+      }
+      if (ready == 0) {
+        ::close(fd);
+        throw TimeoutError("connect: timed out");
+      }
+      int err = 0;
+      socklen_t len = sizeof err;
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        if (err != 0) errno = err;
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("connect");
+      }
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("fcntl");
+    }
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);

@@ -36,6 +36,13 @@ class TcpConn {
   /// Connects to 127.0.0.1:port; throws TransportError on failure.
   static TcpConn connect(std::uint16_t port);
 
+  /// Like connect(port), but gives up after `timeout` with TimeoutError: the
+  /// handshake runs non-blocking behind a poll, so a peer whose accept queue
+  /// is full (SYN sent, no room) cannot hold the caller for the kernel's
+  /// multi-minute retry cycle.  The socket is returned in blocking mode.
+  /// A zero timeout means block indefinitely, as connect(port) does.
+  static TcpConn connect(std::uint16_t port, std::chrono::milliseconds timeout);
+
   bool valid() const { return fd_ >= 0; }
 
   /// Installs SO_SNDTIMEO / SO_RCVTIMEO on the socket: a send or recv that

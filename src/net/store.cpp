@@ -35,6 +35,36 @@ void validate_hedge_policy(const HedgePolicy& policy) {
         "HedgePolicy budgets (floor, initial) must be >= 0");
 }
 
+/// CRC-32 fingerprint of the configuration a metadata journal belongs to:
+/// code geometry, block size, construction fleet and its domain labels.
+/// Reopening a journal under a different fingerprint throws MetaReplayError
+/// — replaying placements into a differently shaped store would be silent
+/// corruption.
+std::uint32_t meta_config_fingerprint(const codes::Carousel& code,
+                                      std::size_t block_bytes,
+                                      const std::vector<std::uint16_t>& ports,
+                                      const std::vector<std::size_t>& domains) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(code.n()));
+  w.u32(static_cast<std::uint32_t>(code.k()));
+  w.u64(block_bytes);
+  w.u32(static_cast<std::uint32_t>(ports.size()));
+  for (std::uint16_t p : ports) w.u16(p);
+  w.u32(static_cast<std::uint32_t>(domains.size()));
+  for (std::size_t d : domains) w.u64(d);
+  return util::crc32(w.data());
+}
+
+MetaLog::HedgeRecord to_hedge_record(const HedgePolicy& policy) {
+  MetaLog::HedgeRecord rec;
+  rec.enabled = policy.enabled;
+  rec.percentile = policy.percentile;
+  rec.floor_ms = policy.floor.count();
+  rec.initial_ms = policy.initial.count();
+  rec.min_samples = policy.min_samples;
+  return rec;
+}
+
 }  // namespace
 
 CarouselStore::Lease::Lease(Server& server, const RetryPolicy& policy,
@@ -140,11 +170,82 @@ CarouselStore::CarouselStore(const codes::Carousel& code,
   budget_exhausted_ =
       &registry_->counter("carousel_store_budget_exhausted_total");
   spare_servers_ = &registry_->gauge("carousel_cluster_spare_servers");
+  if (!options.meta_dir.empty()) {
+    MetaLog::Options mopts;
+    mopts.fsync = options.meta_fsync;
+    mopts.snapshot_every = options.meta_snapshot_every;
+    mopts.registry = registry_;
+    util::MutexLock mlock(meta_mu_);
+    meta_ = std::make_unique<MetaLog>(
+        options.meta_dir,
+        meta_config_fingerprint(code, block_bytes, ports, options.domains),
+        mopts);
+    adopt_replayed_state();
+  }
   const std::size_t threads =
       options.read_threads != 0
           ? options.read_threads
           : std::max<std::size_t>(8, 2 * code.n());
   pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+void CarouselStore::adopt_replayed_state() {
+  const MetaLog::State& state = meta_->state();
+  {
+    util::MutexLock lock(mu_);
+    // Spares first: replayed placements may name them.  Domains were
+    // resolved at append time, so the journaled label is the truth.
+    for (const MetaLog::SpareServer& sp : state.spares)
+      add_server_locked(sp.port, static_cast<std::size_t>(sp.domain),
+                        sp.labeled);
+    for (const auto& [file_id, rec] : state.manifest) {
+      if (rec.placement.size() != rec.stripes)
+        throw MetaReplayError("replayed file " + std::to_string(file_id) +
+                              " has a malformed placement table");
+      for (const auto& row : rec.placement) {
+        if (row.size() != code_->n())
+          throw MetaReplayError("replayed file " + std::to_string(file_id) +
+                                " has a placement row of the wrong width");
+        // Re-verify the <= n-k blocks-per-domain invariant on the
+        // reconstructed placement: a journal must not resurrect a layout a
+        // live store would never have produced.
+        std::map<std::size_t, std::size_t> in_domain;
+        for (std::uint32_t sid : row) {
+          if (sid >= servers_.size())
+            throw MetaReplayError(
+                "replayed placement names a server outside the fleet: id " +
+                std::to_string(sid));
+          if (++in_domain[servers_[sid]->domain] > max_blocks_per_domain())
+            throw MetaReplayError(
+                "replayed placement violates the per-domain <= n-k "
+                "invariant for file " +
+                std::to_string(file_id));
+        }
+      }
+      manifest_[file_id] =
+          FileInfo{static_cast<std::size_t>(rec.file_bytes), rec.stripes,
+                   rec.placement};
+    }
+    if (state.hedge) {
+      HedgePolicy hp;
+      hp.enabled = state.hedge->enabled;
+      hp.percentile = state.hedge->percentile;
+      hp.floor = std::chrono::milliseconds(state.hedge->floor_ms);
+      hp.initial = std::chrono::milliseconds(state.hedge->initial_ms);
+      hp.min_samples = state.hedge->min_samples;
+      try {
+        validate_hedge_policy(hp);
+      } catch (const std::invalid_argument& e) {
+        throw MetaReplayError(std::string("replayed hedge policy invalid: ") +
+                              e.what());
+      }
+      hedge_ = hp;
+    }
+  }
+  // Intents a crashed coordinator left pending: reconcile() probes them.
+  for (const auto& [file_id, rec] : state.pending_puts)
+    recovered_puts_.emplace_back(file_id, rec);
+  recovered_rehomes_ = state.pending_rehomes;
 }
 
 // Defined here, where ThreadPool is complete.  pool_ is the last member, so
@@ -187,13 +288,26 @@ CarouselStore::Lease CarouselStore::lease(std::size_t server_id) const {
 }
 
 std::size_t CarouselStore::add_server(std::uint16_t port) {
+  // meta_mu_ serializes the whole [resolve domain -> journal -> publish]
+  // window against every other mutation, so the domain read under mu_
+  // cannot go stale between the append and the registration.
+  util::MutexLock mlock(meta_mu_);
+  std::size_t domain = 0;
+  {
+    util::MutexLock lock(mu_);
+    // A fresh domain of its own: its id is unique, so the spare never
+    // shares a failure domain unless the caller says so via the labeled
+    // overload.
+    domain = servers_.size();
+  }
+  if (meta_) meta_->add_server(port, domain, false);
   util::MutexLock lock(mu_);
-  // A fresh domain of its own: its id is unique, so the spare never shares
-  // a failure domain unless the caller says so via the labeled overload.
-  return add_server_locked(port, servers_.size(), false);
+  return add_server_locked(port, domain, false);
 }
 
 std::size_t CarouselStore::add_server(std::uint16_t port, std::size_t domain) {
+  util::MutexLock mlock(meta_mu_);
+  if (meta_) meta_->add_server(port, domain, true);
   util::MutexLock lock(mu_);
   return add_server_locked(port, domain, true);
 }
@@ -362,6 +476,8 @@ void CarouselStore::observe_traffic(std::size_t server, std::uint64_t egress,
 
 void CarouselStore::set_hedge_policy(HedgePolicy policy) {
   validate_hedge_policy(policy);
+  util::MutexLock mlock(meta_mu_);
+  if (meta_) meta_->set_hedge(to_hedge_record(policy));
   util::MutexLock lock(mu_);
   hedge_ = policy;
 }
@@ -453,7 +569,6 @@ std::vector<std::vector<std::uint32_t>> CarouselStore::seed_placement(
 std::size_t CarouselStore::put_file(std::uint32_t file_id,
                                     std::span<const Byte> bytes) {
   obs::ScopedTimer timer(*put_seconds_);
-  put_bytes_->inc(bytes.size());
   storage::ErasureFile ef(*code_, bytes, block_bytes_);
   // Seed the placement table (the domain-aware rotation; the paper's
   // verbatim rule for default stores); re-homing rewrites individual
@@ -461,15 +576,79 @@ std::size_t CarouselStore::put_file(std::uint32_t file_id,
   // commits last, after every block is stored.
   std::vector<std::vector<std::uint32_t>> placement =
       seed_placement(ef.stripes());
-  for (std::size_t s = 0; s < ef.stripes(); ++s)
-    for (std::size_t i = 0; i < code_->n(); ++i) {
-      Lease c = lease(placement[s][i]);
-      c->put(key(file_id, static_cast<std::uint32_t>(s),
-                 static_cast<std::uint32_t>(i)),
-             ef.block(s, i));
-    }
+  // A reused file id is rejected, never overwritten: overwriting the
+  // manifest entry would strand the old stripes' blocks on their servers
+  // forever.  The inflight set extends the check to two puts racing the
+  // same id.  With a journal, the intent (the full placement) is durable
+  // before the first block byte leaves the coordinator, so a crash
+  // mid-upload leaves a replayable record of exactly which servers may
+  // hold orphans.
   {
+    util::MutexLock mlock(meta_mu_);
+    {
+      util::MutexLock lock(mu_);
+      if (manifest_.contains(file_id) ||
+          !inflight_puts_.insert(file_id).second)
+        throw DuplicateFileError("put_file: file id " +
+                                 std::to_string(file_id) +
+                                 " already exists in the manifest");
+    }
+    if (meta_) {
+      try {
+        meta_->put_intent(file_id, bytes.size(),
+                          static_cast<std::uint32_t>(ef.stripes()), placement);
+      } catch (...) {
+        util::MutexLock lock(mu_);
+        inflight_puts_.erase(file_id);
+        throw;
+      }
+    }
+  }
+  put_bytes_->inc(bytes.size());
+  std::size_t uploaded = 0;
+  try {
+    for (std::size_t s = 0; s < ef.stripes(); ++s)
+      for (std::size_t i = 0; i < code_->n(); ++i) {
+        Lease c = lease(placement[s][i]);
+        c->put(key(file_id, static_cast<std::uint32_t>(s),
+                   static_cast<std::uint32_t>(i)),
+               ef.block(s, i));
+        ++uploaded;
+      }
+  } catch (...) {
+    // The put failed mid-upload: best-effort-delete what already landed,
+    // then journal the abandonment so nothing stays pending.
+    for (std::size_t b = 0; b < uploaded; ++b) {
+      const std::size_t s = b / code_->n();
+      const std::size_t i = b % code_->n();
+      try {
+        Lease c = lease(placement[s][i]);
+        c->remove(key(file_id, static_cast<std::uint32_t>(s),
+                      static_cast<std::uint32_t>(i)));
+      } catch (const Error&) {
+      }
+    }
+    {
+      util::MutexLock mlock(meta_mu_);
+      if (meta_) {
+        try {
+          meta_->put_abort(file_id);
+        } catch (const Error&) {
+        }
+      }
+      util::MutexLock lock(mu_);
+      inflight_puts_.erase(file_id);
+    }
+    throw;
+  }
+  {
+    util::MutexLock mlock(meta_mu_);
+    // The commit record is durable before the manifest entry becomes
+    // visible; a crash in between leaves a pending intent whose every
+    // block verifies, which reconcile() adopts.
+    if (meta_) meta_->put_commit(file_id);
     util::MutexLock lock(mu_);
+    inflight_puts_.erase(file_id);
     manifest_[file_id] =
         FileInfo{bytes.size(), ef.stripes(), std::move(placement)};
   }
@@ -1075,6 +1254,14 @@ std::uint64_t CarouselStore::repair_block_impl(
   const std::uint32_t want_crc = util::crc32(rebuilt);
   for (std::size_t t : uploads) {
     check_budget(deadline, budget_exhausted_, "repair_block");
+    if (t != home && meta_) {
+      // WAL intent before any byte lands on t: replay then knows a copy of
+      // this block may exist there, and reconcile() can adopt or delete it
+      // after a crash between this upload and the placement flip.
+      util::MutexLock mlock(meta_mu_);
+      meta_->rehome_intent(file_id, stripe, index,
+                           static_cast<std::uint32_t>(t));
+    }
     try {
       Lease c = lease(t);
       c->put(key(file_id, stripe, index), rebuilt);
@@ -1084,8 +1271,16 @@ std::uint64_t CarouselStore::repair_block_impl(
           stored_crc != want_crc)
         throw Error("repaired block failed its post-repair audit");
     } catch (const BadRequestError&) {
+      if (t != home && meta_) {
+        util::MutexLock mlock(meta_mu_);
+        meta_->rehome_abort(file_id, stripe, index);
+      }
       throw;  // a malformed frame is a local bug on any target
     } catch (const Error&) {
+      if (t != home && meta_) {
+        util::MutexLock mlock(meta_mu_);
+        meta_->rehome_abort(file_id, stripe, index);
+      }
       continue;  // this home is dead or lying: try the next candidate
     }
     if (t != home) {
@@ -1093,8 +1288,24 @@ std::uint64_t CarouselStore::repair_block_impl(
       // concurrent heal of a sibling block may have filled t's domain
       // since the candidate walk.  Losing the race just moves on to the
       // next candidate — the stray copy on t is garbage, not a placement.
+      // meta_mu_ spans the re-check, the WAL commit and the in-memory flip;
+      // every placement mutation holds it across its own window, so the
+      // check cannot be invalidated between the append and the flip even
+      // though mu_ is released around the (local) journal fsync.
+      util::MutexLock mlock(meta_mu_);
+      bool fits = false;
+      {
+        util::MutexLock lock(mu_);
+        fits = domain_fits_locked(t, file_id, stripe, index);
+      }
+      if (!fits) {
+        if (meta_) meta_->rehome_abort(file_id, stripe, index);
+        continue;
+      }
+      if (meta_)
+        meta_->rehome_commit(file_id, stripe, index,
+                             static_cast<std::uint32_t>(t));
       util::MutexLock lock(mu_);
-      if (!domain_fits_locked(t, file_id, stripe, index)) continue;
       set_placement_locked(file_id, stripe, index, t);
     }
     observe_traffic(t, 0, rebuilt.size());
@@ -1105,6 +1316,166 @@ std::uint64_t CarouselStore::repair_block_impl(
   throw RehomeError(
       "rebuilt block has no reachable home: its server and every "
       "placement-eligible candidate failed the re-upload or its audit");
+}
+
+MetaLog::ReplayReport CarouselStore::meta_replay_report() const {
+  util::MutexLock mlock(meta_mu_);
+  return meta_ ? meta_->replay_report() : MetaLog::ReplayReport{};
+}
+
+void CarouselStore::set_meta_crash_point(MetaCrashPoint point,
+                                         std::uint64_t countdown) {
+  util::MutexLock mlock(meta_mu_);
+  if (meta_) meta_->arm_crash(point, countdown);
+}
+
+CarouselStore::ReconcileReport CarouselStore::reconcile() {
+  ReconcileReport report;
+  std::vector<std::pair<std::uint32_t, MetaLog::FileRecord>> puts;
+  std::vector<MetaLog::RehomeIntent> rehomes;
+  {
+    util::MutexLock mlock(meta_mu_);
+    if (!meta_ || (recovered_puts_.empty() && recovered_rehomes_.empty()))
+      return report;
+    puts.swap(recovered_puts_);
+    rehomes.swap(recovered_rehomes_);
+  }
+  report.pending_puts = puts.size();
+  report.pending_rehomes = rehomes.size();
+
+  enum class BlockState { kHealthy, kAbsent, kUnreachable };
+  // Probes whether (file, stripe, index) holds a healthy block on `sid`.
+  // kUnreachable means "could not tell" — reconciliation then keeps the
+  // conservative choice (abort a put, leave a rehome unadopted) rather than
+  // guessing about bytes it cannot see.
+  auto probe = [this](std::size_t sid, std::uint32_t f, std::uint32_t s,
+                      std::uint32_t i) {
+    if (sid >= server_count()) return BlockState::kAbsent;
+    try {
+      Lease c = lease(sid);
+      return c->verify(key(f, s, i)) == BlockHealth::kOk
+                 ? BlockState::kHealthy
+                 : BlockState::kAbsent;
+    } catch (const Error&) {
+      return BlockState::kUnreachable;
+    }
+  };
+  // Deletes the copy of (f, s, i) on `sid` if one landed there; counts it
+  // as an orphan removal only when a block was actually present.
+  auto scrub_copy = [this, &report](std::size_t sid, std::uint32_t f,
+                                    std::uint32_t s, std::uint32_t i) {
+    if (sid >= server_count()) return;
+    try {
+      Lease c = lease(sid);
+      if (c->remove(key(f, s, i))) ++report.orphans_deleted;
+    } catch (const Error&) {
+      // Unreachable server: the orphan stays until a later scrub pass.
+    }
+  };
+
+  for (auto& [file, rec] : puts) {
+    bool adoptable = rec.placement.size() == rec.stripes;
+    for (std::size_t s = 0; adoptable && s < rec.placement.size(); ++s) {
+      const auto& row = rec.placement[s];
+      if (row.size() != code_->n()) {
+        adoptable = false;
+        break;
+      }
+      for (std::size_t i = 0; adoptable && i < row.size(); ++i)
+        if (probe(row[i], file, static_cast<std::uint32_t>(s),
+                  static_cast<std::uint32_t>(i)) != BlockState::kHealthy)
+          adoptable = false;
+    }
+    if (adoptable) {
+      // Re-check the rack invariant against the live fleet before adopting:
+      // the intent predates the crash and the fleet may have changed shape.
+      util::MutexLock lock(mu_);
+      std::map<std::uint64_t, std::size_t> in_domain;
+      for (const auto& row : rec.placement) {
+        in_domain.clear();
+        for (std::uint32_t sid : row) {
+          if (sid >= servers_.size() ||
+              ++in_domain[servers_[sid]->domain] > max_blocks_per_domain()) {
+            adoptable = false;
+            break;
+          }
+        }
+        if (!adoptable) break;
+      }
+    }
+    util::MutexLock mlock(meta_mu_);
+    if (adoptable) {
+      meta_->put_commit(file);
+      util::MutexLock lock(mu_);
+      manifest_[file] =
+          FileInfo{static_cast<std::size_t>(rec.file_bytes),
+                   rec.stripes, std::move(rec.placement)};
+      ++report.puts_adopted;
+    } else {
+      for (std::size_t s = 0; s < rec.placement.size(); ++s)
+        for (std::size_t i = 0; i < rec.placement[s].size(); ++i)
+          scrub_copy(rec.placement[s][i], file, static_cast<std::uint32_t>(s),
+                     static_cast<std::uint32_t>(i));
+      meta_->put_abort(file);
+      ++report.puts_aborted;
+    }
+  }
+
+  for (const auto& rh : rehomes) {
+    std::uint32_t current = 0;
+    bool known = false;
+    {
+      util::MutexLock lock(mu_);
+      auto it = manifest_.find(rh.file);
+      if (it != manifest_.end() && rh.stripe < it->second.placement.size() &&
+          rh.index < it->second.placement[rh.stripe].size()) {
+        current = it->second.placement[rh.stripe][rh.index];
+        known = true;
+      }
+    }
+    if (!known || rh.target == current || rh.target >= server_count()) {
+      // Unknown file (its put never committed), a no-op flip, or a target
+      // that no longer exists: drop the intent.  The stray copy is only
+      // deleted when the target is a real server that is not the block's
+      // current home.
+      if (known && rh.target != current)
+        scrub_copy(rh.target, rh.file, rh.stripe, rh.index);
+      util::MutexLock mlock(meta_mu_);
+      meta_->rehome_abort(rh.file, rh.stripe, rh.index);
+      ++report.rehomes_aborted;
+      continue;
+    }
+    bool target_ok =
+        probe(rh.target, rh.file, rh.stripe, rh.index) == BlockState::kHealthy;
+    bool home_ok =
+        probe(current, rh.file, rh.stripe, rh.index) == BlockState::kHealthy;
+    // Adopt only when the move is both complete (target verifies) and still
+    // necessary (the old home does not) — otherwise the pre-crash placement
+    // is intact and the target copy is garbage.
+    util::MutexLock mlock(meta_mu_);
+    bool fits = false;
+    if (target_ok && !home_ok) {
+      util::MutexLock lock(mu_);
+      fits = domain_fits_locked(rh.target, rh.file, rh.stripe, rh.index);
+    }
+    if (target_ok && !home_ok && fits) {
+      meta_->rehome_commit(rh.file, rh.stripe, rh.index, rh.target);
+      util::MutexLock lock(mu_);
+      set_placement_locked(rh.file, rh.stripe, rh.index, rh.target);
+      ++report.rehomes_adopted;
+    } else {
+      scrub_copy(rh.target, rh.file, rh.stripe, rh.index);
+      meta_->rehome_abort(rh.file, rh.stripe, rh.index);
+      ++report.rehomes_aborted;
+    }
+  }
+
+  util::MutexLock mlock(meta_mu_);
+  meta_->metric("reconciles_total").inc();
+  meta_->metric("orphans_deleted_total").inc(report.orphans_deleted);
+  meta_->metric("puts_adopted_total").inc(report.puts_adopted);
+  meta_->metric("rehomes_adopted_total").inc(report.rehomes_adopted);
+  return report;
 }
 
 std::map<std::uint32_t, CarouselStore::FileInfo> CarouselStore::files() const {

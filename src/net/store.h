@@ -75,14 +75,17 @@
 #define CAROUSEL_NET_STORE_H
 
 #include <chrono>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "codes/carousel.h"
 #include "net/client.h"
+#include "net/meta_log.h"
 #include "util/sync.h"
 
 namespace carousel::util {
@@ -140,6 +143,17 @@ struct StoreOptions {
   /// domains D must give D*(n-k) >= n, or no placement can honor the
   /// per-domain invariant.
   std::vector<std::size_t> domains;
+  /// When non-empty, every manifest mutation is journaled (write-ahead,
+  /// CRC-per-record, fsynced) to this directory before it is published in
+  /// memory, and constructing a store over an existing journal replays it
+  /// — manifest, placement, spares and hedge policy survive a coordinator
+  /// crash.  Empty keeps the pre-existing in-memory-only coordinator.
+  std::filesystem::path meta_dir;
+  /// fsync the metadata journal (shape kept, durability traded for test
+  /// speed when off — mirrors PersistentBlockStore::Options::fsync).
+  bool meta_fsync = true;
+  /// Journal records between snapshot compactions (0 = never compact).
+  std::size_t meta_snapshot_every = 64;
 };
 
 class CarouselStore {
@@ -333,6 +347,42 @@ class CarouselStore {
   /// automatically over its lifetime.
   void attach_scheduler(RepairScheduler* scheduler) EXCLUDES(mu_);
 
+  /// Outcome of one reconcile() pass over the intents a replay recovered.
+  struct ReconcileReport {
+    std::size_t pending_puts = 0;     // recovered put intents examined
+    std::size_t pending_rehomes = 0;  // recovered rehome intents examined
+    std::size_t puts_adopted = 0;     // every block verified -> committed
+    std::size_t puts_aborted = 0;     // orphan blocks deleted, put dropped
+    std::size_t rehomes_adopted = 0;  // target copy verified -> flipped
+    std::size_t rehomes_aborted = 0;  // stray target copy deleted
+    std::size_t orphans_deleted = 0;  // blocks removed from servers
+  };
+
+  /// Resolves the pending intents a crashed coordinator left behind (the
+  /// journal replay recovers them; this probes the fleet).  A pending put
+  /// whose every block VERIFYs intact is adopted into the manifest — the
+  /// upload finished, only the commit record was lost; otherwise its
+  /// already-landed blocks are deleted as orphans.  A pending rehome whose
+  /// target copy is intact while the old home is not adopts the flip
+  /// (domain invariant permitting); otherwise the stray target copy is
+  /// deleted.  Either way the decision is journaled (commit/abort), so a
+  /// crash *during* reconciliation just reconciles again.  Idempotent and
+  /// cheap when nothing is pending — the Scrubber calls it every sweep.
+  ReconcileReport reconcile() EXCLUDES(mu_);
+
+  /// True when this store journals its metadata (StoreOptions::meta_dir).
+  bool durable_meta() const { return meta_ != nullptr; }
+
+  /// Replay outcome of the journal this store was opened over (zeroes for
+  /// an in-memory store).
+  MetaLog::ReplayReport meta_replay_report() const;
+
+  /// Test hook: arms a one-shot simulated coordinator crash on the
+  /// `countdown`-th journal append from now (1 = the next).  No-op for
+  /// in-memory stores.
+  void set_meta_crash_point(MetaCrashPoint point, std::uint64_t countdown = 1)
+      EXCLUDES(mu_);
+
  private:
   /// One server plus its client pool.  Server objects are heap-allocated
   /// and live as long as the store, so a read task may hold a Server*
@@ -452,12 +502,35 @@ class CarouselStore {
       const std::vector<std::size_t>& survivors, std::size_t want,
       std::size_t bytes_per_helper) const EXCLUDES(mu_);
 
+  /// Adopts the replayed journal state into the live tables (constructor
+  /// only): registers journaled spares, validates every replayed placement
+  /// against the fleet and the per-domain <= n-k invariant (violations
+  /// throw MetaReplayError — a journal must not resurrect an illegal
+  /// layout), restores the hedge policy, and stashes the pending intents
+  /// for reconcile().
+  void adopt_replayed_state() REQUIRES(meta_mu_) EXCLUDES(mu_);
+
   const codes::Carousel* code_;
   std::size_t block_bytes_;
   obs::MetricsRegistry* registry_ = nullptr;
   std::chrono::milliseconds op_budget_{0};
   RetryPolicy policy_{};
   std::size_t base_fleet_ = 0;  // servers present at construction
+  // Serializes every manifest mutation's [journal append -> in-memory
+  // publish] window (LockRank::kMetaLog, acquired before mu_), which pins
+  // WAL order == apply order.  Held across the journal's local append +
+  // fsync — never across network I/O.  Mutation paths take it even on
+  // in-memory stores so the serialization argument holds everywhere.
+  mutable util::Mutex meta_mu_{util::LockRank::kMetaLog};
+  // Set once in the constructor, never reseated; the MetaLog object's
+  // internal state is guarded by meta_mu_ by convention (it carries no
+  // annotations of its own).
+  std::unique_ptr<MetaLog> meta_;
+  // Intents recovered by the constructor's replay, consumed by reconcile().
+  std::vector<std::pair<std::uint32_t, MetaLog::FileRecord>> recovered_puts_
+      GUARDED_BY(meta_mu_);
+  std::vector<MetaLog::RehomeIntent> recovered_rehomes_
+      GUARDED_BY(meta_mu_);
   // Lookups/mutations only; NEVER held across I/O.  First acquired of the
   // store-side locks (LockRank::kStore), so it may nest the scheduler's
   // mutex (hooks) and any Server::pool_mu, never the reverse.
@@ -471,6 +544,9 @@ class CarouselStore {
   // stays off and behavior is bit-identical to the pre-domain store.
   bool explicit_domains_ GUARDED_BY(mu_) = false;
   std::map<std::uint32_t, FileInfo> manifest_ GUARDED_BY(mu_);
+  // File ids with a put_file in flight: the duplicate-id check must also
+  // catch two concurrent puts racing the same id, not only committed files.
+  std::set<std::uint32_t> inflight_puts_ GUARDED_BY(mu_);
   HedgePolicy hedge_ GUARDED_BY(mu_);  // snapshotted per read
   // Both hooks run under mu_ and touch only their owner's state.
   HelperPolicy helper_policy_ GUARDED_BY(mu_);

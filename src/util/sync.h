@@ -80,6 +80,12 @@ enum class LockRank : int {
   // first.
   kMonitorProbe = 10,
 
+  // CarouselStore::meta_mu_ — serializes metadata-journal appends with
+  // their in-memory publication (WAL order == apply order), so it is held
+  // across store.mu_ on every manifest mutation and must rank before it.
+  // Held across the journal's local append+fsync, never across network I/O.
+  kMetaLog = 15,
+
   // CarouselStore::mu_ — placement/manifest lookups; acquires the repair
   // scheduler's mu_ (rehome enqueues) and per-server pool_mu (counters)
   // while held.

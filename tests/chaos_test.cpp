@@ -2,8 +2,10 @@
 //
 // A deterministic schedule of fault events — server kills, whole-rack
 // outages, restarts (with crash-recovery scans), at-rest corruption,
-// injected stalls, crash-injected PUTs — runs against a live persistent
-// multi-server store wired to a HealthMonitor and a Scrubber.  The fleet
+// injected stalls, crash-injected PUTs, coordinator crashes (the store
+// itself dies mid-mutation and is rebuilt from its metadata journal) —
+// runs against a live persistent multi-server store wired to a
+// HealthMonitor and a Scrubber.  The fleet
 // spans three failure domains (rack = id % 3) so the storm exercises the
 // per-domain placement cap for real.  Throughout, the harness asserts the
 // three invariants the paper's deployment story rests on:
@@ -38,6 +40,7 @@
 #include <optional>
 #include <random>
 #include <set>
+#include <shared_mutex>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -47,6 +50,7 @@
 #include "net/cluster.h"
 #include "net/errors.h"
 #include "net/fault.h"
+#include "net/meta_log.h"
 #include "net/repair_scheduler.h"
 #include "net/scrubber.h"
 #include "net/store.h"
@@ -76,6 +80,7 @@ enum class ChaosKind : std::uint8_t {
   kCorrupt,   // flip a stored byte (in memory and at rest)
   kStall,     // install a short kDelay fault plan on a live server
   kCrashPut,  // PUT a new file through a crash-injected first attempt
+  kCoordCrash,  // kill the coordinator mid-mutation; rebuild from its WAL
   kPut,       // PUT a new file
   kHeal,      // repair one broken block, asserting exact wire traffic
 };
@@ -103,7 +108,8 @@ std::vector<ChaosEvent> make_schedule(std::uint64_t seed, std::size_t count) {
     else if (roll < 33) kind = ChaosKind::kRestart;
     else if (roll < 51) kind = ChaosKind::kCorrupt;
     else if (roll < 60) kind = ChaosKind::kStall;
-    else if (roll < 69) kind = ChaosKind::kCrashPut;
+    else if (roll < 66) kind = ChaosKind::kCrashPut;
+    else if (roll < 72) kind = ChaosKind::kCoordCrash;
     else if (roll < 82) kind = ChaosKind::kPut;
     else kind = ChaosKind::kHeal;
     out.push_back(ChaosEvent{kind, static_cast<std::uint32_t>(rng()),
@@ -153,40 +159,44 @@ class ChaosHarness {
       servers_.push_back(std::make_unique<BlockServer>(0, dir(i), popts_));
       ports_.push_back(servers_.back()->port());
     }
-    StoreOptions sopts;
     RetryPolicy policy;
     policy.max_attempts = 3;
     policy.io_timeout = std::chrono::milliseconds(250);
     policy.base_backoff = std::chrono::milliseconds(2);
     policy.max_backoff = std::chrono::milliseconds(20);
     policy.op_deadline = std::chrono::milliseconds(3000);
-    sopts.policy = policy;
-    sopts.registry = &registry_;
+    sopts_.policy = policy;
+    sopts_.registry = &registry_;
     // Hedging on throughout: kills and stalls push slot latencies past the
     // budget, so the storm exercises the speculative parity path for real.
-    sopts.hedge.enabled = true;
-    sopts.hedge.floor = std::chrono::milliseconds(5);
-    sopts.hedge.initial = std::chrono::milliseconds(15);
+    sopts_.hedge.enabled = true;
+    sopts_.hedge.floor = std::chrono::milliseconds(5);
+    sopts_.hedge.initial = std::chrono::milliseconds(15);
     // Three racks, id % kRacks: 12 base servers spread 4-4-4, and the
     // spares land in racks 0 and 1.  With n == base fleet the domain-aware
     // seed degenerates to the paper's verbatim block-i-on-server-i rule, so
     // the heal-traffic audits below see the same placements as ever.
     for (std::size_t i = 0; i < kBase; ++i)
-      sopts.domains.push_back(rack_of(i));
-    std::vector<std::uint16_t> base_ports(ports_.begin(),
-                                          ports_.begin() + kBase);
-    store_ = std::make_unique<CarouselStore>(code_, base_ports, block_, sopts);
+      sopts_.domains.push_back(rack_of(i));
+    // Durable coordinator metadata: kCoordCrash kills the store object and
+    // rebuilds it from this journal alone.  fsync off for the same reason
+    // as the block stores': the write path keeps its shape, not its
+    // latency (the storm's "crash" keeps the page cache).
+    sopts_.meta_dir = root_ / "meta";
+    sopts_.meta_fsync = false;
+    base_ports_.assign(ports_.begin(), ports_.begin() + kBase);
+    store_ =
+        std::make_unique<CarouselStore>(code_, base_ports_, block_, sopts_);
     for (std::size_t i = kBase; i < kBase + kSpares; ++i)
       store_->add_server(ports_[i], rack_of(i));
 
-    HealthMonitor::Options mopts;
-    mopts.suspect_after = 1;
-    mopts.dead_after = 2;
-    mopts.revive_after = 2;
-    mopts.probe_policy = policy;
-    mopts.probe_policy.max_attempts = 2;
-    mopts.probe_policy.op_deadline = std::chrono::milliseconds(1000);
-    monitor_ = std::make_unique<HealthMonitor>(*store_, mopts);
+    mopts_.suspect_after = 1;
+    mopts_.dead_after = 2;
+    mopts_.revive_after = 2;
+    mopts_.probe_policy = policy;
+    mopts_.probe_policy.max_attempts = 2;
+    mopts_.probe_policy.op_deadline = std::chrono::milliseconds(1000);
+    monitor_ = std::make_unique<HealthMonitor>(*store_, mopts_);
     Scrubber::Options scrub_opts;
     scrub_opts.monitor = monitor_.get();
     scrubber_ = std::make_unique<Scrubber>(*store_, scrub_opts);
@@ -327,6 +337,22 @@ class ChaosHarness {
         servers_[id]->set_fault_plan(nullptr);
         return;
       }
+      case ChaosKind::kCoordCrash: {
+        // The coordinator itself dies mid-mutation: arm a one-shot crash
+        // point inside the metadata journal (countdown 1 = the PUT's intent
+        // append, 2 = its commit append), drive a PUT into it, then rebuild
+        // the store from the journal alone and reconcile.  The crashed PUT
+        // is never acked (put_new_file swallows the error) so read_check
+        // demands nothing of it — but every file acked *before* the crash
+        // must read back bit-exact through the rebuilt coordinator.
+        static constexpr MetaCrashPoint kPoints[] = {
+            MetaCrashPoint::kBeforeFsync, MetaCrashPoint::kAfterAppend,
+            MetaCrashPoint::kTornRecord};
+        store_->set_meta_crash_point(kPoints[e.a % 3], 1 + e.b % 2);
+        put_new_file(1 + e.c % 2);
+        rebuild_coordinator();  // always: also disarms an untripped point
+        return;
+      }
       case ChaosKind::kPut:
         put_new_file(1 + e.a % 2);
         return;
@@ -410,6 +436,36 @@ class ChaosHarness {
 
   CarouselStore& store() { return *store_; }
   obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Reads `fid` through the store under a shared lock, safe against a
+  /// concurrent kCoordCrash rebuild swapping the store out underneath.
+  std::vector<Byte> locked_read(std::uint32_t fid, std::size_t bytes) {
+    std::shared_lock<std::shared_mutex> lock(store_mu_);
+    return store_->read_file(fid, bytes);
+  }
+
+  /// Tears the coordinator down — scrubber, monitor, store, in dependency
+  /// order — and rebuilds it from the metadata journal, exactly as a
+  /// process restart would.  Spares replay from their add_server records,
+  /// so they are not re-added here.  Reconciliation then adopts or aborts
+  /// whatever intents the crash left pending.
+  void rebuild_coordinator() {
+    std::unique_lock<std::shared_mutex> lock(store_mu_);
+    scrubber_.reset();
+    monitor_.reset();
+    store_.reset();
+    store_ =
+        std::make_unique<CarouselStore>(code_, base_ports_, block_, sopts_);
+    monitor_ = std::make_unique<HealthMonitor>(*store_, mopts_);
+    Scrubber::Options scrub_opts;
+    scrub_opts.monitor = monitor_.get();
+    scrubber_ = std::make_unique<Scrubber>(*store_, scrub_opts);
+    try {
+      store_->reconcile();
+    } catch (const Error&) {
+      // Unresolved intents stay journaled; the next replay recovers them.
+    }
+  }
 
   /// Copy of the acked files at call time.  The storm's foreground reader
   /// works from its own snapshot so it never races put_new_file's inserts.
@@ -621,6 +677,10 @@ class ChaosHarness {
   obs::MetricsRegistry registry_;
   std::vector<std::unique_ptr<BlockServer>> servers_;
   std::vector<std::uint16_t> ports_;
+  StoreOptions sopts_;                    // reused by rebuild_coordinator
+  HealthMonitor::Options mopts_;
+  std::vector<std::uint16_t> base_ports_;
+  std::shared_mutex store_mu_;  // exclusive during coordinator rebuilds
   std::unique_ptr<CarouselStore> store_;
   std::unique_ptr<HealthMonitor> monitor_;
   std::unique_ptr<Scrubber> scrubber_;
@@ -970,8 +1030,9 @@ TEST(Chaos, SeededFaultScheduleKeepsEveryInvariant) {
     while (!stop_reads.load()) {
       for (const auto& [fid, data] : pinned) {
         try {
-          if (harness.store().read_file(fid, data.size()) != data)
-            ++mismatches;
+          // locked_read: kCoordCrash events rebuild the store object
+          // mid-storm, so reads hold the harness's shared lock.
+          if (harness.locked_read(fid, data.size()) != data) ++mismatches;
         } catch (const std::exception&) {
           ++mismatches;
         }
@@ -1008,6 +1069,199 @@ TEST(Chaos, SeededFaultScheduleKeepsEveryInvariant) {
       snap.counters.at("carousel_store_range_gets_total");
   EXPECT_LE(wins, hedged);
   EXPECT_LE(hedged, range_gets);
+}
+
+// ---- Coordinator kill-and-restart at every crash point --------------------
+//
+// The acceptance matrix for the durable-metadata layer: for each of the
+// three journal crash points (record lost, record durable but unapplied,
+// record torn mid-write), kill the coordinator on BOTH appends of a
+// mutation (its intent and its commit), rebuild the store from the journal
+// alone, reconcile, and demand (a) every previously-acked file reads back
+// bit-exact, (b) recovery converges to the correct verdict for the crashed
+// mutation — committed iff the data had fully landed — and (c) the
+// <= n-k blocks-per-rack invariant holds on every replayed placement.
+// The matrix runs twice: once over put_file, once over a dead-home rehome
+// driven through repair_block.
+TEST(Chaos, CoordinatorCrashAtEveryPointRecoversBitExact) {
+  codes::Carousel code(12, 6, 10, 10);
+  const std::size_t block = code.s() * 4;
+  std::vector<std::unique_ptr<BlockServer>> servers;
+  std::vector<std::uint16_t> ports;
+  for (std::size_t i = 0; i < 14; ++i) {
+    servers.push_back(std::make_unique<BlockServer>());
+    ports.push_back(servers.back()->port());
+  }
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("carousel_coord_crash_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  obs::MetricsRegistry registry;
+  StoreOptions sopts;
+  sopts.registry = &registry;
+  sopts.policy.max_attempts = 2;
+  sopts.policy.io_timeout = std::chrono::milliseconds(250);
+  sopts.policy.base_backoff = std::chrono::milliseconds(2);
+  sopts.policy.max_backoff = std::chrono::milliseconds(20);
+  sopts.policy.op_deadline = std::chrono::milliseconds(2000);
+  for (std::size_t i = 0; i < 12; ++i) sopts.domains.push_back(i % 3);
+  sopts.meta_dir = root / "meta";
+  std::vector<std::uint16_t> base_ports(ports.begin(), ports.begin() + 12);
+
+  auto make_store = [&] {
+    return std::make_unique<CarouselStore>(code, base_ports, block, sopts);
+  };
+  auto store = make_store();
+  // Spares carry their rack labels into the journal; rebuilds below must
+  // get them back from replay alone, never from a re-add.
+  store->add_server(ports[12], 12 % 3);
+  store->add_server(ports[13], 13 % 3);
+
+  // Blocks-per-rack <= n - k on every stripe of every replayed placement.
+  auto check_rack_cap = [&](CarouselStore& st) {
+    const std::size_t cap = code.n() - code.k();
+    for (const auto& [fid, info] : st.files())
+      for (const auto& row : info.placement) {
+        std::map<std::size_t, std::size_t> per_rack;
+        for (const std::uint32_t sid : row) {
+          ++per_rack[sid % 3];
+          EXPECT_LE(per_rack[sid % 3], cap)
+              << "file " << fid << " violates the per-rack cap";
+        }
+      }
+  };
+
+  std::map<std::uint32_t, std::vector<Byte>> reference;
+  std::uint32_t next_fid = 1;
+  for (int i = 0; i < 2; ++i) {
+    const std::uint32_t fid = next_fid++;
+    auto data = random_bytes(2 * code.k() * block - 3 * fid, 9000 + fid);
+    store->put_file(fid, data);
+    reference[fid] = std::move(data);
+  }
+
+  static constexpr MetaCrashPoint kPoints[] = {MetaCrashPoint::kBeforeFsync,
+                                               MetaCrashPoint::kAfterAppend,
+                                               MetaCrashPoint::kTornRecord};
+
+  // --- Matrix 1: kill the coordinator mid-put_file. ---
+  // A put appends twice: intent (countdown 1, before any block is
+  // uploaded) and commit (countdown 2, after every block landed).
+  for (const MetaCrashPoint point : kPoints) {
+    for (const std::uint64_t countdown : {1, 2}) {
+      SCOPED_TRACE("put crash point " +
+                   std::to_string(static_cast<int>(point)) + " countdown " +
+                   std::to_string(countdown));
+      const std::uint32_t fid = next_fid++;
+      auto data = random_bytes(code.k() * block - 7, 9100 + fid);
+      store->set_meta_crash_point(point, countdown);
+      EXPECT_THROW(store->put_file(fid, data), MetaCrashError);
+
+      store.reset();  // the crash: the old coordinator is gone
+      store = make_store();
+      if (point == MetaCrashPoint::kTornRecord) {
+        EXPECT_TRUE(store->meta_replay_report().torn_tail)
+            << "a torn tail must be detected, quarantined, and truncated";
+      }
+      store->reconcile();
+
+      if (countdown == 2) {
+        // Every block landed before the crash, so recovery must converge
+        // on "committed": directly when the commit record was durable,
+        // by adopting the fully-landed intent otherwise.
+        ASSERT_TRUE(store->files().contains(fid))
+            << "a fully-uploaded put was lost by recovery";
+        EXPECT_EQ(store->read_file(fid, data.size()), data);
+        reference[fid] = std::move(data);  // now part of the acked world
+      } else {
+        // The crash predates any upload: recovery must not resurrect it.
+        EXPECT_FALSE(store->files().contains(fid))
+            << "recovery invented a file whose data never landed";
+      }
+      for (const auto& [f, d] : reference)
+        EXPECT_EQ(store->read_file(f, d.size()), d)
+            << "acked file " << f << " lost across a coordinator crash";
+      check_rack_cap(*store);
+    }
+  }
+
+  // --- Matrix 2: kill the coordinator mid-rehome. ---
+  // Kill one base server; each repair_block of a block homed there drives
+  // the rehome path (intent at countdown 1, commit at countdown 2 — the
+  // failed upload to the dead home itself appends nothing).
+  const std::size_t victim = 7;
+  servers[victim].reset();
+  for (const MetaCrashPoint point : kPoints) {
+    for (const std::uint64_t countdown : {1, 2}) {
+      SCOPED_TRACE("rehome crash point " +
+                   std::to_string(static_cast<int>(point)) + " countdown " +
+                   std::to_string(countdown));
+      const auto stranded = store->blocks_on(victim);
+      ASSERT_FALSE(stranded.empty())
+          << "matrix consumed every block homed on the victim";
+      const auto [fid, s, i] = std::tuple{
+          stranded.front().file, stranded.front().stripe,
+          stranded.front().index};
+      store->set_meta_crash_point(point, countdown);
+      EXPECT_THROW(store->repair_block(fid, s, i), MetaCrashError);
+
+      store.reset();
+      store = make_store();
+      store->reconcile();
+
+      if (countdown == 2) {
+        // The reconstructed block reached its new home before the crash:
+        // recovery must keep the move (the old home is dead).
+        EXPECT_NE(store->placement_of(fid, s, i), victim)
+            << "a completed rehome was rolled back by recovery";
+      } else {
+        // Intent-only crash: the placement still names the dead home; a
+        // later sweep heals it for real.
+        EXPECT_EQ(store->placement_of(fid, s, i), victim);
+      }
+      for (const auto& [f, d] : reference)
+        EXPECT_EQ(store->read_file(f, d.size()), d)
+            << "acked file " << f << " lost across a mid-rehome crash";
+      check_rack_cap(*store);
+    }
+  }
+
+  // Epilogue: a plain scrubber sweep heals everything still stranded on
+  // the dead server, and the journal-backed manifest matches what the
+  // sweep produced after one more restart.
+  HealthMonitor::Options mopts;
+  mopts.suspect_after = 1;
+  mopts.dead_after = 2;
+  mopts.revive_after = 2;
+  mopts.probe_policy = sopts.policy;
+  HealthMonitor monitor(*store, mopts);
+  monitor.probe_once();
+  monitor.probe_once();
+  Scrubber::Options scrub_opts;
+  scrub_opts.monitor = &monitor;
+  Scrubber scrubber(*store, scrub_opts);
+  scrubber.run_once();
+  EXPECT_TRUE(store->blocks_on(victim).empty())
+      << "the sweep left blocks homed on the dead server";
+  const auto healed_manifest = store->files();
+  store.reset();
+  store = make_store();
+  store->reconcile();
+  const auto replayed = store->files();
+  ASSERT_EQ(replayed.size(), healed_manifest.size());
+  for (const auto& [fid, info] : healed_manifest) {
+    ASSERT_TRUE(replayed.contains(fid));
+    EXPECT_EQ(replayed.at(fid).placement, info.placement)
+        << "replayed placement diverged for file " << fid;
+  }
+  for (const auto& [f, d] : reference)
+    EXPECT_EQ(store->read_file(f, d.size()), d);
+
+  store.reset();
+  fs::remove_all(root);
 }
 
 }  // namespace

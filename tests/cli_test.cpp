@@ -11,6 +11,7 @@
 #include "codes/carousel.h"
 #include "net/block_server.h"
 #include "net/client.h"
+#include "net/meta_log.h"
 #include "net/persistence.h"
 #include "net/repair_scheduler.h"
 #include "net/store.h"
@@ -209,6 +210,33 @@ TEST_F(CliTest, RecoverCommandScansAndQuarantines) {
   // Argument validation: both commands demand their operands.
   EXPECT_EQ(run({"recover"}), 2);
   EXPECT_EQ(run({"serve"}), 2);
+}
+
+TEST_F(CliTest, MetaCommandInspectsCoordinatorJournal) {
+  namespace cnet = carousel::net;
+  fs::path meta_dir = dir_ / "meta";
+  {
+    cnet::MetaLog log(meta_dir, 0xC0FFEE01, {});
+    log.put_intent(7, 64, 1, {{0, 1, 2, 3, 4, 5}});
+    log.put_commit(7);
+  }
+  std::string report = meta_status(meta_dir);
+  EXPECT_NE(report.find("snapshot: none"), std::string::npos);
+  EXPECT_NE(report.find("put_intent: 1"), std::string::npos);
+  EXPECT_NE(report.find("put_commit: 1"), std::string::npos);
+
+  // Inspection is read-only: the journal is byte-identical afterwards,
+  // even with a deliberately torn tail appended.
+  std::ofstream(meta_dir / "journal",
+                std::ios::binary | std::ios::app)
+      << "torn";
+  const auto before = fs::file_size(meta_dir / "journal");
+  report = meta_status(meta_dir);
+  EXPECT_NE(report.find("TORN TAIL"), std::string::npos);
+  EXPECT_EQ(fs::file_size(meta_dir / "journal"), before);
+
+  EXPECT_EQ(run({"meta", meta_dir.string()}), 0);
+  EXPECT_EQ(run({"meta"}), 2);
 }
 
 TEST_F(CliTest, ClusterCommandRendersAliveAndDeadServers) {

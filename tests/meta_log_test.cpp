@@ -1,0 +1,531 @@
+// Crash-durability tests for the coordinator metadata journal (net/meta_log)
+// and its CarouselStore integration.
+//
+// The discipline mirrors persistence_test.cpp: real directories, real
+// fsyncs, real restarts.  "Crash" is destroy-and-reconstruct on the same
+// directory — the MetaLog (or the whole store) dies with all its RAM state
+// and the directory is all that survives, the same contract a SIGKILL
+// leaves.  The torn-tail sweep additionally vandalises the journal at every
+// byte boundary of its final record, because a real power cut does not
+// respect record framing.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codes/carousel.h"
+#include "net/block_server.h"
+#include "net/client.h"
+#include "net/errors.h"
+#include "net/meta_log.h"
+#include "net/store.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace carousel::net {
+namespace {
+
+namespace fs = std::filesystem;
+using test::random_bytes;
+
+std::vector<std::uint8_t> read_bytes(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+class MetaLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("carousel_meta_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Every test gets its own registry so carousel_meta_* counters never
+  // bleed between tests through the process-global registry.
+  MetaLog::Options opts(bool fsync = true, std::size_t snapshot_every = 64) {
+    MetaLog::Options o;
+    o.fsync = fsync;
+    o.snapshot_every = snapshot_every;
+    o.registry = &registry_;
+    return o;
+  }
+
+  static std::size_t quarantined(const fs::path& dir) {
+    const fs::path q = dir / "quarantine";
+    if (!fs::exists(q)) return 0;
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(q))
+      if (e.is_regular_file()) ++n;
+    return n;
+  }
+
+  fs::path dir_;
+  obs::MetricsRegistry registry_;
+  static constexpr std::uint32_t kConfig = 0xC0FFEE01;
+};
+
+// One put's worth of plausible metadata.
+MetaLog::FileRecord sample_file(std::uint32_t stripes = 2,
+                                std::uint32_t width = 4) {
+  MetaLog::FileRecord rec;
+  rec.file_bytes = 4096;
+  rec.stripes = stripes;
+  for (std::uint32_t s = 0; s < stripes; ++s) {
+    rec.placement.emplace_back();
+    for (std::uint32_t i = 0; i < width; ++i)
+      rec.placement.back().push_back((s + i) % width);
+  }
+  return rec;
+}
+
+TEST_F(MetaLogTest, WalRoundtripSurvivesRestart) {
+  const auto f7 = sample_file();
+  const auto f9 = sample_file(1, 4);
+  {
+    MetaLog log(dir_, kConfig, opts());
+    log.put_intent(7, f7.file_bytes, f7.stripes, f7.placement);
+    log.put_commit(7);
+    log.put_intent(9, f9.file_bytes, f9.stripes, f9.placement);  // stays pending
+    log.rehome_intent(7, 1, 2, 3);
+    log.rehome_commit(7, 1, 2, 3);
+    log.rehome_intent(7, 0, 0, 2);  // stays pending
+    log.add_server(41234, 5, true);
+    MetaLog::HedgeRecord h;
+    h.enabled = true;
+    h.percentile = 0.99;
+    log.set_hedge(h);
+  }  // destroyed: RAM state gone, directory is all that survives
+
+  MetaLog log(dir_, kConfig, opts());
+  ASSERT_EQ(log.state().manifest.size(), 1u);
+  auto committed = log.state().manifest.at(7);
+  auto expect = f7;
+  expect.placement[1][2] = 3;  // the committed rehome
+  EXPECT_EQ(committed.placement, expect.placement);
+  EXPECT_EQ(committed.file_bytes, f7.file_bytes);
+  ASSERT_EQ(log.state().pending_puts.size(), 1u);
+  EXPECT_EQ(log.state().pending_puts.at(9).placement, f9.placement);
+  ASSERT_EQ(log.state().pending_rehomes.size(), 1u);
+  EXPECT_EQ(log.state().pending_rehomes[0],
+            (MetaLog::RehomeIntent{7, 0, 0, 2}));
+  ASSERT_EQ(log.state().spares.size(), 1u);
+  EXPECT_EQ(log.state().spares[0].port, 41234);
+  EXPECT_EQ(log.state().spares[0].domain, 5u);
+  EXPECT_TRUE(log.state().spares[0].labeled);
+  ASSERT_TRUE(log.state().hedge.has_value());
+  EXPECT_TRUE(log.state().hedge->enabled);
+  EXPECT_DOUBLE_EQ(log.state().hedge->percentile, 0.99);
+  EXPECT_FALSE(log.replay_report().snapshot_loaded);
+  EXPECT_FALSE(log.replay_report().torn_tail);
+}
+
+TEST_F(MetaLogTest, SnapshotCompactsAndTailReplays) {
+  {
+    MetaLog log(dir_, kConfig, opts(true, 4));  // compact every 4 records
+    for (std::uint32_t f = 0; f < 6; ++f) {
+      const auto rec = sample_file();
+      log.put_intent(f, rec.file_bytes, rec.stripes, rec.placement);
+      log.put_commit(f);
+    }
+  }
+  EXPECT_TRUE(fs::exists(dir_ / "snapshot"));
+  // The journal was reset at the last compaction: far fewer than the 13
+  // records (config + 6 intent/commit pairs) this history minted.
+  MetaLog log(dir_, kConfig, opts(true, 4));
+  EXPECT_TRUE(log.replay_report().snapshot_loaded);
+  EXPECT_EQ(log.state().manifest.size(), 6u);
+  EXPECT_TRUE(log.state().pending_puts.empty());
+}
+
+TEST_F(MetaLogTest, EmptyJournalIsAFreshStart) {
+  {
+    MetaLog log(dir_, kConfig, opts());
+  }
+  // Truncate the journal to zero bytes: the directory exists but records
+  // nothing.  Reopen must treat it exactly like a fresh directory.
+  {
+    std::ofstream(dir_ / "journal", std::ios::trunc).close();
+  }
+  MetaLog log(dir_, kConfig, opts());
+  EXPECT_TRUE(log.state().manifest.empty());
+  EXPECT_FALSE(log.replay_report().torn_tail);
+  EXPECT_EQ(log.replay_report().journal_records, 0u);
+  // ... and it is writable: a put roundtrips.
+  const auto rec = sample_file();
+  log.put_intent(1, rec.file_bytes, rec.stripes, rec.placement);
+  log.put_commit(1);
+  EXPECT_EQ(log.state().manifest.size(), 1u);
+}
+
+TEST_F(MetaLogTest, FsyncDisabledStillRecoversAfterCleanRestart) {
+  // fsync=false trades the power-cut guarantee for speed, but a clean
+  // close-and-reopen (page cache intact) must still replay everything.
+  {
+    MetaLog log(dir_, kConfig, opts(/*fsync=*/false));
+    const auto rec = sample_file();
+    log.put_intent(3, rec.file_bytes, rec.stripes, rec.placement);
+    log.put_commit(3);
+  }
+  MetaLog log(dir_, kConfig, opts(/*fsync=*/false));
+  ASSERT_EQ(log.state().manifest.size(), 1u);
+  EXPECT_EQ(log.state().manifest.at(3).stripes, 2u);
+}
+
+TEST_F(MetaLogTest, TornFinalRecordTruncatedAtEveryByteBoundary) {
+  // Build a journal of config + intent + commit + intent, then cut the
+  // final record at EVERY byte length from "entirely missing" to "one byte
+  // short".  Each cut must replay to the exact pre-final-record state, mark
+  // a torn tail (when any torn bytes exist), quarantine the fragment, and
+  // truncate the journal so the NEXT open is clean.
+  std::size_t boundary = 0;  // journal size before the final record
+  {
+    MetaLog log(dir_, kConfig, opts());
+    const auto rec = sample_file();
+    log.put_intent(11, rec.file_bytes, rec.stripes, rec.placement);
+    log.put_commit(11);
+    boundary = fs::file_size(dir_ / "journal");
+    log.put_intent(12, rec.file_bytes, rec.stripes, rec.placement);
+  }
+  const auto full = read_bytes(dir_ / "journal");
+  ASSERT_GT(full.size(), boundary);
+
+  for (std::size_t cut = boundary; cut < full.size(); ++cut) {
+    const fs::path d = dir_ / ("cut_" + std::to_string(cut));
+    fs::create_directories(d);
+    std::ofstream out(d / "journal", std::ios::binary);
+    out.write(reinterpret_cast<const char*>(full.data()),
+              static_cast<std::streamsize>(cut));
+    out.close();
+
+    {
+      MetaLog log(d, kConfig, opts());
+      ASSERT_EQ(log.state().manifest.size(), 1u) << "cut at byte " << cut;
+      EXPECT_TRUE(log.state().pending_puts.empty()) << "cut at byte " << cut;
+      if (cut == boundary) {
+        EXPECT_FALSE(log.replay_report().torn_tail) << "clean boundary";
+      } else {
+        EXPECT_TRUE(log.replay_report().torn_tail) << "cut at byte " << cut;
+        EXPECT_EQ(log.replay_report().torn_bytes, cut - boundary);
+        EXPECT_EQ(quarantined(d), 1u) << "cut at byte " << cut;
+      }
+    }
+    // The replay truncated the tail, so the next open is torn-free.
+    MetaLog again(d, kConfig, opts());
+    EXPECT_FALSE(again.replay_report().torn_tail) << "cut at byte " << cut;
+    EXPECT_EQ(again.state().manifest.size(), 1u);
+  }
+}
+
+TEST_F(MetaLogTest, CrashPointsLeaveExactlyTheStateARealCrashWould) {
+  const auto rec = sample_file();
+  // kBeforeFsync: the record never reached the platter — replay must not
+  // see the intent at all.
+  {
+    {
+      MetaLog log(dir_, kConfig, opts());
+      log.arm_crash(MetaCrashPoint::kBeforeFsync);
+      EXPECT_THROW(
+          log.put_intent(5, rec.file_bytes, rec.stripes, rec.placement),
+          MetaCrashError);
+    }
+    MetaLog log(dir_, kConfig, opts());
+    EXPECT_TRUE(log.state().pending_puts.empty());
+    EXPECT_FALSE(log.replay_report().torn_tail);
+  }
+  // kAfterAppend: the record is durable but was never applied in memory —
+  // replay must recover the pending intent.
+  {
+    {
+      MetaLog log(dir_, kConfig, opts());
+      log.arm_crash(MetaCrashPoint::kAfterAppend);
+      EXPECT_THROW(
+          log.put_intent(5, rec.file_bytes, rec.stripes, rec.placement),
+          MetaCrashError);
+      // The crash fired before apply: this instance never saw the intent.
+      EXPECT_TRUE(log.state().pending_puts.empty());
+    }
+    MetaLog log(dir_, kConfig, opts());
+    ASSERT_EQ(log.state().pending_puts.size(), 1u);
+    EXPECT_EQ(log.state().pending_puts.at(5).placement, rec.placement);
+  }
+  // kTornRecord: half the bytes are durable — replay quarantines the
+  // fragment and recovers the pre-append state.
+  {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    {
+      MetaLog log(dir_, kConfig, opts());
+      log.arm_crash(MetaCrashPoint::kTornRecord);
+      EXPECT_THROW(
+          log.put_intent(5, rec.file_bytes, rec.stripes, rec.placement),
+          MetaCrashError);
+    }
+    MetaLog log(dir_, kConfig, opts());
+    EXPECT_TRUE(log.state().pending_puts.empty());
+    EXPECT_TRUE(log.replay_report().torn_tail);
+    EXPECT_EQ(quarantined(dir_), 1u);
+  }
+}
+
+TEST_F(MetaLogTest, CountdownArmsALaterAppend) {
+  const auto rec = sample_file();
+  {
+    MetaLog log(dir_, kConfig, opts());
+    // Countdown 2: the intent (append #1) lands durably, the commit
+    // (append #2) is lost before its fsync — the classic crash-mid-put.
+    log.arm_crash(MetaCrashPoint::kBeforeFsync, 2);
+    log.put_intent(8, rec.file_bytes, rec.stripes, rec.placement);
+    EXPECT_THROW(log.put_commit(8), MetaCrashError);
+  }
+  MetaLog log(dir_, kConfig, opts());
+  EXPECT_TRUE(log.state().manifest.empty());
+  ASSERT_EQ(log.state().pending_puts.size(), 1u);
+  EXPECT_TRUE(log.state().pending_puts.contains(8));
+}
+
+TEST_F(MetaLogTest, ConfigFingerprintMismatchRefusesReplay) {
+  {
+    MetaLog log(dir_, kConfig, opts());
+    const auto rec = sample_file();
+    log.put_intent(2, rec.file_bytes, rec.stripes, rec.placement);
+  }
+  // Journal-borne fingerprint (the kRecConfig record).
+  EXPECT_THROW(MetaLog(dir_, kConfig + 1, opts()), MetaReplayError);
+  // Snapshot-borne fingerprint.
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+  {
+    MetaLog log(dir_, kConfig, opts(true, 1));  // snapshot after every record
+    const auto rec = sample_file();
+    log.put_intent(2, rec.file_bytes, rec.stripes, rec.placement);
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "snapshot"));
+  EXPECT_THROW(MetaLog(dir_, kConfig + 1, opts()), MetaReplayError);
+}
+
+TEST_F(MetaLogTest, CorruptSnapshotQuarantinedAndLoud) {
+  {
+    MetaLog log(dir_, kConfig, opts(true, 1));
+    const auto rec = sample_file();
+    log.put_intent(2, rec.file_bytes, rec.stripes, rec.placement);
+    log.put_commit(2);
+  }
+  ASSERT_TRUE(fs::exists(dir_ / "snapshot"));
+  {
+    // Flip bytes in the middle of the snapshot: CRC fails.
+    std::fstream f(dir_ / "snapshot",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    f.write("\xde\xad\xbe\xef", 4);
+  }
+  EXPECT_THROW(MetaLog(dir_, kConfig, opts()), MetaReplayError);
+  EXPECT_FALSE(fs::exists(dir_ / "snapshot"));  // moved, not deleted
+  EXPECT_EQ(quarantined(dir_), 1u);
+}
+
+TEST_F(MetaLogTest, DuplicatePutIntentThrowsTyped) {
+  MetaLog log(dir_, kConfig, opts());
+  const auto rec = sample_file();
+  log.put_intent(4, rec.file_bytes, rec.stripes, rec.placement);
+  // Duplicate against a pending intent...
+  EXPECT_THROW(log.put_intent(4, rec.file_bytes, rec.stripes, rec.placement),
+               DuplicateFileError);
+  log.put_commit(4);
+  // ... and against a committed manifest entry.
+  EXPECT_THROW(log.put_intent(4, rec.file_bytes, rec.stripes, rec.placement),
+               DuplicateFileError);
+}
+
+TEST_F(MetaLogTest, InspectReportsWithoutRepairing) {
+  {
+    MetaLog log(dir_, kConfig, opts());
+    const auto rec = sample_file();
+    log.put_intent(6, rec.file_bytes, rec.stripes, rec.placement);
+    log.put_commit(6);
+  }
+  // Vandalise: append garbage so the journal has a torn tail.
+  {
+    std::ofstream f(dir_ / "journal", std::ios::binary | std::ios::app);
+    f.write("garbage-bytes", 13);
+  }
+  const auto before = fs::file_size(dir_ / "journal");
+  const std::string report = MetaLog::inspect(dir_);
+  EXPECT_NE(report.find("put_intent: 1"), std::string::npos) << report;
+  EXPECT_NE(report.find("put_commit: 1"), std::string::npos) << report;
+  EXPECT_NE(report.find("TORN TAIL"), std::string::npos) << report;
+  // Read-only: same size, nothing quarantined, nothing truncated.
+  EXPECT_EQ(fs::file_size(dir_ / "journal"), before);
+  EXPECT_EQ(quarantined(dir_), 0u);
+}
+
+TEST_F(MetaLogTest, MetricsCountTheWork) {
+  {
+    MetaLog log(dir_, kConfig, opts());
+    const auto rec = sample_file();
+    log.put_intent(1, rec.file_bytes, rec.stripes, rec.placement);
+    log.put_commit(1);
+  }
+  EXPECT_GE(registry_.counter("carousel_meta_appends_total").value(), 3u);
+  EXPECT_GE(registry_.counter("carousel_meta_fsyncs_total").value(), 3u);
+  MetaLog log(dir_, kConfig, opts());
+  EXPECT_GE(registry_.counter("carousel_meta_replay_records_total").value(),
+            3u);
+}
+
+// ---- CarouselStore integration --------------------------------------------
+
+class MetaStoreTest : public MetaLogTest {
+ protected:
+  void SetUp() override {
+    MetaLogTest::SetUp();
+    for (int i = 0; i < 6; ++i) {
+      servers_.push_back(std::make_unique<BlockServer>());
+      ports_.push_back(servers_.back()->port());
+    }
+  }
+
+  StoreOptions meta_options() {
+    StoreOptions o;
+    o.meta_dir = dir_;
+    o.registry = &registry_;
+    return o;
+  }
+
+  std::vector<std::unique_ptr<BlockServer>> servers_;
+  std::vector<std::uint16_t> ports_;
+  codes::Carousel code_{12, 6, 10, 12};
+};
+
+TEST_F(MetaStoreTest, ManifestSurvivesCoordinatorRestart) {
+  const std::size_t block = code_.s() * 64;
+  const auto file = random_bytes(2 * code_.k() * block, 123);
+  {
+    CarouselStore store(code_, ports_, block, meta_options());
+    ASSERT_TRUE(store.durable_meta());
+    store.put_file(42, file);
+    ASSERT_EQ(store.read_file(42, file.size()), file);
+  }  // the coordinator dies; the servers and the meta dir survive
+  CarouselStore store(code_, ports_, block, meta_options());
+  EXPECT_EQ(store.read_file(42, file.size()), file);  // bit-exact, no re-put
+  EXPECT_EQ(store.files().size(), 1u);
+}
+
+TEST_F(MetaStoreTest, DuplicatePutFileRejectedTyped) {
+  const std::size_t block = code_.s() * 64;
+  const auto file = random_bytes(code_.k() * block, 77);
+  // With durable metadata...
+  {
+    CarouselStore store(code_, ports_, block, meta_options());
+    store.put_file(1, file);
+    EXPECT_THROW(store.put_file(1, file), DuplicateFileError);
+    // The failed duplicate must not damage the original.
+    EXPECT_EQ(store.read_file(1, file.size()), file);
+  }
+  // ... and equally on a plain in-memory store.
+  CarouselStore mem(code_, ports_, block);
+  mem.put_file(9, file);
+  EXPECT_THROW(mem.put_file(9, file), DuplicateFileError);
+}
+
+TEST_F(MetaStoreTest, CrashBetweenUploadAndCommitReconcilesByAdoption) {
+  const std::size_t block = code_.s() * 64;
+  const auto file = random_bytes(code_.k() * block, 99);
+  {
+    CarouselStore store(code_, ports_, block, meta_options());
+    // Append #1 is the put intent, append #2 the commit: the commit record
+    // never reaches the platter, but every block was uploaded — the
+    // acked-data-is-on-disk crash.
+    store.set_meta_crash_point(MetaCrashPoint::kBeforeFsync, 2);
+    EXPECT_THROW(store.put_file(3, file), MetaCrashError);
+    EXPECT_TRUE(store.files().empty());  // never published in memory
+  }
+  CarouselStore store(code_, ports_, block, meta_options());
+  EXPECT_TRUE(store.files().empty());  // pending, not committed
+  const auto report = store.reconcile();
+  EXPECT_EQ(report.pending_puts, 1u);
+  EXPECT_EQ(report.puts_adopted, 1u);  // every block verifies: adopt
+  EXPECT_EQ(report.orphans_deleted, 0u);
+  EXPECT_EQ(store.read_file(3, file.size()), file);  // bit-exact
+  // A second reconcile is a no-op.
+  EXPECT_EQ(store.reconcile().pending_puts, 0u);
+}
+
+TEST_F(MetaStoreTest, DurableCommitNeedsNoReconciliation) {
+  // The dual of the adoption test: when the crash lands AFTER the commit
+  // record's fsync (but before the in-memory publish), replay alone
+  // commits the put — the manifest entry is there before any reconcile.
+  const std::size_t block = code_.s() * 64;
+  const auto file = random_bytes(code_.k() * block, 98);
+  {
+    CarouselStore store(code_, ports_, block, meta_options());
+    store.set_meta_crash_point(MetaCrashPoint::kAfterAppend, 2);
+    EXPECT_THROW(store.put_file(3, file), MetaCrashError);
+    EXPECT_TRUE(store.files().empty());  // crash preceded the publish
+  }
+  CarouselStore store(code_, ports_, block, meta_options());
+  EXPECT_EQ(store.files().size(), 1u);  // replay committed it
+  EXPECT_EQ(store.reconcile().pending_puts, 0u);
+  EXPECT_EQ(store.read_file(3, file.size()), file);
+}
+
+TEST_F(MetaStoreTest, CrashMidUploadReconcilesByDeletion) {
+  const std::size_t block = code_.s() * 64;
+  const auto file = random_bytes(code_.k() * block, 55);
+  {
+    CarouselStore store(code_, ports_, block, meta_options());
+    store.put_file(1, file);  // an innocent bystander
+    // Lose the SECOND put's commit before its fsync, then kill a block so
+    // the recovered intent cannot verify completely: reconciliation must
+    // delete the orphans and keep the bystander intact.
+    store.set_meta_crash_point(MetaCrashPoint::kBeforeFsync, 2);
+    EXPECT_THROW(store.put_file(2, random_bytes(code_.k() * block, 56)),
+                 MetaCrashError);
+  }
+  {
+    // Remove one of file 2's landed blocks out-of-band.
+    Client c(ports_[0]);
+    c.remove(BlockKey{2, 0, 0});
+  }
+  CarouselStore store(code_, ports_, block, meta_options());
+  const auto report = store.reconcile();
+  EXPECT_EQ(report.pending_puts, 1u);
+  EXPECT_EQ(report.puts_aborted, 1u);
+  EXPECT_GT(report.orphans_deleted, 0u);  // the stragglers are swept
+  EXPECT_EQ(store.files().size(), 1u);    // the bystander
+  EXPECT_EQ(store.read_file(1, file.size()), file);
+  // The orphan blocks of file 2 are gone from every server.
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    Client c(ports_[i]);
+    for (std::uint32_t idx = 0; idx < code_.n(); ++idx)
+      EXPECT_EQ(c.verify(BlockKey{2, 0, idx}), BlockHealth::kMissing);
+  }
+}
+
+TEST_F(MetaStoreTest, ReplayReportIsExposed) {
+  const std::size_t block = code_.s() * 64;
+  {
+    CarouselStore store(code_, ports_, block, meta_options());
+    store.put_file(1, random_bytes(code_.k() * block, 5));
+  }
+  CarouselStore store(code_, ports_, block, meta_options());
+  const auto report = store.meta_replay_report();
+  EXPECT_GE(report.journal_records, 3u);  // config + intent + commit
+  EXPECT_FALSE(report.torn_tail);
+  // An in-memory store reports an empty replay.
+  CarouselStore mem(code_, ports_, block);
+  EXPECT_FALSE(mem.durable_meta());
+  EXPECT_EQ(mem.meta_replay_report().journal_records, 0u);
+}
+
+}  // namespace
+}  // namespace carousel::net

@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <thread>
 
@@ -317,6 +323,54 @@ TEST(ClientResilience, CanBeCreatedWhileServerIsDown) {
   auto data = random_bytes(128, 9);
   client.put(key, data);
   EXPECT_EQ(*client.get(key), data);
+}
+
+TEST(ClientResilience, StalledConnectIsChargedAgainstTheOpDeadline) {
+  // Regression: the op deadline used to be enforced only in backoff sleeps,
+  // so time burned *connecting* — a peer in SYN purgatory, a full accept
+  // queue — was free, and a call could outlive its deadline by the kernel's
+  // multi-minute connect retry cycle.  Build that exact trap: a listener
+  // with a minimal accept queue that is never drained, pre-saturated so the
+  // client's handshake stalls, and demand the call dies at the deadline.
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 0), 0);  // smallest queue the kernel allows
+  socklen_t alen = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  // Saturate the accept queue with connections nobody will ever accept, so
+  // the client's SYN gets no room and its handshake hangs.
+  std::vector<int> primers;
+  for (int i = 0; i < 4; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    primers.push_back(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  RetryPolicy p;
+  p.max_attempts = 100;  // the deadline, not the attempt cap, must stop it
+  p.io_timeout = std::chrono::milliseconds(150);
+  p.base_backoff = std::chrono::milliseconds(1);
+  p.max_backoff = std::chrono::milliseconds(5);
+  p.op_deadline = std::chrono::milliseconds(400);
+  Client client(port, p);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.ping(), DeadlineError);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Generous bound: well past the 400 ms deadline plus one capped connect,
+  // far under the seconds-to-minutes a kernel-paced connect would take.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+  for (int fd : primers) ::close(fd);
+  ::close(lfd);
 }
 
 TEST(ProtocolRobustness, GarbageFramesDropConnectionNotServer) {

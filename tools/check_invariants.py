@@ -22,11 +22,12 @@ Rules (see DESIGN.md "Correctness tooling"):
      CMakeLists.txt is documented in README.md, so no build knob ships
      undocumented.
 
-  4. fsync-before-rename — every rename in the persistence layer
-     (src/net/persistence.*) must be preceded, within a few lines, by a
-     flush of the file being renamed.  A rename without the flush can
-     publish a block file whose bytes never reached stable storage — the
-     exact torn-write window the crash-recovery tests exist to close.
+  4. fsync-before-rename — every rename in the durability layers
+     (src/net/persistence.*, src/net/meta_log.*) must be preceded, within
+     a few lines, by a flush of the file being renamed.  A rename without
+     the flush can publish a block file or metadata snapshot whose bytes
+     never reached stable storage — the exact torn-write window the
+     crash-recovery tests exist to close.
 
   5. metric subsystem registry — the <subsystem> segment of every
      registered metric name must come from the known-subsystem list below.
@@ -76,6 +77,15 @@ Rules (see DESIGN.md "Correctness tooling"):
      one rack — the exact loss a whole-rack failure then turns into data
      loss.
 
+ 10. metadata journal provenance — (a) every carousel_meta_* series is
+     minted through MetaLog::metric(): the quoted prefix "carousel_meta_"
+     appears exactly once in src/net/meta_log.cpp (inside that helper) and
+     nowhere else in src/, except read-side filters in src/cli/cli.cpp
+     which register nothing.  (b) journal records are minted only through
+     the MetaLog append API: `append_record(` appears only in
+     src/net/meta_log.{h,cpp}.  A record framed anywhere else could skip
+     the fsync-before-publish ordering the crash-recovery story rests on.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
 
@@ -93,8 +103,8 @@ LABEL_KEY = re.compile(r"^[a-z][a-z0-9_]*$")
 # Rule 5: the one list of metric subsystems that exist.  Growing it is a
 # deliberate act (new dashboards/alerts), not a side effect of a typo.
 KNOWN_SUBSYSTEMS = {
-    "client", "cluster", "codec", "gf", "persist", "repair", "scrub",
-    "scrubber", "server", "store", "threadpool",
+    "client", "cluster", "codec", "gf", "meta", "persist", "repair",
+    "scrub", "scrubber", "server", "store", "threadpool",
 }
 
 
@@ -199,15 +209,18 @@ def check_cmake_options(problems: list[str]) -> None:
 
 
 def check_fsync_before_rename(problems: list[str]) -> None:
-    """Rule 4: renames in the persistence layer flush the source first."""
+    """Rule 4: renames in the durability layers flush the source first."""
     rename = re.compile(r"\brename\s*\(")
     flush = re.compile(r"\b(flush_file|fsync)\b")
     window = 8  # lines above the rename that must contain the flush
     for path in src_files(".h", ".cpp"):
-        if path.stem != "persistence":
+        if path.stem not in {"persistence", "meta_log"}:
             continue
         lines = path.read_text().splitlines()
         for i, line in enumerate(lines):
+            # Comments mentioning the discipline are not renames.
+            if line.lstrip().startswith(("//", "*", "/*")):
+                continue
             if not rename.search(line):
                 continue
             preceding = lines[max(0, i - window):i]
@@ -339,6 +352,44 @@ def check_domain_plumbing(problems: list[str]) -> None:
             f"the per-domain cap")
 
 
+def check_meta_journal_provenance(problems: list[str]) -> None:
+    """Rule 10: meta metrics and journal records each have one mint point."""
+    # 10a: the carousel_meta_* family is minted by MetaLog::metric().
+    helper = REPO / "src" / "net" / "meta_log.cpp"
+    # Read-side consumers that filter on the prefix but register nothing.
+    readers = {REPO / "src" / "cli" / "cli.cpp"}
+    literal = re.compile(r"\"[^\"\n]*carousel_meta_[^\"\n]*\"")
+    for path in src_files(".h", ".cpp"):
+        text = path.read_text()
+        hits = list(literal.finditer(text))
+        if path == helper:
+            if len(hits) != 1:
+                problems.append(
+                    f"{path.relative_to(REPO)}: expected exactly one quoted "
+                    f"\"carousel_meta_\" (the MetaLog::metric() helper), "
+                    f"found {len(hits)} — mint every meta series through "
+                    f"the helper")
+            continue
+        if path in readers:
+            continue
+        for m in hits:
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"carousel_meta_* literal outside MetaLog::metric() — mint "
+                f"meta series through the helper in src/net/meta_log.cpp")
+    # 10b: journal records are framed only by the MetaLog append API.
+    framer = re.compile(r"\bappend_record\s*\(")
+    for path in src_files(".h", ".cpp"):
+        if path.stem == "meta_log":
+            continue  # declaration in meta_log.h, definition+calls in .cpp
+        text = path.read_text()
+        for m in framer.finditer(text):
+            problems.append(
+                f"{path.relative_to(REPO)}:{line_of(text, m.start())}: "
+                f"append_record outside src/net/meta_log.{{h,cpp}} — journal "
+                f"records are minted only through the MetaLog append API")
+
+
 def main() -> int:
     problems: list[str] = []
     check_wire_casts(problems)
@@ -350,6 +401,7 @@ def main() -> int:
     check_hedge_metric_provenance(problems)
     check_raw_locking(problems)
     check_domain_plumbing(problems)
+    check_meta_journal_provenance(problems)
     if problems:
         for p in problems:
             print(p, file=sys.stderr)

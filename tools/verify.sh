@@ -6,10 +6,10 @@
 #   2. static analysis — tools/lint.sh (clang-tidy when installed, plus the
 #      repo-specific invariant lints in tools/check_invariants.py);
 #   3. the networked fault-tolerance, observability, protocol-hardening,
-#      crash-persistence and self-healing-cluster tests again under
-#      AddressSanitizer (abrupt server death, connection churn, malformed
-#      frames, torn-write recovery, re-homing races — where lifetime bugs
-#      hide);
+#      crash-persistence, metadata-journal and self-healing-cluster tests
+#      again under AddressSanitizer (abrupt server death, connection churn,
+#      malformed frames, torn-write recovery, re-homing races — where
+#      lifetime bugs hide);
 #   4. the net + observability + property tests under ThreadSanitizer
 #      (client counters, registry instruments and trace rings are read while
 #      other threads mutate them; the parallel read fan-out, hedge races and
@@ -35,7 +35,12 @@
 #      injected straggler, also as CI's bench-smoke job runs it: the binary
 #      exits non-zero unless the hedged p99 beats the unhedged p99 with at
 #      least one hedge win (and writes BENCH_tail_latency.json);
-#   9. when clang++ is installed: the whole tree rebuilt with Clang Thread
+#   9. a bounded coordinator-metadata recovery bench, as CI's bench-smoke
+#      job runs it: the binary exits non-zero when a cold journal replay
+#      diverges from the pre-crash manifest, misses its wall-clock budget,
+#      fails to load the compacted snapshot, or misses a torn tail (and
+#      writes BENCH_meta_recovery.json);
+#  10. when clang++ is installed: the whole tree rebuilt with Clang Thread
 #      Safety Analysis promoted to errors (CAROUSEL_THREAD_SAFETY=ON),
 #      verifying every GUARDED_BY/REQUIRES/EXCLUDES annotation from
 #      util/sync.h statically, plus the sync_test lock-rank suite under the
@@ -54,13 +59,14 @@ sh tools/lint.sh build
 
 cmake -B build-asan -S . -DCAROUSEL_SANITIZE=address
 cmake --build build-asan -j --target net_test obs_test protocol_test \
-  protocol_fuzz_test persistence_test cluster_test repair_scheduler_test \
-  property_test
+  protocol_fuzz_test persistence_test meta_log_test cluster_test \
+  repair_scheduler_test property_test
 ./build-asan/tests/net_test
 ./build-asan/tests/obs_test
 ./build-asan/tests/protocol_test
 ./build-asan/tests/protocol_fuzz_test
 ./build-asan/tests/persistence_test
+./build-asan/tests/meta_log_test
 ./build-asan/tests/cluster_test
 ./build-asan/tests/repair_scheduler_test
 ./build-asan/tests/property_test
@@ -95,6 +101,11 @@ cmake --build build -j --target bench_tail_latency
   CAROUSEL_TAIL_STRIPES=2 CAROUSEL_TAIL_READS=100 \
   CAROUSEL_TAIL_STALL_MS=40 ./bench_tail_latency)
 
+cmake --build build -j --target bench_meta_recovery
+(cd build/bench && \
+  CAROUSEL_META_FILES=100 CAROUSEL_META_MUTATIONS=1000 \
+  CAROUSEL_META_BUDGET_S=10 ./bench_meta_recovery)
+
 if command -v clang++ >/dev/null 2>&1; then
   cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
     -DCAROUSEL_THREAD_SAFETY=ON -DCAROUSEL_WERROR=ON
@@ -107,5 +118,5 @@ fi
 
 echo "verify: OK (suite + lint + ASan/TSan suites incl. rack-down chaos" \
      "+ full suite under UBSan + bounded chaos smoke + recovery-storm," \
-     "rack-down and tail-latency bench smokes + thread-safety analysis" \
-     "when clang++ is present)"
+     "rack-down, tail-latency and meta-recovery bench smokes +" \
+     "thread-safety analysis when clang++ is present)"
